@@ -1,0 +1,36 @@
+"""Figure 3: how the overlap constraint τ affects the join.
+
+Three panels: (a) average signature length per string, (b) number of
+candidates, (c) join time — each as a function of the join threshold θ for
+τ = 1..5.  Paper shape: signatures grow with τ while candidates shrink, and
+for every θ some intermediate τ minimises total join time.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import config_for, split_dataset, tau_tradeoff
+
+THETAS = (0.75, 0.85, 0.95)
+TAUS = (1, 2, 3, 4, 5)
+SIDE = 60
+
+
+def test_fig3_tau_tradeoff(benchmark, med_dataset):
+    left, right = split_dataset(med_dataset, SIDE, SIDE)
+    config = config_for(med_dataset)
+
+    cells = benchmark.pedantic(
+        lambda: tau_tradeoff(left, right, config, thetas=THETAS, taus=TAUS),
+        rounds=1, iterations=1,
+    )
+
+    print("\n[MED subset] Figure 3 — τ trade-off")
+    print(f"  {'θ':>5} {'τ':>3} {'avg sig len':>12} {'candidates':>11} {'join time (s)':>14}")
+    for cell in cells:
+        print(f"  {cell.theta:>5.2f} {cell.tau:>3} {cell.avg_signature_length:>12.1f} "
+              f"{cell.candidate_count:>11} {cell.join_seconds:>14.2f}")
+
+    # Shape check (panel a): signature length is non-decreasing in τ per θ.
+    for theta in THETAS:
+        lengths = [c.avg_signature_length for c in cells if c.theta == theta]
+        assert all(lengths[i] <= lengths[i + 1] + 1e-9 for i in range(len(lengths) - 1))

@@ -1,0 +1,55 @@
+"""Figure 4: total join time of U-Filter vs AU-Filter (heuristics) vs AU-Filter (DP).
+
+Paper shape: both AU-Filter variants beat U-Filter, with the DP variant the
+overall winner (clearest at lower thresholds).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import config_for, join_time_by_method, split_dataset
+from repro.join.signatures import SignatureMethod
+
+THETAS = (0.75, 0.85, 0.95)
+SIDE = 60
+TAU = 3
+
+
+def _print_table(name, results):
+    print(f"\n[{name}] Figure 4 — join time (s) by filter and threshold")
+    print(f"  {'filter':<14}" + "".join(f" θ={theta:<6}" for theta in THETAS))
+    for method in SignatureMethod.ALL:
+        row = f"  {method:<14}"
+        for theta in THETAS:
+            row += f" {results[method][theta].statistics.total_seconds:>8.2f}"
+        print(row)
+
+
+def test_fig4_join_time_med(benchmark, med_dataset):
+    left, right = split_dataset(med_dataset, SIDE, SIDE)
+    config = config_for(med_dataset)
+    results = benchmark.pedantic(
+        lambda: join_time_by_method(left, right, config, thetas=THETAS, tau=TAU),
+        rounds=1, iterations=1,
+    )
+    _print_table("MED", results)
+    # Shape check: all three filters verify the same result set (correctness),
+    # and the DP filter's candidate count never exceeds the heuristic's.
+    for theta in THETAS:
+        assert (
+            results[SignatureMethod.AU_DP][theta].pair_ids()
+            == results[SignatureMethod.U_FILTER][theta].pair_ids()
+        )
+        assert (
+            results[SignatureMethod.AU_DP][theta].statistics.candidate_count
+            <= results[SignatureMethod.AU_HEURISTIC][theta].statistics.candidate_count + 1
+        )
+
+
+def test_fig4_join_time_wiki(benchmark, wiki_dataset):
+    left, right = split_dataset(wiki_dataset, SIDE, SIDE)
+    config = config_for(wiki_dataset)
+    results = benchmark.pedantic(
+        lambda: join_time_by_method(left, right, config, thetas=(0.85,), tau=TAU),
+        rounds=1, iterations=1,
+    )
+    _print_table("WIKI", {m: r for m, r in results.items()})

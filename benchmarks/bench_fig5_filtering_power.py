@@ -1,0 +1,53 @@
+"""Figure 5: filtering power — signature length and candidate count vs τ.
+
+Paper shape at θ = 0.85: AU-Filter (DP) produces the fewest candidates for
+the same τ, at the cost of slightly longer signatures than U-Filter's fixed
+τ = 1 baseline.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import config_for, split_dataset
+from repro.join.aufilter import PebbleJoin
+from repro.join.signatures import SignatureMethod
+
+TAUS = (1, 2, 4, 6, 8)
+THETA = 0.85
+SIDE = 60
+
+
+def test_fig5_filtering_power(benchmark, med_dataset):
+    left, right = split_dataset(med_dataset, SIDE, SIDE)
+    config = config_for(med_dataset)
+
+    def run():
+        rows = {}
+        for method in (SignatureMethod.AU_HEURISTIC, SignatureMethod.AU_DP):
+            for tau in TAUS:
+                engine = PebbleJoin(config, THETA, tau=tau, method=method)
+                order = engine.build_order(left, right)
+                left_signed = engine.sign_collection(left, order)
+                right_signed = engine.sign_collection(right, order)
+                outcome = engine.filter_candidates(left_signed, right_signed)
+                avg_len = sum(s.signature_length for s in left_signed) / len(left_signed)
+                rows[(method, tau)] = (avg_len, outcome.candidate_count)
+        # U-Filter is the τ = 1 reference point.
+        engine = PebbleJoin(config, THETA, tau=1, method=SignatureMethod.U_FILTER)
+        order = engine.build_order(left, right)
+        left_signed = engine.sign_collection(left, order)
+        right_signed = engine.sign_collection(right, order)
+        outcome = engine.filter_candidates(left_signed, right_signed)
+        avg_len = sum(s.signature_length for s in left_signed) / len(left_signed)
+        rows[(SignatureMethod.U_FILTER, 1)] = (avg_len, outcome.candidate_count)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\n[MED subset] Figure 5 — filtering power at θ = {THETA}")
+    print(f"  {'filter':<14} {'τ':>3} {'avg sig len':>12} {'candidates':>11}")
+    for (method, tau), (avg_len, candidates) in sorted(rows.items()):
+        print(f"  {method:<14} {tau:>3} {avg_len:>12.1f} {candidates:>11}")
+
+    # Shape check: for each τ, DP signatures are no longer than heuristic ones.
+    for tau in TAUS:
+        assert rows[(SignatureMethod.AU_DP, tau)][0] <= rows[(SignatureMethod.AU_HEURISTIC, tau)][0] + 1e-9

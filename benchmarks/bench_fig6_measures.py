@@ -1,0 +1,38 @@
+"""Figure 6: AU-Filter (DP) join time per measure combination.
+
+Paper shape: the full TJS combination remains comparable to single-measure
+joins because the filter absorbs the extra verification work.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import MEASURE_COMBINATIONS, join_time_by_measure, split_dataset
+
+THETAS = (0.85,)
+SIDE = 50
+
+
+def test_fig6_join_time_by_measure(benchmark, med_dataset):
+    left, right = split_dataset(med_dataset, SIDE, SIDE)
+    results = benchmark.pedantic(
+        lambda: join_time_by_measure(med_dataset, left, right, thetas=THETAS),
+        rounds=1, iterations=1,
+    )
+
+    print("\n[MED subset] Figure 6 — AU-Filter (DP) join time (s) by measure")
+    print(f"  {'measure':<8}" + "".join(f" θ={theta:<6}" for theta in THETAS))
+    for codes in MEASURE_COMBINATIONS:
+        row = f"  {codes:<8}"
+        for theta in THETAS:
+            row += f" {results[codes][theta].statistics.total_seconds:>8.2f}"
+        print(row)
+
+    # Shape check: TJS results are a superset of every single measure's results.
+    for theta in THETAS:
+        tjs_pairs = results["TJS"][theta].pair_ids()
+        for codes in ("J", "T", "S"):
+            single = results[codes][theta].pair_ids()
+            missing = single - tjs_pairs
+            # Allow a small tolerance: approximate verification can flip pairs
+            # whose similarity sits exactly on the threshold.
+            assert len(missing) <= max(1, len(single) // 10)

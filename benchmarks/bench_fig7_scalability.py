@@ -1,0 +1,36 @@
+"""Figure 7: join time versus dataset size for the three filters.
+
+Paper shape: all filters grow roughly linearly over the measured range (no
+quadratic blow-up), and AU-Filter (DP) scales best.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import scalability
+from repro.join.signatures import SignatureMethod
+
+SIZES = (30, 60, 90)
+THETA = 0.9
+
+
+def test_fig7_scalability(benchmark, med_dataset):
+    results = benchmark.pedantic(
+        lambda: scalability(med_dataset, sizes=SIZES, theta=THETA, tau=3),
+        rounds=1, iterations=1,
+    )
+
+    print(f"\n[MED subset] Figure 7 — join time (s) vs per-side size at θ = {THETA}")
+    print(f"  {'filter':<14}" + "".join(f" n={size:<6}" for size in SIZES))
+    for method in SignatureMethod.ALL:
+        row = f"  {method:<14}"
+        for size in SIZES:
+            row += f" {results[method][size].statistics.total_seconds:>8.2f}"
+        print(row)
+
+    # Shape check: growth from the smallest to the largest size is sub-quadratic
+    # (the size ratio is 3x, so a quadratic join would grow ~9x).
+    for method in SignatureMethod.ALL:
+        small = results[method][SIZES[0]].statistics.total_seconds
+        large = results[method][SIZES[-1]].statistics.total_seconds
+        if small > 0.05:  # ignore measurements dominated by constant overhead
+            assert large / small < 9.0

@@ -1,0 +1,32 @@
+"""Table 10: join time broken into suggestion, filtering, and verification.
+
+Paper shape: filtering and verification grow with the dataset size while the
+suggestion overhead stays roughly constant (it samples a fixed amount), so
+its fraction of the total shrinks as data grows.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import time_breakdown
+
+SIZES = (40, 80, 120)
+THETA = 0.9
+
+
+def test_table10_time_breakdown(benchmark, med_dataset):
+    breakdown = benchmark.pedantic(
+        lambda: time_breakdown(med_dataset, sizes=SIZES, theta=THETA),
+        rounds=1, iterations=1,
+    )
+
+    print(f"\n[MED subset] Table 10 — time breakdown (s) at θ = {THETA}")
+    print(f"  {'size':>6} {'suggestion':>11} {'filtering':>10} {'verification':>13} {'best τ':>7}")
+    for size in SIZES:
+        row = breakdown[size]
+        print(f"  {size:>6} {row['suggestion']:>11.2f} {row['filtering']:>10.2f} "
+              f"{row['verification']:>13.2f} {int(row['best_tau']):>7}")
+
+    # Shape check: filtering + verification grows with dataset size.
+    small = breakdown[SIZES[0]]["filtering"] + breakdown[SIZES[0]]["verification"]
+    large = breakdown[SIZES[-1]]["filtering"] + breakdown[SIZES[-1]]["verification"]
+    assert large >= small

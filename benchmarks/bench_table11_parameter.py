@@ -1,0 +1,34 @@
+"""Table 11: join time with the suggested τ vs a random τ vs the worst τ.
+
+Paper shape: the suggested parameter achieves (close to) the best running
+time, clearly beating the expected random choice and the worst choice.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import parameter_selection_comparison
+
+THETAS = (0.8, 0.9)
+SIZE = 60
+
+
+def test_table11_parameter_selection(benchmark, med_dataset):
+    comparison = benchmark.pedantic(
+        lambda: parameter_selection_comparison(
+            med_dataset, thetas=THETAS, taus=(1, 2, 3, 4), size=SIZE
+        ),
+        rounds=1, iterations=1,
+    )
+
+    print("\n[MED subset] Table 11 — join time (s) by τ selection policy")
+    print(f"  {'θ':>5} {'suggested':>10} {'random mean':>12} {'worst':>7} {'best possible':>14} {'suggested τ':>12}")
+    for theta in THETAS:
+        row = comparison[theta]
+        print(f"  {theta:>5.2f} {row['suggested']:>10.2f} {row['random_mean']:>12.2f} "
+              f"{row['worst']:>7.2f} {row['best_possible']:>14.2f} {int(row['suggested_tau']):>12}")
+
+    # Shape check: the suggested τ is never meaningfully worse than the worst
+    # fixed choice (a 20% margin absorbs timing noise on small data).
+    for theta in THETAS:
+        row = comparison[theta]
+        assert row["suggested"] <= row["worst"] * 1.2 + 0.05

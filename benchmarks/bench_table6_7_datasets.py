@@ -1,0 +1,33 @@
+"""Tables 6–7: characteristics of the knowledge sources and string datasets.
+
+Prints the same statistics rows as the paper's Tables 6 and 7 for the
+synthetic MED-like and WIKI-like corpora (node counts, tree heights, fanout,
+per-record character/token counts).
+"""
+
+from __future__ import annotations
+
+
+def _print_tables(name, dataset):
+    stats = dataset.statistics()
+    print(f"\n[{name}] Table 6 row (taxonomy / synonyms):")
+    print(f"  taxonomy nodes: {int(stats['taxonomy_nodes'])}, "
+          f"height min/avg/max: {stats['taxonomy_min_height']:.0f}/"
+          f"{stats['taxonomy_avg_height']:.1f}/{stats['taxonomy_max_height']:.0f}, "
+          f"avg fanout: {stats['taxonomy_avg_fanout']:.1f}, "
+          f"synonym rules: {int(stats['synonym_rules'])}")
+    print(f"[{name}] Table 7 row (strings):")
+    print(f"  records: {int(stats['records'])}, "
+          f"chars min/avg/max: {stats['min_chars']:.0f}/{stats['avg_chars']:.1f}/{stats['max_chars']:.0f}, "
+          f"tokens min/avg/max: {stats['min_tokens']:.0f}/{stats['avg_tokens']:.1f}/{stats['max_tokens']:.0f}")
+
+
+def test_table6_7_dataset_statistics(benchmark, med_dataset, wiki_dataset):
+    """Regenerate the dataset-characteristics tables (statistics pass only)."""
+
+    def compute():
+        return med_dataset.statistics(), wiki_dataset.statistics()
+
+    benchmark(compute)
+    _print_tables("MED", med_dataset)
+    _print_tables("WIKI", wiki_dataset)

@@ -1,0 +1,46 @@
+"""Table 8: effectiveness (P/R/F) of measure combinations J/T/S/TJ/TS/JS/TJS.
+
+Paper shape to reproduce: single measures have low recall, two-measure
+combinations improve it, and the full TJS combination achieves the best
+F-measure on both datasets.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import MEASURE_COMBINATIONS, measure_effectiveness
+
+THRESHOLDS = (0.7, 0.75)
+
+
+def _print_table(name, result):
+    print(f"\n[{name}] Table 8 — effectiveness by measure combination")
+    header = f"  {'measure':<8}" + "".join(
+        f"  θ={theta}: {'P':>5} {'R':>5} {'F':>5}" for theta in THRESHOLDS
+    )
+    print(header)
+    for codes in MEASURE_COMBINATIONS:
+        row = f"  {codes:<8}"
+        for theta in THRESHOLDS:
+            pr = result.row(codes, theta)
+            row += f"        {pr.precision:>5.2f} {pr.recall:>5.2f} {pr.f_measure:>5.2f}"
+        print(row)
+
+
+def test_table8_med(benchmark, med_dataset, med_truth):
+    result = benchmark.pedantic(
+        lambda: measure_effectiveness(med_dataset, med_truth, thresholds=THRESHOLDS),
+        rounds=1, iterations=1,
+    )
+    _print_table("MED", result)
+    # Shape check: the unified TJS measure has the best F-measure.
+    best_f = max(result.row(codes, 0.7).f_measure for codes in MEASURE_COMBINATIONS)
+    assert result.row("TJS", 0.7).f_measure >= best_f - 1e-9
+
+
+def test_table8_wiki(benchmark, wiki_dataset, wiki_truth):
+    result = benchmark.pedantic(
+        lambda: measure_effectiveness(wiki_dataset, wiki_truth, thresholds=THRESHOLDS),
+        rounds=1, iterations=1,
+    )
+    _print_table("WIKI", result)
+    assert result.row("TJS", 0.7).recall >= result.row("J", 0.7).recall

@@ -1,0 +1,42 @@
+"""Table 9: approximation accuracy of Algorithm 1 versus the exact USIM.
+
+Reports percentile ratios (approximate / exact) bucketed by the maximal
+applicable rule size k.  Paper shape: median accuracy is high (≥ 0.5 for
+small k, approaching 1.0 for larger k).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import approximation_accuracy
+
+PERCENTILES = (2, 25, 50, 75, 98)
+
+
+def _print_table(name, result):
+    print(f"\n[{name}] Table 9 — approximation accuracy percentiles by rule size k")
+    print(f"  {'k':>3} {'pairs':>6}" + "".join(f" {p:>5.0f}%" for p in PERCENTILES))
+    for k, points in sorted(result.per_k.items()):
+        row = f"  {k:>3} {result.pair_counts[k]:>6}"
+        row += "".join(f" {points[p]:>6.2f}" for p in PERCENTILES)
+        print(row)
+
+
+def test_table9_approximation_accuracy_med(benchmark, med_dataset, med_truth):
+    result = benchmark.pedantic(
+        lambda: approximation_accuracy(med_dataset, med_truth, max_pairs=60),
+        rounds=1, iterations=1,
+    )
+    _print_table("MED", result)
+    # Shape check: every ratio is a valid accuracy and medians are non-trivial.
+    for points in result.per_k.values():
+        assert 0.0 <= points[50] <= 1.0
+    assert result.per_k, "at least one k bucket must be populated"
+
+
+def test_table9_approximation_accuracy_wiki(benchmark, wiki_dataset, wiki_truth):
+    result = benchmark.pedantic(
+        lambda: approximation_accuracy(wiki_dataset, wiki_truth, max_pairs=60),
+        rounds=1, iterations=1,
+    )
+    _print_table("WIKI", result)
+    assert result.per_k

@@ -1,0 +1,54 @@
+"""Shared fixtures and sizing knobs for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section on synthetic MED-like / WIKI-like data.  Sizes are deliberately small
+so the whole suite finishes on a laptop; set the environment variable
+``REPRO_BENCH_SCALE`` (default 1.0) to scale record counts up or down, e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets import MED_PROFILE, WIKI_PROFILE, generate_dataset, generate_ground_truth
+
+#: Scale factor applied to every record count below.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(count: int) -> int:
+    """Apply the benchmark scale factor to a record count."""
+    return max(20, int(count * SCALE))
+
+
+@pytest.fixture(scope="session")
+def med_dataset():
+    """MED-like corpus used by most benchmarks."""
+    return generate_dataset(MED_PROFILE, count=scaled(400), seed=42)
+
+
+@pytest.fixture(scope="session")
+def wiki_dataset():
+    """WIKI-like corpus (wider taxonomy, fewer synonyms)."""
+    return generate_dataset(WIKI_PROFILE, count=scaled(400), seed=43)
+
+
+@pytest.fixture(scope="session")
+def med_truth(med_dataset):
+    """Labelled pairs over the MED-like corpus."""
+    return generate_ground_truth(med_dataset, positive_pairs=80, negative_pairs=80, seed=17)
+
+
+@pytest.fixture(scope="session")
+def wiki_truth(wiki_dataset):
+    """Labelled pairs over the WIKI-like corpus."""
+    return generate_ground_truth(wiki_dataset, positive_pairs=80, negative_pairs=80, seed=18)

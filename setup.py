@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works in offline environments where pip cannot
+fetch the ``wheel`` backend required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a unified framework for string similarity joins.
+
+Reproduction of Xu & Lu, "Towards a Unified Framework for String Similarity
+Joins", PVLDB 12(11), 2019 (the AU-Join system).
+
+The package exposes three layers:
+
+* :mod:`repro.core` — the unified similarity measure (USIM) combining
+  gram-based Jaccard, synonym-rule, and taxonomy similarity, with both exact
+  and approximate computation.
+* :mod:`repro.join` — the pebble-based filter-and-verify join framework
+  (U-Filter and AU-Filter with heuristic or dynamic-programming signature
+  selection).
+* :mod:`repro.estimator` — sampling-based recommendation of the overlap
+  constraint τ.
+
+Supporting subpackages provide synonym rules, taxonomies, baseline join
+algorithms, synthetic datasets, and evaluation utilities.
+"""
+
+from .core.measures import Measure, MeasureConfig
+from .core.unified import UnifiedSimilarity
+from .synonyms.rules import SynonymRule, SynonymRuleSet
+from .taxonomy.tree import Taxonomy, TaxonomyNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Measure",
+    "MeasureConfig",
+    "SynonymRule",
+    "SynonymRuleSet",
+    "Taxonomy",
+    "TaxonomyNode",
+    "UnifiedSimilarity",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Baseline join algorithms used in the paper's Section 5.5 comparison."""
+
+from .adaptjoin import AdaptJoin
+from .base import BaselineJoin
+from .combination import CombinationJoin
+from .kjoin import KJoin
+from .pkduck import PKDuck
+
+__all__ = ["AdaptJoin", "BaselineJoin", "CombinationJoin", "KJoin", "PKDuck"]

@@ -1,0 +1,109 @@
+"""AdaptJoin-style gram-based similarity join (Wang et al., SIGMOD 2012).
+
+AdaptJoin generalises prefix filtering for gram (Jaccard) similarity: instead
+of the fixed ``(1−θ)·|G| + 1`` prefix, it considers *l-prefix schemes* —
+prefixes longer by ``l − 1`` grams that require ``l`` overlaps — and picks
+the scheme with the lowest estimated cost per record.  This reproduction
+implements the l-prefix family with a frequency-based cost estimate, which
+preserves the algorithm's defining behaviour (longer prefixes in exchange
+for fewer candidates) without the authors' full cost model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, List, Optional, Sequence, Set
+
+from ..core.grams import DEFAULT_Q, jaccard, qgram_set
+from ..records import Record, RecordCollection
+from .base import BaselineJoin
+
+__all__ = ["AdaptJoin"]
+
+
+class AdaptJoin(BaselineJoin):
+    """Adaptive gram-prefix join for Jaccard similarity.
+
+    Parameters
+    ----------
+    theta:
+        Jaccard join threshold.
+    q:
+        Gram length.
+    max_scheme:
+        The largest l-prefix scheme considered (``1`` disables adaptivity and
+        yields plain prefix filtering).
+    """
+
+    name = "AdaptJoin"
+
+    def __init__(self, theta: float, *, q: int = DEFAULT_Q, max_scheme: int = 3) -> None:
+        super().__init__(theta, min_overlap=1)
+        if max_scheme < 1:
+            raise ValueError("max_scheme must be at least 1")
+        self.q = q
+        self.max_scheme = max_scheme
+        self._frequencies: Counter = Counter()
+        self._scheme_of_record: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # preparation: global gram frequency order
+    # ------------------------------------------------------------------ #
+    def prepare(self, left: RecordCollection, right: RecordCollection) -> None:
+        self._frequencies = Counter()
+        for collection in (left, right) if left is not right else (left,):
+            for record in collection:
+                self._frequencies.update(qgram_set(record.text, self.q))
+
+    def _sorted_grams(self, record: Record) -> List[str]:
+        grams = qgram_set(record.text, self.q)
+        return sorted(grams, key=lambda gram: (self._frequencies.get(gram, 0), gram))
+
+    # ------------------------------------------------------------------ #
+    # adaptive prefix selection
+    # ------------------------------------------------------------------ #
+    def _prefix_length(self, gram_count: int, scheme: int) -> int:
+        """Length of the l-prefix for a record with ``gram_count`` grams.
+
+        The 1-prefix is the classic ``(1−θ)·n + 1``; the l-prefix adds
+        ``l − 1`` further grams and in exchange requires ``l`` overlaps.
+        """
+        base = int((1.0 - self.theta) * gram_count) + 1
+        return min(gram_count, base + scheme - 1)
+
+    def _estimated_cost(self, grams: Sequence[str], scheme: int) -> float:
+        """Frequency-sum cost estimate of indexing/probing a given scheme.
+
+        Longer prefixes touch more posting lists (cost grows with the summed
+        frequency of the extra grams) but each additional required overlap
+        roughly divides the surviving candidates; the ratio below captures
+        that trade-off well enough to pick sensible schemes.
+        """
+        length = self._prefix_length(len(grams), scheme)
+        touched = sum(self._frequencies.get(gram, 0) for gram in grams[:length])
+        return touched / scheme
+
+    def _best_scheme(self, grams: Sequence[str]) -> int:
+        best_scheme = 1
+        best_cost = float("inf")
+        for scheme in range(1, self.max_scheme + 1):
+            cost = self._estimated_cost(grams, scheme)
+            if cost < best_cost:
+                best_cost = cost
+                best_scheme = scheme
+        return best_scheme
+
+    # ------------------------------------------------------------------ #
+    # BaselineJoin interface
+    # ------------------------------------------------------------------ #
+    def signatures(self, record: Record) -> Set[Hashable]:
+        grams = self._sorted_grams(record)
+        if not grams:
+            return set()
+        scheme = self._best_scheme(grams)
+        self._scheme_of_record[record.record_id] = scheme
+        length = self._prefix_length(len(grams), scheme)
+        return set(grams[:length])
+
+    def similarity(self, left: Record, right: Record) -> float:
+        return jaccard(left.text, right.text, self.q)

@@ -1,0 +1,122 @@
+"""Shared filter-and-verify skeleton for the baseline join algorithms.
+
+The three baselines compared against in Section 5.5 (AdaptJoin, K-Join,
+PKduck) all follow the same outer loop: generate per-record signatures,
+index one side, probe with the other, verify candidates with the baseline's
+own similarity function.  :class:`BaselineJoin` hosts that loop so each
+baseline only supplies its signature generator and similarity function.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..join.aufilter import JoinResult, JoinStatistics
+from ..join.verification import VerifiedPair
+from ..records import Record, RecordCollection
+
+__all__ = ["BaselineJoin"]
+
+
+class BaselineJoin(ABC):
+    """Abstract filter-and-verify join with per-record signature sets.
+
+    Subclasses implement :meth:`signatures` (the filter) and
+    :meth:`similarity` (the verifier).  ``min_overlap`` is the number of
+    shared signature elements required for a pair to become a candidate.
+    """
+
+    #: Human-readable algorithm name, used in benchmark tables.
+    name: str = "baseline"
+
+    def __init__(self, theta: float, *, min_overlap: int = 1) -> None:
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be in [0, 1]")
+        if min_overlap < 1:
+            raise ValueError("min_overlap must be a positive integer")
+        self.theta = theta
+        self.min_overlap = min_overlap
+
+    # ------------------------------------------------------------------ #
+    # extension points
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def signatures(self, record: Record) -> Set[Hashable]:
+        """Return the signature elements of one record."""
+
+    @abstractmethod
+    def similarity(self, left: Record, right: Record) -> float:
+        """Return the baseline's similarity between two records."""
+
+    def prepare(self, left: RecordCollection, right: RecordCollection) -> None:
+        """Hook for corpus-level preparation (e.g. frequency orders)."""
+
+    # ------------------------------------------------------------------ #
+    # join loop
+    # ------------------------------------------------------------------ #
+    def join(
+        self, left: RecordCollection, right: Optional[RecordCollection] = None
+    ) -> JoinResult:
+        """Run the baseline join between two collections (or a self-join)."""
+        self_join = right is None
+        right_collection = left if self_join else right
+        statistics = JoinStatistics(
+            theta=self.theta,
+            tau=self.min_overlap,
+            method=self.name,
+            left_records=len(left),
+            right_records=len(right_collection),
+        )
+
+        start = time.perf_counter()
+        self.prepare(left, right_collection)
+        left_signatures = {record.record_id: self.signatures(record) for record in left}
+        if self_join:
+            right_signatures = left_signatures
+        else:
+            right_signatures = {
+                record.record_id: self.signatures(record) for record in right_collection
+            }
+        statistics.signing_seconds = time.perf_counter() - start
+        statistics.avg_signature_length_left = (
+            sum(len(sig) for sig in left_signatures.values()) / len(left_signatures)
+            if left_signatures else 0.0
+        )
+        statistics.avg_signature_length_right = (
+            sum(len(sig) for sig in right_signatures.values()) / len(right_signatures)
+            if right_signatures else 0.0
+        )
+
+        start = time.perf_counter()
+        index: Dict[Hashable, List[int]] = defaultdict(list)
+        for record_id, signature in right_signatures.items():
+            for element in signature:
+                index[element].append(record_id)
+
+        overlap: Dict[Tuple[int, int], int] = defaultdict(int)
+        processed = 0
+        for left_id, signature in left_signatures.items():
+            for element in signature:
+                for right_id in index.get(element, ()):
+                    if self_join and left_id >= right_id:
+                        continue
+                    processed += 1
+                    overlap[(left_id, right_id)] += 1
+        candidates = [pair for pair, count in overlap.items() if count >= self.min_overlap]
+        statistics.filtering_seconds = time.perf_counter() - start
+        statistics.processed_pairs = processed
+        statistics.candidate_count = len(candidates)
+
+        start = time.perf_counter()
+        pairs: List[VerifiedPair] = []
+        for left_id, right_id in candidates:
+            value = self.similarity(left[left_id], right_collection[right_id])
+            if value >= self.theta:
+                pairs.append(VerifiedPair(left_id, right_id, value))
+        statistics.verification_seconds = time.perf_counter() - start
+        statistics.result_count = len(pairs)
+
+        return JoinResult(pairs=pairs, statistics=statistics)

@@ -1,0 +1,51 @@
+"""Core of the unified similarity framework.
+
+This subpackage contains the paper's primary contribution: the unified
+similarity measure (Section 2), its exact and approximate computation, and
+the substrates they rely on (tokenisation, q-grams, segments, bipartite
+matching, conflict graphs, and weighted maximum independent set search).
+"""
+
+from .aggregation import MatchedPair, SimilarityBreakdown, partition_similarity
+from .approximation import ApproximationResult, approximate_usim
+from .exact import ExactBudgetExceeded, exact_usim
+from .graph import ConflictGraph, PairVertex, build_conflict_graph
+from .grams import DEFAULT_Q, jaccard, qgram_set, qgrams
+from .matching import greedy_matching, hungarian_matching, maximum_weight_matching
+from .measures import Measure, MeasureConfig
+from .mis import exact_wmis, greedy_wmis, squareimp_wmis
+from .segments import Segment, enumerate_partitions, enumerate_segments
+from .tokenizer import Tokenizer, TokenSpan, default_tokenizer
+from .unified import UnifiedSimilarity
+
+__all__ = [
+    "ApproximationResult",
+    "ConflictGraph",
+    "DEFAULT_Q",
+    "ExactBudgetExceeded",
+    "MatchedPair",
+    "Measure",
+    "MeasureConfig",
+    "PairVertex",
+    "Segment",
+    "SimilarityBreakdown",
+    "TokenSpan",
+    "Tokenizer",
+    "UnifiedSimilarity",
+    "approximate_usim",
+    "build_conflict_graph",
+    "default_tokenizer",
+    "enumerate_partitions",
+    "enumerate_segments",
+    "exact_usim",
+    "exact_wmis",
+    "greedy_matching",
+    "greedy_wmis",
+    "hungarian_matching",
+    "jaccard",
+    "maximum_weight_matching",
+    "partition_similarity",
+    "qgram_set",
+    "qgrams",
+    "squareimp_wmis",
+]

@@ -1,0 +1,119 @@
+"""q-gram extraction and gram-set utilities.
+
+Gram-based (syntactic) similarity in the paper is the Jaccard coefficient
+over the sets of fixed-length substrings (q-grams) of two strings
+(Equation 1).  This module provides the gram extraction used both by the
+similarity measure itself and by pebble generation in the join framework,
+where each q-gram of a segment becomes a pebble of weight ``1/|G(P, q)|``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "DEFAULT_Q",
+    "qgrams",
+    "qgram_set",
+    "qgram_multiset",
+    "jaccard",
+    "overlap_coefficient",
+    "dice",
+    "cosine",
+    "gram_frequencies",
+]
+
+#: Default gram length used throughout the reproduction; the paper's example
+#: (Example 2) uses 2-grams.
+DEFAULT_Q = 2
+
+
+def qgrams(text: str, q: int = DEFAULT_Q) -> List[str]:
+    """Return the ordered list of q-grams of ``text``.
+
+    Strings shorter than ``q`` yield a single gram equal to the whole string
+    (so that very short tokens still have a non-empty gram set, mirroring the
+    behaviour of standard similarity-join toolkits).
+    """
+    if q <= 0:
+        raise ValueError("q must be a positive integer")
+    if not text:
+        return []
+    if len(text) < q:
+        return [text]
+    return [text[i:i + q] for i in range(len(text) - q + 1)]
+
+
+@lru_cache(maxsize=65536)
+def qgram_set(text: str, q: int = DEFAULT_Q) -> FrozenSet[str]:
+    """Return the set of distinct q-grams of ``text``.
+
+    Results are memoised: segment texts recur heavily during similarity
+    computation and signature generation, and gram sets are immutable.
+    """
+    return frozenset(qgrams(text, q))
+
+
+def qgram_multiset(text: str, q: int = DEFAULT_Q) -> Dict[str, int]:
+    """Return the multiset (gram -> count) of q-grams of ``text``."""
+    counts: Dict[str, int] = {}
+    for gram in qgrams(text, q):
+        counts[gram] = counts.get(gram, 0) + 1
+    return counts
+
+
+def jaccard(left: str, right: str, q: int = DEFAULT_Q) -> float:
+    """Jaccard coefficient between the q-gram sets of two strings (Eq. 1)."""
+    grams_left = qgram_set(left, q)
+    grams_right = qgram_set(right, q)
+    if not grams_left and not grams_right:
+        return 1.0
+    union = len(grams_left | grams_right)
+    if union == 0:
+        return 0.0
+    return len(grams_left & grams_right) / union
+
+
+def overlap_coefficient(left: str, right: str, q: int = DEFAULT_Q) -> float:
+    """Overlap coefficient |A ∩ B| / min(|A|, |B|) over q-gram sets."""
+    grams_left = qgram_set(left, q)
+    grams_right = qgram_set(right, q)
+    smaller = min(len(grams_left), len(grams_right))
+    if smaller == 0:
+        return 1.0 if not grams_left and not grams_right else 0.0
+    return len(grams_left & grams_right) / smaller
+
+
+def dice(left: str, right: str, q: int = DEFAULT_Q) -> float:
+    """Dice similarity 2|A ∩ B| / (|A| + |B|) over q-gram sets."""
+    grams_left = qgram_set(left, q)
+    grams_right = qgram_set(right, q)
+    total = len(grams_left) + len(grams_right)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(grams_left & grams_right) / total
+
+
+def cosine(left: str, right: str, q: int = DEFAULT_Q) -> float:
+    """Cosine similarity |A ∩ B| / sqrt(|A|·|B|) over q-gram sets."""
+    grams_left = qgram_set(left, q)
+    grams_right = qgram_set(right, q)
+    if not grams_left and not grams_right:
+        return 1.0
+    if not grams_left or not grams_right:
+        return 0.0
+    return len(grams_left & grams_right) / (len(grams_left) * len(grams_right)) ** 0.5
+
+
+def gram_frequencies(texts: Iterable[str], q: int = DEFAULT_Q) -> Dict[str, int]:
+    """Count, over a corpus, in how many strings each q-gram appears.
+
+    The join framework sorts pebbles by ascending document frequency (the
+    "global order" of the paper); this helper computes the frequency table.
+    """
+    frequencies: Dict[str, int] = {}
+    for text in texts:
+        for gram in qgram_set(text, q):
+            frequencies[gram] = frequencies.get(gram, 0) + 1
+    return frequencies

@@ -1,0 +1,165 @@
+"""Conflict-graph construction for the unified similarity (Section 2.3).
+
+Given two strings ``S`` and ``T``, the approximation algorithm works on a
+graph whose vertices are candidate segment pairs and whose edges connect
+pairs that cannot be applied simultaneously (their segments overlap
+positionally on the same side).  The graph is (k+1)-claw-free where ``k`` is
+the maximal token count of any applicable synonym-rule side or taxonomy
+label, which is what makes the w-MIS approximation possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .measures import Measure, MeasureConfig
+from .segments import Segment, enumerate_segments
+
+__all__ = ["PairVertex", "ConflictGraph", "build_conflict_graph"]
+
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class PairVertex:
+    """A vertex of the conflict graph: one segment of S matched to one of T.
+
+    Attributes
+    ----------
+    index:
+        Position of the vertex in its graph's vertex list.
+    left, right:
+        The segments of ``S`` and ``T`` respectively.
+    weight:
+        ``msim(left, right)`` under the active measure configuration.
+    measure:
+        The measure attaining the weight (None only for zero-weight vertices,
+        which the builder drops).
+    """
+
+    index: int
+    left: Segment
+    right: Segment
+    weight: float
+    measure: Optional[Measure]
+
+    def conflicts_with(self, other: "PairVertex") -> bool:
+        """True when the two vertices cannot be selected together."""
+        return self.left.conflicts_with(other.left) or self.right.conflicts_with(other.right)
+
+
+class ConflictGraph:
+    """The conflict graph over candidate segment pairs of two strings."""
+
+    def __init__(
+        self,
+        left_tokens: Sequence[str],
+        right_tokens: Sequence[str],
+        vertices: Sequence[PairVertex],
+        adjacency: Sequence[Set[int]],
+    ) -> None:
+        self.left_tokens: Tuple[str, ...] = tuple(left_tokens)
+        self.right_tokens: Tuple[str, ...] = tuple(right_tokens)
+        self.vertices: Tuple[PairVertex, ...] = tuple(vertices)
+        self._adjacency: Tuple[FrozenSet[int], ...] = tuple(frozenset(neigh) for neigh in adjacency)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def neighbors(self, index: int) -> FrozenSet[int]:
+        """Indices of vertices conflicting with vertex ``index``."""
+        return self._adjacency[index]
+
+    def are_adjacent(self, left_index: int, right_index: int) -> bool:
+        """True when the two vertices conflict."""
+        return right_index in self._adjacency[left_index]
+
+    def is_independent(self, indices: Iterable[int]) -> bool:
+        """True when no two of ``indices`` conflict."""
+        selected = list(indices)
+        for position, index in enumerate(selected):
+            neighbours = self._adjacency[index]
+            for other in selected[position + 1:]:
+                if other in neighbours:
+                    return False
+        return True
+
+    def total_weight(self, indices: Iterable[int]) -> float:
+        """Sum of vertex weights over ``indices``."""
+        return sum(self.vertices[index].weight for index in indices)
+
+    def degree(self, index: int) -> int:
+        """Number of conflicting vertices of vertex ``index``."""
+        return len(self._adjacency[index])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edge_count = sum(len(neigh) for neigh in self._adjacency) // 2
+        return f"ConflictGraph(vertices={len(self.vertices)}, edges={edge_count})"
+
+
+def _qualifies(left: Segment, right: Segment, config: MeasureConfig) -> bool:
+    """Check conditions (a)-(c) of the graph construction in Section 2.3."""
+    if left.is_single_token and right.is_single_token:
+        return True
+    if config.uses(Measure.SYNONYM) and config.rules is not None:
+        if config.rules.similarity(left.tokens, right.tokens) > 0.0:
+            return True
+    if config.uses(Measure.TAXONOMY) and config.taxonomy is not None:
+        if left.from_taxonomy and right.from_taxonomy:
+            if config.taxonomy.find(left.tokens) is not None and config.taxonomy.find(right.tokens) is not None:
+                return True
+    return False
+
+
+def build_conflict_graph(
+    left_tokens: Sequence[str],
+    right_tokens: Sequence[str],
+    config: MeasureConfig,
+    *,
+    min_weight: float = _EPSILON,
+) -> ConflictGraph:
+    """Build the conflict graph of two token sequences.
+
+    Vertices are segment pairs qualifying under conditions (a)–(c) of
+    Section 2.3 whose ``msim`` weight is at least ``min_weight`` (zero-weight
+    vertices can never contribute to the similarity, so they are dropped to
+    keep the graph small).  Edges connect vertices whose segments overlap on
+    either side.
+    """
+    left_segments = enumerate_segments(
+        left_tokens, rules=config.rules if config.uses(Measure.SYNONYM) else None,
+        taxonomy=config.taxonomy if config.uses(Measure.TAXONOMY) else None,
+    )
+    right_segments = enumerate_segments(
+        right_tokens, rules=config.rules if config.uses(Measure.SYNONYM) else None,
+        taxonomy=config.taxonomy if config.uses(Measure.TAXONOMY) else None,
+    )
+
+    vertices: List[PairVertex] = []
+    for left in left_segments:
+        for right in right_segments:
+            if not _qualifies(left, right, config):
+                continue
+            weight, measure = config.msim_with_measure(left.tokens, right.tokens)
+            if weight < min_weight:
+                continue
+            vertices.append(
+                PairVertex(
+                    index=len(vertices),
+                    left=left,
+                    right=right,
+                    weight=weight,
+                    measure=measure,
+                )
+            )
+
+    adjacency: List[Set[int]] = [set() for _ in vertices]
+    for i, first in enumerate(vertices):
+        for j in range(i + 1, len(vertices)):
+            second = vertices[j]
+            if first.conflicts_with(second):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+
+    return ConflictGraph(left_tokens, right_tokens, vertices, adjacency)

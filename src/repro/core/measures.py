@@ -1,0 +1,206 @@
+"""Individual similarity measures and the per-segment maximum ``msim``.
+
+The paper works with three families of measures (Section 2.1):
+
+* gram-based Jaccard similarity (``sim_j``, Equation 1),
+* synonym-rule similarity (``sim_s``, Equation 2),
+* taxonomy LCA-depth similarity (``sim_t``, Equation 3),
+
+and, for a pair of segments, the *maximum* over the enabled measures
+(``msim``, Equation 4).  :class:`MeasureConfig` bundles the knowledge sources
+and the subset of enabled measures, which is how the evaluation section's
+T / J / S / TJ / JS / TS / TJS variants are expressed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+from . import grams
+from ..synonyms.rules import SynonymRuleSet
+from ..taxonomy.tree import Taxonomy
+
+__all__ = ["Measure", "MeasureConfig", "segment_similarity"]
+
+
+class Measure(str, enum.Enum):
+    """The three similarity measure families of the paper."""
+
+    JACCARD = "jaccard"
+    SYNONYM = "synonym"
+    TAXONOMY = "taxonomy"
+
+    @property
+    def short_code(self) -> str:
+        """One-letter code used in the paper's tables (J, S, T)."""
+        return {"jaccard": "J", "synonym": "S", "taxonomy": "T"}[self.value]
+
+    @classmethod
+    def from_code(cls, code: str) -> "Measure":
+        """Parse a one-letter code (J, S, or T) into a measure."""
+        mapping = {"J": cls.JACCARD, "S": cls.SYNONYM, "T": cls.TAXONOMY}
+        upper = code.strip().upper()
+        if upper not in mapping:
+            raise ValueError(f"unknown measure code {code!r}; expected one of J, S, T")
+        return mapping[upper]
+
+
+def _parse_measure_codes(codes: str) -> FrozenSet[Measure]:
+    return frozenset(Measure.from_code(code) for code in codes)
+
+
+@dataclass(frozen=True)
+class MeasureConfig:
+    """Knowledge sources plus the subset of enabled similarity measures.
+
+    Parameters
+    ----------
+    rules:
+        The synonym rule set (may be None when the synonym measure is
+        disabled or no rules exist).
+    taxonomy:
+        The taxonomy tree (may be None when the taxonomy measure is
+        disabled or no taxonomy exists).
+    q:
+        Gram length for the Jaccard measure.
+    enabled:
+        The measures participating in ``msim``.  Defaults to all three,
+        i.e. the paper's TJS configuration.
+    """
+
+    rules: Optional[SynonymRuleSet] = None
+    taxonomy: Optional[Taxonomy] = None
+    q: int = grams.DEFAULT_Q
+    enabled: FrozenSet[Measure] = frozenset(
+        {Measure.JACCARD, Measure.SYNONYM, Measure.TAXONOMY}
+    )
+
+    def __post_init__(self) -> None:
+        if self.q <= 0:
+            raise ValueError("q must be positive")
+        if not self.enabled:
+            raise ValueError("at least one measure must be enabled")
+        # Per-instance memo for msim: segment pairs recur heavily inside the
+        # approximation's improvement loop and across join verification.
+        # The dataclass is frozen, so the cache is attached via object.__setattr__.
+        object.__setattr__(self, "_msim_cache", {})
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_codes(
+        cls,
+        codes: str,
+        *,
+        rules: Optional[SynonymRuleSet] = None,
+        taxonomy: Optional[Taxonomy] = None,
+        q: int = grams.DEFAULT_Q,
+    ) -> "MeasureConfig":
+        """Build a config from a paper-style code string such as ``"TJS"``."""
+        return cls(rules=rules, taxonomy=taxonomy, q=q, enabled=_parse_measure_codes(codes))
+
+    def with_measures(self, codes: str) -> "MeasureConfig":
+        """Return a copy of this config with a different enabled set."""
+        return MeasureConfig(
+            rules=self.rules,
+            taxonomy=self.taxonomy,
+            q=self.q,
+            enabled=_parse_measure_codes(codes),
+        )
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+    @property
+    def codes(self) -> str:
+        """The enabled measures as a sorted code string (e.g. ``"JST"``)."""
+        return "".join(sorted(measure.short_code for measure in self.enabled))
+
+    def uses(self, measure: Measure) -> bool:
+        """True when ``measure`` participates in ``msim``."""
+        return measure in self.enabled
+
+    @property
+    def max_rule_tokens(self) -> int:
+        """Maximal token count on either side of any applicable rule or label.
+
+        This is the paper's ``k`` parameter: the conflict graph is
+        (k+1)-claw-free.
+        """
+        best = 1
+        if self.uses(Measure.SYNONYM) and self.rules is not None:
+            best = max(best, self.rules.max_side_tokens)
+        if self.uses(Measure.TAXONOMY) and self.taxonomy is not None:
+            best = max(best, self.taxonomy.max_label_tokens)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # individual measures on token sequences
+    # ------------------------------------------------------------------ #
+    def jaccard(self, left: Sequence[str], right: Sequence[str]) -> float:
+        """Gram Jaccard similarity between the joined texts of two segments."""
+        return grams.jaccard(" ".join(left), " ".join(right), self.q)
+
+    def synonym(self, left: Sequence[str], right: Sequence[str]) -> float:
+        """Synonym similarity (Eq. 2) or 0.0 when no rule set is configured."""
+        if self.rules is None:
+            return 0.0
+        return self.rules.similarity(left, right)
+
+    def taxonomy_similarity(self, left: Sequence[str], right: Sequence[str]) -> float:
+        """Taxonomy similarity (Eq. 3) or 0.0 when no taxonomy is configured."""
+        if self.taxonomy is None:
+            return 0.0
+        return self.taxonomy.similarity(left, right)
+
+    # ------------------------------------------------------------------ #
+    # msim
+    # ------------------------------------------------------------------ #
+    def msim(self, left: Sequence[str], right: Sequence[str]) -> float:
+        """The maximum similarity over enabled measures (Equation 4)."""
+        value, _ = self.msim_with_measure(left, right)
+        return value
+
+    def msim_with_measure(
+        self, left: Sequence[str], right: Sequence[str]
+    ) -> Tuple[float, Optional[Measure]]:
+        """Like :meth:`msim` but also report which measure attains the maximum.
+
+        Returns ``(0.0, None)`` when no enabled measure yields a positive
+        similarity.  Results are memoised per token-tuple pair.
+        """
+        cache: dict = self._msim_cache  # type: ignore[attr-defined]
+        cache_key = (tuple(left), tuple(right))
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
+        best_value = 0.0
+        best_measure: Optional[Measure] = None
+        if self.uses(Measure.SYNONYM):
+            value = self.synonym(left, right)
+            if value > best_value:
+                best_value, best_measure = value, Measure.SYNONYM
+        if self.uses(Measure.TAXONOMY):
+            value = self.taxonomy_similarity(left, right)
+            if value > best_value:
+                best_value, best_measure = value, Measure.TAXONOMY
+        if self.uses(Measure.JACCARD):
+            value = self.jaccard(left, right)
+            if value > best_value:
+                best_value, best_measure = value, Measure.JACCARD
+        result = (best_value, best_measure)
+        if len(cache) < 1_000_000:
+            cache[cache_key] = result
+        return result
+
+
+def segment_similarity(
+    left_tokens: Sequence[str],
+    right_tokens: Sequence[str],
+    config: MeasureConfig,
+) -> float:
+    """Convenience wrapper: ``msim`` between two token sequences."""
+    return config.msim(left_tokens, right_tokens)

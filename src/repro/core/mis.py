@@ -1,0 +1,190 @@
+"""Weighted maximum independent set on the conflict graph.
+
+The approximation algorithm of the paper (Algorithm 1) seeds its solution
+with a w-MIS computed by SquareImp [Berman 2000], a local-search algorithm
+for d-claw-free graphs that repeatedly applies claw improvements with
+respect to the *squared* vertex weights.  This module provides:
+
+* :func:`greedy_wmis` — a weight-descending greedy baseline,
+* :func:`squareimp_wmis` — greedy seed followed by SquareImp-style claw
+  improvements on squared weights, with a configurable maximum claw size,
+* :func:`exact_wmis` — exhaustive search for small graphs (used by tests and
+  by the exact unified similarity).
+
+All functions operate on :class:`~repro.core.graph.ConflictGraph` and return
+sets of vertex indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import ConflictGraph
+
+__all__ = ["greedy_wmis", "squareimp_wmis", "exact_wmis", "is_maximal_independent_set"]
+
+
+def is_maximal_independent_set(graph: ConflictGraph, selection: Set[int]) -> bool:
+    """True when ``selection`` is independent and no vertex can be added."""
+    if not graph.is_independent(selection):
+        return False
+    for index in range(len(graph)):
+        if index in selection:
+            continue
+        if not (graph.neighbors(index) & selection):
+            return False
+    return True
+
+
+def greedy_wmis(graph: ConflictGraph, *, key: str = "weight") -> Set[int]:
+    """Greedy w-MIS: repeatedly take the best remaining non-conflicting vertex.
+
+    ``key`` selects the greedy criterion: ``"weight"`` (descending weight) or
+    ``"ratio"`` (weight divided by degree + 1, a classic refinement).
+    """
+    if key not in {"weight", "ratio"}:
+        raise ValueError("key must be 'weight' or 'ratio'")
+
+    def score(index: int) -> float:
+        weight = graph.vertices[index].weight
+        if key == "weight":
+            return weight
+        return weight / (graph.degree(index) + 1)
+
+    order = sorted(range(len(graph)), key=score, reverse=True)
+    selected: Set[int] = set()
+    blocked: Set[int] = set()
+    for index in order:
+        if index in blocked:
+            continue
+        selected.add(index)
+        blocked.add(index)
+        blocked |= graph.neighbors(index)
+    return selected
+
+
+def _independent_subsets(
+    graph: ConflictGraph, candidates: Sequence[int], max_size: int
+) -> Iterable[Tuple[int, ...]]:
+    """Yield all independent subsets of ``candidates`` with size 1..max_size."""
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(candidates, size):
+            if graph.is_independent(combo):
+                yield combo
+
+
+def squareimp_wmis(
+    graph: ConflictGraph,
+    *,
+    max_claw_size: int = 2,
+    max_iterations: int = 200,
+) -> Set[int]:
+    """SquareImp-style local search for w-MIS on a claw-free conflict graph.
+
+    Starting from the greedy solution, the search looks for a *claw
+    improvement*: an independent set of up to ``max_claw_size`` vertices
+    (the talons) outside the current solution whose squared weight exceeds
+    the squared weight of the solution vertices they conflict with.  Applying
+    such improvements until none exists yields Berman's d/2 guarantee on
+    d-claw-free graphs when ``max_claw_size`` ≥ d−1; smaller values trade the
+    constant for speed, which is the same trade-off the paper's ``t``
+    parameter expresses.
+    """
+    if max_claw_size < 1:
+        raise ValueError("max_claw_size must be at least 1")
+
+    selected = greedy_wmis(graph)
+    weights = [vertex.weight for vertex in graph.vertices]
+
+    def conflict_set(talons: Sequence[int]) -> Set[int]:
+        removed: Set[int] = set()
+        for talon in talons:
+            removed |= graph.neighbors(talon) & selected
+            if talon in selected:
+                removed.add(talon)
+        return removed
+
+    for _ in range(max_iterations):
+        improved = False
+        outside = [index for index in range(len(graph)) if index not in selected]
+        # Candidate talon sets are built around each outside vertex and its
+        # independent outside neighbours, which keeps enumeration local.
+        for anchor in outside:
+            neighbourhood = [anchor] + [
+                index for index in outside
+                if index != anchor and graph.are_adjacent(anchor, index) is False
+                and (graph.neighbors(anchor) & graph.neighbors(index))
+            ]
+            # Restrict to a bounded pool for tractability.
+            pool = neighbourhood[: max(8, max_claw_size * 4)]
+            for talons in _independent_subsets(graph, pool, max_claw_size):
+                if anchor not in talons:
+                    continue
+                removed = conflict_set(talons)
+                gain = sum(weights[t] ** 2 for t in talons)
+                loss = sum(weights[r] ** 2 for r in removed)
+                if gain > loss + 1e-12:
+                    selected -= removed
+                    selected |= set(talons)
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+
+    # Make the solution maximal: add any non-conflicting leftover vertex.
+    for index in sorted(range(len(graph)), key=lambda i: -weights[i]):
+        if index in selected:
+            continue
+        if not (graph.neighbors(index) & selected):
+            selected.add(index)
+    return selected
+
+
+def exact_wmis(graph: ConflictGraph, *, max_vertices: int = 24) -> Set[int]:
+    """Exhaustive maximum-weight independent set for small graphs.
+
+    Uses branch and bound over the vertex list ordered by descending weight.
+    Raises ``ValueError`` when the graph exceeds ``max_vertices`` to guard
+    against accidental exponential blow-ups.
+    """
+    n = len(graph)
+    if n > max_vertices:
+        raise ValueError(
+            f"exact w-MIS limited to {max_vertices} vertices, got {n}; "
+            "use squareimp_wmis for larger graphs"
+        )
+    weights = [vertex.weight for vertex in graph.vertices]
+    order = sorted(range(n), key=lambda index: -weights[index])
+    suffix_weight = [0.0] * (n + 1)
+    for position in range(n - 1, -1, -1):
+        suffix_weight[position] = suffix_weight[position + 1] + weights[order[position]]
+
+    best_weight = 0.0
+    best_selection: Set[int] = set()
+
+    def branch(position: int, current: Set[int], current_weight: float, blocked: Set[int]) -> None:
+        nonlocal best_weight, best_selection
+        if current_weight > best_weight:
+            best_weight = current_weight
+            best_selection = set(current)
+        if position == n:
+            return
+        if current_weight + suffix_weight[position] <= best_weight:
+            return
+        index = order[position]
+        # Option 1: include the vertex when allowed.
+        if index not in blocked:
+            branch(
+                position + 1,
+                current | {index},
+                current_weight + weights[index],
+                blocked | graph.neighbors(index) | {index},
+            )
+        # Option 2: skip the vertex.
+        branch(position + 1, current, current_weight, blocked)
+
+    branch(0, set(), 0.0, set())
+    return best_selection

@@ -1,0 +1,142 @@
+"""Tokenisation and normalisation of strings.
+
+The unified similarity framework operates on *token sequences*: a record
+string is tokenised with respect to a delimiter (whitespace by default), and
+every downstream concept — well-defined segments, synonym rule sides,
+taxonomy entity labels — is expressed as a contiguous run of tokens.
+
+This module provides:
+
+* :class:`Tokenizer` — configurable tokenisation and normalisation.
+* :class:`TokenSpan` — a half-open ``[start, end)`` interval over the token
+  positions of a record, the basic building block of segments.
+* helper functions for joining tokens back into canonical text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Tokenizer",
+    "TokenSpan",
+    "default_tokenizer",
+    "join_tokens",
+    "normalize_text",
+]
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCT_RE = re.compile(r"[^\w\s]", re.UNICODE)
+
+
+def normalize_text(text: str, *, lowercase: bool = True, strip_punctuation: bool = False) -> str:
+    """Return a canonical form of ``text``.
+
+    Normalisation collapses runs of whitespace to a single space and strips
+    leading/trailing whitespace.  Lower-casing is applied by default because
+    the paper's datasets (paper keywords, Wikipedia categories) are matched
+    case-insensitively.  Punctuation stripping is optional: the POI examples
+    in the paper keep punctuation, the MED keyword workload does not.
+    """
+    if lowercase:
+        text = text.lower()
+    if strip_punctuation:
+        text = _PUNCT_RE.sub(" ", text)
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def join_tokens(tokens: Sequence[str]) -> str:
+    """Join ``tokens`` into the canonical single-space-separated string."""
+    return " ".join(tokens)
+
+
+@dataclass(frozen=True, order=True)
+class TokenSpan:
+    """A half-open interval ``[start, end)`` over token positions.
+
+    Spans are the positional identity of segments: two segments conflict
+    exactly when their spans overlap.  Spans are intentionally tiny value
+    objects so that they can be used as dictionary keys and set members.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "TokenSpan") -> bool:
+        """Return True when the two spans share at least one token position."""
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, position: int) -> bool:
+        """Return True when ``position`` falls inside this span."""
+        return self.start <= position < self.end
+
+    def positions(self) -> range:
+        """Return the range of token positions covered by the span."""
+        return range(self.start, self.end)
+
+    def slice(self, tokens: Sequence[str]) -> Tuple[str, ...]:
+        """Return the tokens of ``tokens`` covered by this span."""
+        return tuple(tokens[self.start:self.end])
+
+
+class Tokenizer:
+    """Split record strings into token sequences.
+
+    Parameters
+    ----------
+    lowercase:
+        Lower-case the input before splitting (default True).
+    strip_punctuation:
+        Replace punctuation with whitespace before splitting (default False).
+    delimiter:
+        Regular expression used to split tokens.  The default splits on any
+        whitespace run, matching the paper's "delimiter, e.g. empty space".
+    """
+
+    def __init__(
+        self,
+        *,
+        lowercase: bool = True,
+        strip_punctuation: bool = False,
+        delimiter: str = r"\s+",
+    ) -> None:
+        self.lowercase = lowercase
+        self.strip_punctuation = strip_punctuation
+        self._splitter = re.compile(delimiter)
+
+    def tokenize(self, text: str) -> List[str]:
+        """Return the list of tokens of ``text`` after normalisation."""
+        canonical = normalize_text(
+            text, lowercase=self.lowercase, strip_punctuation=self.strip_punctuation
+        )
+        if not canonical:
+            return []
+        return [token for token in self._splitter.split(canonical) if token]
+
+    def tokenize_all(self, texts: Iterable[str]) -> List[List[str]]:
+        """Tokenise every string in ``texts``; convenience for dataset loading."""
+        return [self.tokenize(text) for text in texts]
+
+    def canonical(self, text: str) -> str:
+        """Return the canonical string form (tokens re-joined with one space)."""
+        return join_tokens(self.tokenize(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tokenizer(lowercase={self.lowercase}, "
+            f"strip_punctuation={self.strip_punctuation})"
+        )
+
+
+#: A module-level tokenizer with default settings, shared by code that does
+#: not need custom behaviour (tests, examples, dataset generators).
+default_tokenizer = Tokenizer()

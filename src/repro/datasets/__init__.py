@@ -1,0 +1,26 @@
+"""Synthetic datasets, knowledge-source generators, and ground truth."""
+
+from .ground_truth import GroundTruth, LabeledPair, generate_ground_truth
+from .profiles import DatasetProfile, MED_PROFILE, TINY_PROFILE, WIKI_PROFILE
+from .synonym_gen import generate_synonym_rules
+from .synthetic import SyntheticDataset, generate_dataset, generate_records
+from .taxonomy_gen import generate_taxonomy
+from .vocabulary import generate_vocabulary, make_abbreviation, make_typo
+
+__all__ = [
+    "DatasetProfile",
+    "GroundTruth",
+    "LabeledPair",
+    "MED_PROFILE",
+    "SyntheticDataset",
+    "TINY_PROFILE",
+    "WIKI_PROFILE",
+    "generate_dataset",
+    "generate_ground_truth",
+    "generate_records",
+    "generate_synonym_rules",
+    "generate_taxonomy",
+    "generate_vocabulary",
+    "make_abbreviation",
+    "make_typo",
+]

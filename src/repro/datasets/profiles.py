@@ -1,0 +1,110 @@
+"""Dataset profiles describing the statistical shape of the paper's corpora.
+
+The paper evaluates on MED (research-paper keywords mapped to the MeSH
+taxonomy) and WIKI (Wikipedia category strings), with the taxonomy and
+synonym statistics of Table 6 and the record statistics of Table 7.  A
+:class:`DatasetProfile` records the shape parameters the synthetic
+generators need to mimic those corpora at laptop-feasible sizes; the built-in
+``MED_PROFILE`` and ``WIKI_PROFILE`` follow the published per-record
+statistics with the corpus size scaled down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["DatasetProfile", "MED_PROFILE", "WIKI_PROFILE", "TINY_PROFILE"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape parameters for synthetic corpus generation.
+
+    Attributes
+    ----------
+    name:
+        Profile label used in benchmark output.
+    record_count:
+        Default number of records generated (callers can override).
+    tokens_per_record:
+        ``(min, avg, max)`` tokens per record (Table 7).
+    taxonomy_nodes:
+        Number of taxonomy nodes to generate (Table 6, scaled).
+    taxonomy_depth:
+        ``(min, avg, max)`` leaf depth of the taxonomy (Table 6).
+    taxonomy_fanout:
+        Average fanout of internal taxonomy nodes.
+    synonym_rules:
+        Number of synonym rules to generate.
+    taxonomy_terms_per_record:
+        ``(min, avg, max)`` taxonomy-mapped terms per record (Table 7).
+    synonym_terms_per_record:
+        ``(min, avg, max)`` synonym-participating terms per record (Table 7).
+    vocabulary_size:
+        Number of distinct filler tokens outside the knowledge sources.
+    label_tokens:
+        ``(min, max)`` tokens per taxonomy node label / rule side.
+    """
+
+    name: str
+    record_count: int
+    tokens_per_record: Tuple[int, float, int]
+    taxonomy_nodes: int
+    taxonomy_depth: Tuple[int, float, int]
+    taxonomy_fanout: float
+    synonym_rules: int
+    taxonomy_terms_per_record: Tuple[int, float, int]
+    synonym_terms_per_record: Tuple[int, float, int]
+    vocabulary_size: int = 4000
+    label_tokens: Tuple[int, int] = (1, 3)
+
+
+#: MED-like profile: moderately deep taxonomy (MeSH: height 1/5.1/12,
+#: fanout 157), records of ~8.4 tokens with ~3.2 taxonomy and ~4.3 synonym
+#: terms each.  Corpus size scaled from 293K to a laptop-feasible default.
+MED_PROFILE = DatasetProfile(
+    name="MED",
+    record_count=2000,
+    tokens_per_record=(1, 8.4, 26),
+    taxonomy_nodes=1500,
+    taxonomy_depth=(1, 5.1, 12),
+    taxonomy_fanout=8.0,
+    synonym_rules=1200,
+    taxonomy_terms_per_record=(0, 3.2, 18),
+    synonym_terms_per_record=(0, 4.3, 15),
+    vocabulary_size=12000,
+    label_tokens=(1, 3),
+)
+
+#: WIKI-like profile: wider, deeper taxonomy (Wikipedia categories: height
+#: 1/6.2/26, huge fanout), records of ~8.2 tokens with ~6.2 taxonomy and
+#: ~2.0 synonym terms each.  Corpus size scaled from 3.5M.
+WIKI_PROFILE = DatasetProfile(
+    name="WIKI",
+    record_count=3000,
+    tokens_per_record=(1, 8.2, 30),
+    taxonomy_nodes=2500,
+    taxonomy_depth=(1, 6.2, 15),
+    taxonomy_fanout=20.0,
+    synonym_rules=800,
+    taxonomy_terms_per_record=(0, 6.2, 20),
+    synonym_terms_per_record=(0, 2.0, 10),
+    vocabulary_size=20000,
+    label_tokens=(1, 4),
+)
+
+#: Tiny profile for unit tests and quick examples.
+TINY_PROFILE = DatasetProfile(
+    name="TINY",
+    record_count=200,
+    tokens_per_record=(1, 6.0, 12),
+    taxonomy_nodes=120,
+    taxonomy_depth=(1, 4.0, 7),
+    taxonomy_fanout=4.0,
+    synonym_rules=80,
+    taxonomy_terms_per_record=(0, 2.0, 6),
+    synonym_terms_per_record=(0, 1.5, 5),
+    vocabulary_size=1200,
+    label_tokens=(1, 2),
+)

@@ -1,0 +1,78 @@
+"""Synthetic synonym/abbreviation rule generation.
+
+Stands in for MeSH alternative names and Wikipedia synonym dumps.  Three
+rule flavours are produced, mirroring what the real sources contain:
+
+* *alias* rules — a taxonomy node label gets an alternative phrasing;
+* *abbreviation* rules — a multi-token phrase maps to its initials or a
+  truncated form;
+* *paraphrase* rules — two unrelated short phrases declared equivalent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..synonyms.rules import SynonymRule, SynonymRuleSet
+from ..taxonomy.tree import Taxonomy
+from .profiles import DatasetProfile
+from .vocabulary import generate_phrase, generate_vocabulary, make_abbreviation
+
+__all__ = ["generate_synonym_rules"]
+
+
+def generate_synonym_rules(
+    profile: DatasetProfile,
+    *,
+    taxonomy: Optional[Taxonomy] = None,
+    seed: Optional[int] = None,
+    rule_count: Optional[int] = None,
+    closeness_range: Tuple[float, float] = (0.8, 1.0),
+) -> SynonymRuleSet:
+    """Generate a rule set whose size and shape follow ``profile``.
+
+    When a taxonomy is supplied, roughly a third of the rules alias taxonomy
+    node labels so that synonym and taxonomy similarity interact on the same
+    segments — the situation the unified measure exists for.
+    """
+    rng = random.Random(seed)
+    target = rule_count if rule_count is not None else profile.synonym_rules
+    if target < 0:
+        raise ValueError("rule_count must be non-negative")
+    low, high = closeness_range
+    if not (0.0 < low <= high <= 1.0):
+        raise ValueError("closeness_range must satisfy 0 < low <= high <= 1")
+
+    vocabulary = generate_vocabulary(
+        max(200, target), seed=None if seed is None else seed + 7
+    )
+    min_label, max_label = profile.label_tokens
+    taxonomy_labels: List[Tuple[str, ...]] = []
+    if taxonomy is not None:
+        taxonomy_labels = [node.tokens for node in taxonomy if not node.is_root]
+
+    ruleset = SynonymRuleSet()
+    seen: set = set()
+    attempts = 0
+    while len(ruleset) < target and attempts < target * 20:
+        attempts += 1
+        closeness = round(rng.uniform(low, high), 3)
+        flavour = rng.random()
+        if taxonomy_labels and flavour < 0.34:
+            # Alias of a taxonomy label.
+            rhs = rng.choice(taxonomy_labels)
+            lhs = tuple(generate_phrase(vocabulary, rng, min_tokens=min_label, max_tokens=max_label))
+        elif flavour < 0.67:
+            # Abbreviation of a multi-token phrase.
+            rhs = tuple(generate_phrase(vocabulary, rng, min_tokens=2, max_tokens=max(2, max_label)))
+            lhs = (make_abbreviation(rhs, rng),)
+        else:
+            # Generic paraphrase.
+            lhs = tuple(generate_phrase(vocabulary, rng, min_tokens=min_label, max_tokens=max_label))
+            rhs = tuple(generate_phrase(vocabulary, rng, min_tokens=min_label, max_tokens=max_label))
+        if lhs == rhs or (lhs, rhs) in seen:
+            continue
+        seen.add((lhs, rhs))
+        ruleset.add(SynonymRule(lhs, rhs, closeness))
+    return ruleset

@@ -1,0 +1,79 @@
+"""Synthetic taxonomy generation (stand-in for MeSH / Wikipedia categories).
+
+The generator grows a rooted tree level by level until the requested node
+count is reached, steering the leaf-depth distribution towards the profile's
+average depth and the internal fanout towards the profile's average fanout.
+Node labels are short pseudo-word phrases so that records embedding them
+also expose gram-level similarity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..taxonomy.tree import Taxonomy, TaxonomyNode
+from .profiles import DatasetProfile
+from .vocabulary import generate_phrase, generate_vocabulary
+
+__all__ = ["generate_taxonomy"]
+
+
+def generate_taxonomy(
+    profile: DatasetProfile,
+    *,
+    seed: Optional[int] = None,
+    node_count: Optional[int] = None,
+) -> Taxonomy:
+    """Generate a taxonomy whose shape follows ``profile``.
+
+    Parameters
+    ----------
+    profile:
+        Shape parameters (node count, depth, fanout, label length).
+    seed:
+        RNG seed for reproducibility.
+    node_count:
+        Overrides the profile's node count when given.
+    """
+    rng = random.Random(seed)
+    target_nodes = node_count if node_count is not None else profile.taxonomy_nodes
+    if target_nodes < 1:
+        raise ValueError("node_count must be at least 1")
+
+    label_vocabulary = generate_vocabulary(
+        max(200, target_nodes // 2), seed=None if seed is None else seed + 1
+    )
+    min_label, max_label = profile.label_tokens
+
+    taxonomy = Taxonomy(f"{profile.name.lower()} root")
+    _, average_depth, max_depth = profile.taxonomy_depth
+
+    # Grow the tree by repeatedly attaching children to a frontier node.
+    # Nodes shallower than the target average are preferred as parents, which
+    # drives the leaf-depth distribution toward the profile's average.
+    frontier: List[TaxonomyNode] = [taxonomy.root]
+    created = 1
+    used_labels = set()
+    while created < target_nodes:
+        # Weight parents: prefer shallower nodes, but allow deep chains up to max_depth.
+        eligible = [node for node in frontier if node.depth < max_depth]
+        if not eligible:
+            eligible = [taxonomy.root]
+        weights = [max(0.2, average_depth - node.depth + 1.0) for node in eligible]
+        parent = rng.choices(eligible, weights=weights, k=1)[0]
+
+        label_tokens = tuple(
+            generate_phrase(label_vocabulary, rng, min_tokens=min_label, max_tokens=max_label)
+        )
+        if label_tokens in used_labels:
+            continue
+        used_labels.add(label_tokens)
+        child = taxonomy.add_node(" ".join(label_tokens), parent)
+        created += 1
+        frontier.append(child)
+        # Bound fanout: once a parent reaches the profile's average fanout it
+        # becomes less likely to be picked again.
+        if len(parent.children_ids) >= profile.taxonomy_fanout and parent in frontier:
+            frontier.remove(parent)
+    return taxonomy

@@ -1,0 +1,79 @@
+"""Deterministic pseudo-word vocabulary generation.
+
+The synthetic corpora need word-like tokens so that q-gram similarity, typo
+injection, and abbreviation rules behave the way they do on real text.
+Words are built from syllables with a seeded RNG, so every generator in the
+package is fully reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = ["generate_vocabulary", "generate_phrase", "make_typo", "make_abbreviation"]
+
+_ONSETS = ["b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+           "br", "ch", "cl", "cr", "dr", "fl", "gr", "pl", "pr", "sh", "sl", "st", "th", "tr"]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"]
+_CODAS = ["", "", "", "n", "r", "s", "t", "l", "m", "nd", "rt", "st", "ck"]
+
+
+def _make_word(rng: random.Random, syllables: int) -> str:
+    parts: List[str] = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def generate_vocabulary(size: int, *, seed: Optional[int] = None, min_syllables: int = 2,
+                        max_syllables: int = 4) -> List[str]:
+    """Generate ``size`` distinct pseudo-words."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = random.Random(seed)
+    words: List[str] = []
+    seen = set()
+    while len(words) < size:
+        word = _make_word(rng, rng.randint(min_syllables, max_syllables))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def generate_phrase(vocabulary: Sequence[str], rng: random.Random, *, min_tokens: int = 1,
+                    max_tokens: int = 3) -> List[str]:
+    """Sample a short phrase (token list) from a vocabulary."""
+    length = rng.randint(min_tokens, max_tokens)
+    return [rng.choice(vocabulary) for _ in range(length)]
+
+
+def make_typo(word: str, rng: random.Random) -> str:
+    """Inject a single character-level typo (substitution, deletion, insertion,
+    or transposition) into ``word``."""
+    if len(word) < 2:
+        return word + rng.choice("abcdefghij")
+    kind = rng.choice(["substitute", "delete", "insert", "transpose"])
+    position = rng.randrange(len(word))
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    if kind == "substitute":
+        replacement = rng.choice(letters)
+        return word[:position] + replacement + word[position + 1:]
+    if kind == "delete":
+        return word[:position] + word[position + 1:]
+    if kind == "insert":
+        return word[:position] + rng.choice(letters) + word[position:]
+    # transpose
+    if position == len(word) - 1:
+        position -= 1
+    return word[:position] + word[position + 1] + word[position] + word[position + 2:]
+
+
+def make_abbreviation(tokens: Sequence[str], rng: random.Random) -> str:
+    """Build an abbreviation-like token from a phrase (e.g. initials)."""
+    if len(tokens) == 1:
+        word = tokens[0]
+        cut = max(2, len(word) // 2)
+        return word[:cut]
+    return "".join(token[0] for token in tokens)

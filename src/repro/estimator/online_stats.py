@@ -1,0 +1,127 @@
+"""Online (recursive) mean and variance (Equations 20–21 of the paper).
+
+The τ-recommendation algorithm refines estimates over many small samples.
+Instead of storing every observation, the running mean and variance are
+updated with the incremental formulas the paper cites (Finch 2009 /
+Welford-style), which are numerically stable and O(1) per observation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+__all__ = ["OnlineStatistics", "student_t_quantile"]
+
+
+class OnlineStatistics:
+    """Running sample mean and variance of a stream of observations."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0  # sum of squared deviations from the running mean
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Fold many observations into the running statistics."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """The sample mean (0.0 before any observation)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """The unbiased sample variance (0.0 with fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def standard_deviation(self) -> float:
+        """Square root of the sample variance."""
+        return math.sqrt(self.variance)
+
+    @property
+    def standard_error(self) -> float:
+        """Standard deviation of the sample mean (σ / √n)."""
+        if self._count == 0:
+            return 0.0
+        return self.standard_deviation / math.sqrt(self._count)
+
+    def confidence_interval(self, t_quantile: float) -> tuple[float, float]:
+        """Two-sided confidence interval ``mean ± t* · σ / √n`` (Eq. 23)."""
+        margin = t_quantile * self.standard_error
+        return self._mean - margin, self._mean + margin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineStatistics(count={self._count}, mean={self._mean:.4g}, "
+            f"variance={self.variance:.4g})"
+        )
+
+
+def student_t_quantile(confidence: float, degrees_of_freedom: int) -> float:
+    """Approximate two-sided Student's t quantile.
+
+    The paper fixes ``t* = 1.036`` (70 % two-sided confidence); this helper
+    lets callers derive quantiles for other confidence levels without SciPy.
+    It uses the normal quantile with the standard Cornish–Fisher style
+    correction for finite degrees of freedom, which is accurate to a few
+    percent for the small confidence levels used here.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if degrees_of_freedom < 1:
+        raise ValueError("degrees_of_freedom must be at least 1")
+    # Normal quantile via Acklam's rational approximation.
+    p = 0.5 + confidence / 2.0
+    z = _normal_quantile(p)
+    nu = degrees_of_freedom
+    # Cornish-Fisher expansion of the t quantile around the normal quantile.
+    g1 = (z ** 3 + z) / 4.0
+    g2 = (5 * z ** 5 + 16 * z ** 3 + 3 * z) / 96.0
+    return z + g1 / nu + g2 / nu ** 2
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low = 0.02425
+    p_high = 1 - p_low
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)

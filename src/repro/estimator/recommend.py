@@ -1,0 +1,220 @@
+"""Algorithm 7: sampling-based recommendation of the overlap constraint τ.
+
+The recommender draws a series of small independent Bernoulli samples from
+both input collections, runs *only the filtering stage* of the AU-Filter
+join on each sample for every candidate τ, scales the observed cardinalities
+up to the full data (unbiased Bernoulli estimators), and folds them into the
+cost model.  Iterations continue until both
+
+* the burn-in of ``n*`` iterations has completed, and
+* the worst-case penalty of committing to the currently-best τ is smaller
+  than the cost of running one more estimation iteration (Inequality 24),
+
+after which the τ with the lowest estimated total cost is returned.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.measures import MeasureConfig
+from ..records import RecordCollection
+from .bernoulli import BernoulliSample, bernoulli_sample, scale_estimate
+from .cost_model import CostEstimate, CostModel
+
+__all__ = ["RecommendationResult", "TauRecommender", "recommend_tau"]
+
+#: Student's t quantile the paper uses (70 % two-sided confidence).
+DEFAULT_T_QUANTILE = 1.036
+#: Burn-in iterations before the stopping rule may fire.
+DEFAULT_BURN_IN = 10
+#: Default candidate τ values (the paper examines 1–8).
+DEFAULT_TAU_UNIVERSE = (1, 2, 3, 4, 5, 6)
+
+
+@dataclass
+class RecommendationResult:
+    """Outcome of the τ recommendation."""
+
+    best_tau: int
+    iterations: int
+    elapsed_seconds: float
+    estimates: Dict[int, CostEstimate]
+    sample_sizes: List[Tuple[int, int]] = field(default_factory=list)
+
+    def estimated_cost(self, tau: int) -> float:
+        """Estimated total cost of joining with ``tau``."""
+        return self.estimates[tau].mean_cost
+
+
+class TauRecommender:
+    """Monte-Carlo τ recommendation for a pebble join (Algorithm 7)."""
+
+    def __init__(
+        self,
+        join_factory,
+        *,
+        tau_universe: Sequence[int] = DEFAULT_TAU_UNIVERSE,
+        left_probability: float = 0.01,
+        right_probability: float = 0.01,
+        burn_in: int = DEFAULT_BURN_IN,
+        max_iterations: int = 200,
+        t_quantile: float = DEFAULT_T_QUANTILE,
+        filter_cost: float = 1.0,
+        verify_cost: float = 50.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        """``join_factory(tau)`` must return a join engine exposing
+        ``build_order``, ``sign_collection``, and ``filter_candidates`` —
+        i.e. a :class:`~repro.join.aufilter.PebbleJoin` configured for the
+        target θ and signature method.
+        """
+        if burn_in < 1:
+            raise ValueError("burn_in must be at least 1")
+        if max_iterations < burn_in:
+            raise ValueError("max_iterations must be at least burn_in")
+        self.join_factory = join_factory
+        self.tau_universe = tuple(sorted(set(tau_universe)))
+        if not self.tau_universe:
+            raise ValueError("tau_universe must not be empty")
+        self.left_probability = left_probability
+        self.right_probability = right_probability
+        self.burn_in = burn_in
+        self.max_iterations = max_iterations
+        self.t_quantile = t_quantile
+        self.cost_model = CostModel(filter_cost=filter_cost, verify_cost=verify_cost)
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    # one estimation iteration
+    # ------------------------------------------------------------------ #
+    def _run_iteration(
+        self, left: RecordCollection, right: RecordCollection
+    ) -> Tuple[Dict[int, Tuple[float, float]], Tuple[int, int], float]:
+        """Sample both collections, run filtering for every τ, scale estimates.
+
+        Returns the per-τ ``(T̂, V̂)`` estimates, the sample sizes, and the raw
+        (unscaled) processed-pair count of this iteration, which feeds the
+        stopping rule's right-hand side.
+        """
+        left_sample = bernoulli_sample(left, self.left_probability, self.rng)
+        right_sample = bernoulli_sample(right, self.right_probability, self.rng)
+        estimates: Dict[int, Tuple[float, float]] = {}
+        raw_processed_total = 0.0
+
+        if len(left_sample) == 0 or len(right_sample) == 0:
+            # Empty samples estimate zero work for every τ; they still count
+            # as an iteration (the estimator stays unbiased in expectation).
+            for tau in self.tau_universe:
+                estimates[tau] = (0.0, 0.0)
+            return estimates, (len(left_sample), len(right_sample)), 0.0
+
+        # Sign once per iteration with the largest τ so the same signatures
+        # serve every probe; the overlap requirement is applied per τ during
+        # filtering, mirroring how Algorithm 7 reuses the filtering stage.
+        engine = self.join_factory(max(self.tau_universe))
+        order = engine.build_order(left_sample.collection, right_sample.collection)
+        left_signed = engine.sign_collection(left_sample.collection, order)
+        right_signed = engine.sign_collection(right_sample.collection, order)
+
+        for tau in self.tau_universe:
+            outcome = engine.filter_candidates(left_signed, right_signed, tau=tau)
+            processed = scale_estimate(
+                outcome.processed_pairs, self.left_probability, self.right_probability
+            )
+            candidates = scale_estimate(
+                outcome.candidate_count, self.left_probability, self.right_probability
+            )
+            estimates[tau] = (processed, candidates)
+            raw_processed_total += outcome.processed_pairs
+        return estimates, (len(left_sample), len(right_sample)), raw_processed_total
+
+    # ------------------------------------------------------------------ #
+    # stopping rule
+    # ------------------------------------------------------------------ #
+    def _should_stop(self, iteration: int, last_raw_processed: float) -> bool:
+        """Inequality 24 after the burn-in period."""
+        if iteration < self.burn_in:
+            return False
+        estimates = {tau: self.cost_model.estimate(tau) for tau in self.tau_universe}
+        best_tau = min(estimates.values(), key=lambda estimate: estimate.mean_cost).tau
+        _, best_upper = estimates[best_tau].confidence_interval(self.t_quantile)
+        other_lowers = [
+            estimates[tau].confidence_interval(self.t_quantile)[0]
+            for tau in self.tau_universe
+            if tau != best_tau
+        ]
+        if not other_lowers:
+            return True
+        penalty = best_upper - min(other_lowers)
+        next_iteration_cost = self.cost_model.filter_cost * last_raw_processed * len(self.tau_universe)
+        return penalty < next_iteration_cost
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def recommend(
+        self, left: RecordCollection, right: Optional[RecordCollection] = None
+    ) -> RecommendationResult:
+        """Run Algorithm 7 and return the recommended τ with its evidence."""
+        right_collection = left if right is None else right
+        start = time.perf_counter()
+        sample_sizes: List[Tuple[int, int]] = []
+        iteration = 0
+        last_raw_processed = 0.0
+
+        while iteration < self.max_iterations:
+            iteration += 1
+            estimates, sizes, raw_processed = self._run_iteration(left, right_collection)
+            sample_sizes.append(sizes)
+            last_raw_processed = raw_processed
+            for tau, (processed, candidates) in estimates.items():
+                self.cost_model.observe(tau, processed, candidates)
+            if self._should_stop(iteration, last_raw_processed):
+                break
+
+        estimates_by_tau = {tau: self.cost_model.estimate(tau) for tau in self.tau_universe}
+        best_tau = min(estimates_by_tau.values(), key=lambda estimate: estimate.mean_cost).tau
+        return RecommendationResult(
+            best_tau=best_tau,
+            iterations=iteration,
+            elapsed_seconds=time.perf_counter() - start,
+            estimates=estimates_by_tau,
+            sample_sizes=sample_sizes,
+        )
+
+
+def recommend_tau(
+    left: RecordCollection,
+    right: Optional[RecordCollection],
+    config: MeasureConfig,
+    theta: float,
+    *,
+    method: str = "au-dp",
+    tau_universe: Sequence[int] = DEFAULT_TAU_UNIVERSE,
+    sample_probability: float = 0.01,
+    burn_in: int = DEFAULT_BURN_IN,
+    max_iterations: int = 100,
+    t_quantile: float = DEFAULT_T_QUANTILE,
+    seed: Optional[int] = None,
+) -> RecommendationResult:
+    """Convenience wrapper: recommend τ for a unified join configuration."""
+    from ..join.aufilter import PebbleJoin
+
+    def factory(tau: int) -> PebbleJoin:
+        return PebbleJoin(config, theta, tau=tau, method=method)
+
+    recommender = TauRecommender(
+        factory,
+        tau_universe=tau_universe,
+        left_probability=sample_probability,
+        right_probability=sample_probability,
+        burn_in=burn_in,
+        max_iterations=max_iterations,
+        t_quantile=t_quantile,
+        seed=seed,
+    )
+    return recommender.recommend(left, right)

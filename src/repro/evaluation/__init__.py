@@ -1,0 +1,19 @@
+"""Evaluation utilities: metrics, timing, and experiment drivers."""
+
+from .metrics import (
+    PrecisionRecall,
+    classify_pairs,
+    evaluate_pair_sets,
+    evaluate_similarity_function,
+    percentiles,
+)
+from .timing import PhaseTimer
+
+__all__ = [
+    "PhaseTimer",
+    "PrecisionRecall",
+    "classify_pairs",
+    "evaluate_pair_sets",
+    "evaluate_similarity_function",
+    "percentiles",
+]

@@ -1,0 +1,114 @@
+"""Effectiveness metrics and approximation-ratio summaries.
+
+Provides the precision / recall / F-measure used in Tables 8 and 13, both in
+pair-classification form (a similarity function applied to labelled pairs)
+and in set form (a join result compared against a gold pair set), plus the
+percentile summaries of Table 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datasets.ground_truth import GroundTruth, LabeledPair
+from ..records import Record
+
+__all__ = [
+    "PrecisionRecall",
+    "classify_pairs",
+    "evaluate_similarity_function",
+    "evaluate_pair_sets",
+    "percentiles",
+]
+
+#: Similarity function over two records (tokens are available on the record).
+PairSimilarity = Callable[[Record, Record], float]
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision, recall, and F-measure with their contingency counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); defined as 1.0 when nothing was predicted."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); defined as 1.0 when there are no positives."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when both are 0)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """P/R/F as a dictionary (handy for benchmark tables)."""
+        return {"precision": self.precision, "recall": self.recall, "f_measure": self.f_measure}
+
+
+def classify_pairs(
+    truth: GroundTruth,
+    similarity: PairSimilarity,
+    threshold: float,
+) -> PrecisionRecall:
+    """Classify every labelled pair by thresholding ``similarity``."""
+    tp = fp = fn = tn = 0
+    for pair in truth.pairs:
+        predicted = similarity(pair.left, pair.right) >= threshold
+        if pair.is_similar and predicted:
+            tp += 1
+        elif pair.is_similar and not predicted:
+            fn += 1
+        elif not pair.is_similar and predicted:
+            fp += 1
+        else:
+            tn += 1
+    return PrecisionRecall(tp, fp, fn, tn)
+
+
+def evaluate_similarity_function(
+    truth: GroundTruth,
+    similarity: PairSimilarity,
+    thresholds: Sequence[float],
+) -> Dict[float, PrecisionRecall]:
+    """Classify the ground truth at several thresholds."""
+    return {threshold: classify_pairs(truth, similarity, threshold) for threshold in thresholds}
+
+
+def evaluate_pair_sets(
+    predicted: Set[Tuple[int, int]], gold: Set[Tuple[int, int]]
+) -> PrecisionRecall:
+    """Compare a join's output pair set against a gold pair set."""
+    tp = len(predicted & gold)
+    fp = len(predicted - gold)
+    fn = len(gold - predicted)
+    return PrecisionRecall(tp, fp, fn)
+
+
+def percentiles(values: Sequence[float], points: Sequence[float] = (2, 25, 50, 75, 98)) -> Dict[float, float]:
+    """Empirical percentiles (linear interpolation), as in Table 9."""
+    if not values:
+        return {point: 0.0 for point in points}
+    ordered = sorted(values)
+    result: Dict[float, float] = {}
+    for point in points:
+        if not 0 <= point <= 100:
+            raise ValueError("percentile points must be within [0, 100]")
+        rank = (point / 100) * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        result[point] = ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+    return result

@@ -1,0 +1,57 @@
+"""Phase timing utilities for the experiment drivers.
+
+The paper reports join time broken into suggestion, filtering, and
+verification (Table 10).  :class:`PhaseTimer` collects named phase durations
+with a context-manager interface so experiment code stays readable.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock durations per named phase."""
+
+    def __init__(self) -> None:
+        self._durations: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under the given phase name."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._durations:
+                self._order.append(name)
+            self._durations[name] = self._durations.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add an externally measured duration to a phase."""
+        if name not in self._durations:
+            self._order.append(name)
+        self._durations[name] = self._durations.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one phase (0.0 when never timed)."""
+        return self._durations.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self._durations.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase durations in first-seen order."""
+        return {name: self._durations[name] for name in self._order}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{name}={self._durations[name]:.3f}s" for name in self._order)
+        return f"PhaseTimer({inner})"

@@ -1,0 +1,34 @@
+"""Pebble-based filter-and-verify join framework (Section 3 of the paper)."""
+
+from .aufilter import FilterOutcome, JoinResult, JoinStatistics, PebbleJoin
+from .framework import UnifiedJoin
+from .global_order import GlobalOrder
+from .inverted_index import InvertedIndex
+from .partition_bound import greedy_cover_size, min_partition_size
+from .pebbles import Pebble, PebbleKey, generate_pebbles
+from .signatures import SignatureMethod, SignedRecord, select_signature_prefix, sign_record
+from .ufilter import UFilterJoin
+from .verification import UnifiedVerifier, VerifiedPair, Verifier
+
+__all__ = [
+    "FilterOutcome",
+    "GlobalOrder",
+    "InvertedIndex",
+    "JoinResult",
+    "JoinStatistics",
+    "Pebble",
+    "PebbleKey",
+    "PebbleJoin",
+    "SignatureMethod",
+    "SignedRecord",
+    "UFilterJoin",
+    "UnifiedJoin",
+    "UnifiedVerifier",
+    "VerifiedPair",
+    "Verifier",
+    "generate_pebbles",
+    "greedy_cover_size",
+    "min_partition_size",
+    "select_signature_prefix",
+    "sign_record",
+]

@@ -1,0 +1,276 @@
+"""The pebble-based filter-and-verify join engine (Algorithms 3 and 6).
+
+:class:`PebbleJoin` implements the unified set join.  With ``tau=1`` and the
+U-Filter signature method it is Algorithm 3; with ``tau ≥ 1`` and an
+AU-Filter signature method it is Algorithm 6.  The engine exposes the
+filtering stage separately because the τ-recommendation machinery of
+Section 4 runs filtering alone on samples.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.measures import MeasureConfig
+from ..records import Record, RecordCollection
+from .global_order import GlobalOrder
+from .inverted_index import InvertedIndex
+from .signatures import SignatureMethod, SignedRecord, sign_record
+from .verification import UnifiedVerifier, VerifiedPair, Verifier
+
+__all__ = ["FilterOutcome", "JoinStatistics", "JoinResult", "PebbleJoin"]
+
+
+@dataclass
+class FilterOutcome:
+    """Result of the filtering stage only.
+
+    Attributes
+    ----------
+    candidates:
+        Candidate ``(left_id, right_id)`` pairs surviving the overlap test.
+    processed_pairs:
+        The paper's ``T_τ``: how many (left, right) postings combinations the
+        filter touched — the filtering cost driver in the cost model.
+    overlap_counts:
+        For diagnostics: the number of shared signature keys per candidate.
+    """
+
+    candidates: List[Tuple[int, int]]
+    processed_pairs: int
+    overlap_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def candidate_count(self) -> int:
+        """The paper's ``V_τ``: number of candidates sent to verification."""
+        return len(self.candidates)
+
+
+@dataclass
+class JoinStatistics:
+    """Timing and cardinality statistics of one join run."""
+
+    signing_seconds: float = 0.0
+    filtering_seconds: float = 0.0
+    verification_seconds: float = 0.0
+    suggestion_seconds: float = 0.0
+    processed_pairs: int = 0
+    candidate_count: int = 0
+    result_count: int = 0
+    left_records: int = 0
+    right_records: int = 0
+    avg_signature_length_left: float = 0.0
+    avg_signature_length_right: float = 0.0
+    tau: int = 1
+    theta: float = 0.0
+    method: str = SignatureMethod.U_FILTER
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end join time (signing + filtering + verification + suggestion)."""
+        return (
+            self.signing_seconds
+            + self.filtering_seconds
+            + self.verification_seconds
+            + self.suggestion_seconds
+        )
+
+
+@dataclass
+class JoinResult:
+    """The verified pairs of a join together with its statistics."""
+
+    pairs: List[VerifiedPair]
+    statistics: JoinStatistics
+
+    def pair_ids(self) -> Set[Tuple[int, int]]:
+        """The result as a set of ``(left_id, right_id)`` tuples."""
+        return {(pair.left_id, pair.right_id) for pair in self.pairs}
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def _average_signature_length(signed: Sequence[SignedRecord]) -> float:
+    if not signed:
+        return 0.0
+    return sum(record.signature_length for record in signed) / len(signed)
+
+
+class PebbleJoin:
+    """Unified set join with pebble signatures (U-Filter / AU-Filter).
+
+    Parameters
+    ----------
+    config:
+        Measure configuration shared by signature generation and
+        verification.
+    theta:
+        Join threshold θ.
+    tau:
+        Overlap constraint τ (minimum number of shared signature pebbles).
+    method:
+        Signature-selection strategy (one of :class:`SignatureMethod`).
+    order_strategy:
+        Global pebble ordering strategy (``"frequency"`` or ``"weight"``).
+    verifier:
+        Custom verifier; defaults to the approximate unified similarity.
+    """
+
+    def __init__(
+        self,
+        config: MeasureConfig,
+        theta: float,
+        *,
+        tau: int = 1,
+        method: str = SignatureMethod.AU_DP,
+        order_strategy: str = "frequency",
+        verifier: Optional[Verifier] = None,
+        approximation_t: float = 4.0,
+    ) -> None:
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be in [0, 1]")
+        if tau < 1:
+            raise ValueError("tau must be a positive integer")
+        SignatureMethod.validate(method)
+        self.config = config
+        self.theta = theta
+        self.tau = 1 if method == SignatureMethod.U_FILTER else tau
+        self.method = method
+        self.order_strategy = order_strategy
+        self.verifier = verifier or UnifiedVerifier(config, theta, t=approximation_t)
+        self.approximation_t = approximation_t
+
+    # ------------------------------------------------------------------ #
+    # preparation
+    # ------------------------------------------------------------------ #
+    def build_order(
+        self, left: RecordCollection, right: Optional[RecordCollection] = None
+    ) -> GlobalOrder:
+        """Build the corpus-wide pebble order over one or two collections."""
+        from .pebbles import generate_pebbles
+
+        order = GlobalOrder(self.order_strategy)
+        for collection in (left, right):
+            if collection is None:
+                continue
+            for record in collection:
+                _, pebbles = generate_pebbles(record.tokens, self.config)
+                order.add_record_pebbles(pebbles)
+        return order
+
+    def sign_collection(
+        self, collection: RecordCollection, order: GlobalOrder
+    ) -> List[SignedRecord]:
+        """Sign every record of a collection under the given global order."""
+        return [
+            sign_record(
+                record,
+                self.config,
+                order,
+                self.theta,
+                tau=self.tau,
+                method=self.method,
+            )
+            for record in collection
+        ]
+
+    # ------------------------------------------------------------------ #
+    # filtering
+    # ------------------------------------------------------------------ #
+    def filter_candidates(
+        self,
+        left_signed: Sequence[SignedRecord],
+        right_signed: Sequence[SignedRecord],
+        *,
+        tau: Optional[int] = None,
+        exclude_self_pairs: bool = False,
+    ) -> FilterOutcome:
+        """Run the filtering stage (Lines 1–8 of Algorithm 6).
+
+        ``tau`` overrides the configured overlap constraint, which is how the
+        recommendation algorithm probes several τ values on one signing.
+        ``exclude_self_pairs`` drops ``left_id >= right_id`` pairs for
+        self-joins.
+        """
+        overlap_requirement = self.tau if tau is None else tau
+        left_index = InvertedIndex.build(left_signed)
+        right_index = InvertedIndex.build(right_signed)
+        common = left_index.common_keys(right_index)
+
+        overlap_counts: Dict[Tuple[int, int], int] = defaultdict(int)
+        processed = 0
+        for key in common:
+            left_postings = left_index.postings(key)
+            right_postings = right_index.postings(key)
+            for left_id in left_postings:
+                for right_id in right_postings:
+                    if exclude_self_pairs and left_id >= right_id:
+                        continue
+                    processed += 1
+                    overlap_counts[(left_id, right_id)] += 1
+
+        candidates = [
+            pair for pair, count in overlap_counts.items() if count >= overlap_requirement
+        ]
+        return FilterOutcome(
+            candidates=candidates,
+            processed_pairs=processed,
+            overlap_counts=dict(overlap_counts),
+        )
+
+    # ------------------------------------------------------------------ #
+    # full join
+    # ------------------------------------------------------------------ #
+    def join(
+        self,
+        left: RecordCollection,
+        right: Optional[RecordCollection] = None,
+        *,
+        precomputed_order: Optional[GlobalOrder] = None,
+    ) -> JoinResult:
+        """Join two collections (or self-join one) and verify candidates."""
+        self_join = right is None
+        right_collection = left if self_join else right
+
+        statistics = JoinStatistics(
+            tau=self.tau,
+            theta=self.theta,
+            method=self.method,
+            left_records=len(left),
+            right_records=len(right_collection),
+        )
+
+        start = time.perf_counter()
+        order = precomputed_order or self.build_order(left, None if self_join else right_collection)
+        left_signed = self.sign_collection(left, order)
+        right_signed = left_signed if self_join else self.sign_collection(right_collection, order)
+        statistics.signing_seconds = time.perf_counter() - start
+        statistics.avg_signature_length_left = _average_signature_length(left_signed)
+        statistics.avg_signature_length_right = _average_signature_length(right_signed)
+
+        start = time.perf_counter()
+        outcome = self.filter_candidates(
+            left_signed, right_signed, exclude_self_pairs=self_join
+        )
+        statistics.filtering_seconds = time.perf_counter() - start
+        statistics.processed_pairs = outcome.processed_pairs
+        statistics.candidate_count = outcome.candidate_count
+
+        start = time.perf_counter()
+        pairs: List[VerifiedPair] = []
+        for left_id, right_id in outcome.candidates:
+            verified = self.verifier.verify(left[left_id], right_collection[right_id])
+            if verified is not None:
+                pairs.append(verified)
+        statistics.verification_seconds = time.perf_counter() - start
+        statistics.result_count = len(pairs)
+
+        return JoinResult(pairs=pairs, statistics=statistics)
+
+    def self_join(self, collection: RecordCollection) -> JoinResult:
+        """Self-join convenience wrapper (pairs reported once, left < right)."""
+        return self.join(collection)

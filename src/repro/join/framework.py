@@ -1,0 +1,135 @@
+"""The end-user facade of the unified join framework.
+
+:class:`UnifiedJoin` bundles the measure configuration, the signature method,
+the optional τ recommendation, and verification into one object:
+
+>>> from repro.join import UnifiedJoin
+>>> from repro.records import RecordCollection
+>>> join = UnifiedJoin(rules=rules, taxonomy=taxonomy, theta=0.8, tau="auto")
+>>> result = join.join(RecordCollection.from_strings(left), RecordCollection.from_strings(right))
+>>> [(pair.left_id, pair.right_id, pair.similarity) for pair in result.pairs]
+
+``tau="auto"`` runs the Section-4 recommendation before the join; an integer
+pins it; the default of 1 with the U-Filter method reproduces Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from ..core.grams import DEFAULT_Q
+from ..core.measures import MeasureConfig
+from ..records import RecordCollection
+from ..synonyms.rules import SynonymRuleSet
+from ..taxonomy.tree import Taxonomy
+from .aufilter import JoinResult, PebbleJoin
+from .signatures import SignatureMethod
+
+__all__ = ["UnifiedJoin"]
+
+
+class UnifiedJoin:
+    """High-level unified similarity join (filter–verify with pebbles).
+
+    Parameters
+    ----------
+    rules, taxonomy:
+        Knowledge sources; either may be omitted.
+    measures:
+        Paper-style measure code string (default ``"TJS"``).
+    theta:
+        Join threshold in [0, 1].
+    tau:
+        Overlap constraint: a positive integer, or ``"auto"`` to run the
+        sampling-based recommendation of Section 4 before joining.
+    method:
+        Signature selection method (default AU-Filter DP, the paper's best).
+    q:
+        Gram length for Jaccard pebbles and verification.
+    sample_probability, tau_universe:
+        Parameters forwarded to the recommender when ``tau="auto"``.
+    """
+
+    def __init__(
+        self,
+        *,
+        rules: Optional[SynonymRuleSet] = None,
+        taxonomy: Optional[Taxonomy] = None,
+        measures: str = "TJS",
+        theta: float = 0.8,
+        tau: Union[int, str] = 1,
+        method: str = SignatureMethod.AU_DP,
+        q: int = DEFAULT_Q,
+        approximation_t: float = 4.0,
+        sample_probability: float = 0.05,
+        tau_universe: Sequence[int] = (1, 2, 3, 4, 5, 6),
+        recommendation_seed: Optional[int] = None,
+    ) -> None:
+        self.config = MeasureConfig.from_codes(measures, rules=rules, taxonomy=taxonomy, q=q)
+        self.theta = theta
+        self.method = SignatureMethod.validate(method)
+        self.approximation_t = approximation_t
+        self.sample_probability = sample_probability
+        self.tau_universe = tuple(tau_universe)
+        self.recommendation_seed = recommendation_seed
+        if isinstance(tau, str):
+            if tau != "auto":
+                raise ValueError("tau must be a positive integer or 'auto'")
+            self.tau: Union[int, str] = "auto"
+        else:
+            if tau < 1:
+                raise ValueError("tau must be a positive integer or 'auto'")
+            self.tau = int(tau)
+        self.last_recommendation = None
+
+    # ------------------------------------------------------------------ #
+    # joining
+    # ------------------------------------------------------------------ #
+    def _resolve_tau(
+        self, left: RecordCollection, right: Optional[RecordCollection]
+    ) -> tuple[int, float]:
+        """Return the τ to use and the seconds spent deciding it."""
+        if self.tau != "auto":
+            return int(self.tau), 0.0
+        from ..estimator.recommend import recommend_tau
+
+        start = time.perf_counter()
+        recommendation = recommend_tau(
+            left,
+            right,
+            self.config,
+            self.theta,
+            method=self.method,
+            tau_universe=self.tau_universe,
+            sample_probability=self.sample_probability,
+            seed=self.recommendation_seed,
+        )
+        self.last_recommendation = recommendation
+        return recommendation.best_tau, time.perf_counter() - start
+
+    def join(
+        self, left: RecordCollection, right: Optional[RecordCollection] = None
+    ) -> JoinResult:
+        """Join two collections (or self-join one) under the configuration."""
+        tau, suggestion_seconds = self._resolve_tau(left, right)
+        engine = PebbleJoin(
+            self.config,
+            self.theta,
+            tau=tau,
+            method=self.method,
+            approximation_t=self.approximation_t,
+        )
+        result = engine.join(left, right)
+        result.statistics.suggestion_seconds = suggestion_seconds
+        return result
+
+    def self_join(self, collection: RecordCollection) -> JoinResult:
+        """Self-join convenience wrapper."""
+        return self.join(collection)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UnifiedJoin(measures={self.config.codes!r}, theta={self.theta}, "
+            f"tau={self.tau!r}, method={self.method!r})"
+        )

@@ -1,0 +1,78 @@
+"""Lower bound on the number of segments in any well-defined partition.
+
+``GetMinPartitionSize`` (Algorithm 2, Lines 6–12) estimates the minimal
+number of well-defined segments needed to cover a string.  The exact minimum
+is NP-hard (minimum exact cover), so the paper runs the classic greedy
+set-cover heuristic and divides the greedy solution size by its
+``ln(n) + 1`` approximation factor to obtain a valid lower bound, where
+``n`` is the token count of the largest well-defined segment.
+
+The bound multiplies the join threshold θ in every signature-selection
+algorithm (``m·θ`` is the similarity mass a record must be able to reach).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Set
+
+from ..core.measures import Measure, MeasureConfig
+from ..core.segments import Segment, enumerate_segments
+
+__all__ = ["greedy_cover_size", "min_partition_size"]
+
+
+def greedy_cover_size(tokens: Sequence[str], segments: Sequence[Segment]) -> int:
+    """Size of the greedy set cover of token positions by segments.
+
+    Each iteration picks the segment covering the most still-uncovered
+    positions (Lines 9–11 of Algorithm 2).  Because every single token is a
+    well-defined segment, the cover always completes.
+    """
+    uncovered: Set[int] = set(range(len(tokens)))
+    if not uncovered:
+        return 0
+    chosen = 0
+    # Pre-sort by length descending so ties resolve toward larger segments,
+    # which matches the greedy's intent and keeps the result deterministic.
+    ordered = sorted(segments, key=lambda segment: (-len(segment), segment.span.start))
+    while uncovered:
+        best_segment: Optional[Segment] = None
+        best_gain = 0
+        for segment in ordered:
+            gain = len(uncovered & set(segment.span.positions()))
+            if gain > best_gain:
+                best_gain = gain
+                best_segment = segment
+        if best_segment is None:
+            # Defensive: cover remaining positions as singletons.
+            chosen += len(uncovered)
+            break
+        uncovered -= set(best_segment.span.positions())
+        chosen += 1
+    return chosen
+
+
+def min_partition_size(
+    tokens: Sequence[str],
+    config: MeasureConfig,
+    *,
+    segments: Optional[Sequence[Segment]] = None,
+) -> int:
+    """The paper's ``MP(S)`` lower bound on the partition size of ``tokens``.
+
+    Returns ``ceil(greedy_cover / (ln n + 1))`` with a floor of 1 for
+    non-empty input, where ``n`` is the largest segment's token count.
+    """
+    if not tokens:
+        return 0
+    if segments is None:
+        segments = enumerate_segments(
+            tokens,
+            rules=config.rules if config.uses(Measure.SYNONYM) else None,
+            taxonomy=config.taxonomy if config.uses(Measure.TAXONOMY) else None,
+        )
+    cover_size = greedy_cover_size(tokens, segments)
+    largest = max((len(segment) for segment in segments), default=1)
+    bound = math.ceil(cover_size / (math.log(largest) + 1.0))
+    return max(1, bound)

@@ -1,0 +1,123 @@
+"""Record and record-collection types shared by joins, datasets, and benches.
+
+A :class:`Record` is a string with a stable integer identifier and its token
+sequence.  A :class:`RecordCollection` is an ordered, id-addressable list of
+records with convenience constructors from raw strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .core.tokenizer import Tokenizer, default_tokenizer
+
+__all__ = ["Record", "RecordCollection"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single string record."""
+
+    record_id: int
+    text: str
+    tokens: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+class RecordCollection:
+    """An ordered collection of :class:`Record` objects.
+
+    Record ids are assigned densely from 0 in insertion order, which lets the
+    join algorithms use plain lists as id-indexed lookups.
+    """
+
+    def __init__(self, records: Iterable[Record] = ()) -> None:
+        self._records: List[Record] = list(records)
+        for position, record in enumerate(self._records):
+            if record.record_id != position:
+                raise ValueError(
+                    "record ids must be dense and match their position; "
+                    f"found id {record.record_id} at position {position}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_strings(
+        cls, texts: Iterable[str], *, tokenizer: Optional[Tokenizer] = None
+    ) -> "RecordCollection":
+        """Tokenise raw strings into a collection."""
+        tok = tokenizer or default_tokenizer
+        records = [
+            Record(record_id=i, text=text, tokens=tuple(tok.tokenize(text)))
+            for i, text in enumerate(texts)
+        ]
+        return cls(records)
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: int) -> Record:
+        return self._records[record_id]
+
+    @property
+    def records(self) -> Sequence[Record]:
+        """Read-only view of the records in id order."""
+        return tuple(self._records)
+
+    def texts(self) -> List[str]:
+        """The raw texts in id order."""
+        return [record.text for record in self._records]
+
+    # ------------------------------------------------------------------ #
+    # utilities
+    # ------------------------------------------------------------------ #
+    def subset(self, record_ids: Iterable[int]) -> "RecordCollection":
+        """Return a new collection containing the given records, re-numbered."""
+        selected = [self._records[record_id] for record_id in record_ids]
+        return RecordCollection(
+            [
+                Record(record_id=i, text=record.text, tokens=record.tokens)
+                for i, record in enumerate(selected)
+            ]
+        )
+
+    def head(self, count: int) -> "RecordCollection":
+        """Return the first ``count`` records as a new collection."""
+        return self.subset(range(min(count, len(self._records))))
+
+    def statistics(self) -> Dict[str, float]:
+        """Per-record character and token statistics (Table 7 reproduction)."""
+        if not self._records:
+            return {
+                "records": 0.0,
+                "min_chars": 0.0, "avg_chars": 0.0, "max_chars": 0.0,
+                "min_tokens": 0.0, "avg_tokens": 0.0, "max_tokens": 0.0,
+            }
+        char_counts = [len(record.text) for record in self._records]
+        token_counts = [len(record.tokens) for record in self._records]
+        return {
+            "records": float(len(self._records)),
+            "min_chars": float(min(char_counts)),
+            "avg_chars": sum(char_counts) / len(char_counts),
+            "max_chars": float(max(char_counts)),
+            "min_tokens": float(min(token_counts)),
+            "avg_tokens": sum(token_counts) / len(token_counts),
+            "max_tokens": float(max(token_counts)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordCollection(records={len(self._records)})"

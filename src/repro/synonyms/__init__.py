@@ -1,0 +1,5 @@
+"""Synonym-rule substrate (lhs -> rhs rewrite rules with closeness)."""
+
+from .rules import SynonymRule, SynonymRuleSet
+
+__all__ = ["SynonymRule", "SynonymRuleSet"]

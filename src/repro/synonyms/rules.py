@@ -1,0 +1,238 @@
+"""Synonym rules and rule sets.
+
+A synonym rule ``lhs -> rhs`` declares that the token sequence ``lhs`` may be
+rewritten as ``rhs`` with a closeness ``C(R)`` in ``(0, 1]`` (Equation 2 of
+the paper).  Rules are directional in the paper's formalism, but similarity
+is looked up in both directions when matching segment pairs, so the rule set
+indexes both sides.
+
+The rule set also powers two join-side needs:
+
+* enumerating, for a token sequence, every contiguous sub-run that equals the
+  lhs or rhs of some rule (used to enumerate well-defined segments), and
+* providing lhs-based pebbles for the synonym measure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.tokenizer import Tokenizer, default_tokenizer, join_tokens
+
+__all__ = ["SynonymRule", "SynonymRuleSet"]
+
+
+@dataclass(frozen=True)
+class SynonymRule:
+    """A directional synonym/abbreviation rule ``lhs -> rhs``.
+
+    Attributes
+    ----------
+    lhs, rhs:
+        Tuples of tokens for the left- and right-hand side.
+    closeness:
+        The closeness ``C(R)`` in ``(0, 1]``; 1.0 means full equivalence.
+    """
+
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+    closeness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise ValueError("synonym rule sides must be non-empty token tuples")
+        if not 0.0 < self.closeness <= 1.0:
+            raise ValueError("closeness must be in (0, 1]")
+
+    @property
+    def lhs_text(self) -> str:
+        """The left-hand side joined into canonical text."""
+        return join_tokens(self.lhs)
+
+    @property
+    def rhs_text(self) -> str:
+        """The right-hand side joined into canonical text."""
+        return join_tokens(self.rhs)
+
+    @property
+    def max_side_tokens(self) -> int:
+        """The larger token count of the two sides (the paper's ``k`` input)."""
+        return max(len(self.lhs), len(self.rhs))
+
+    def reversed(self) -> "SynonymRule":
+        """Return the rule with lhs and rhs swapped (same closeness)."""
+        return SynonymRule(self.rhs, self.lhs, self.closeness)
+
+
+class SynonymRuleSet:
+    """An indexed collection of :class:`SynonymRule` objects.
+
+    The set maintains hash indexes keyed by the token tuples of both rule
+    sides so that segment enumeration and similarity lookup are O(1) per
+    probe.
+    """
+
+    def __init__(self, rules: Iterable[SynonymRule] = (), *, tokenizer: Optional[Tokenizer] = None) -> None:
+        self._tokenizer = tokenizer or default_tokenizer
+        self._rules: List[SynonymRule] = []
+        self._by_lhs: Dict[Tuple[str, ...], List[SynonymRule]] = defaultdict(list)
+        self._by_rhs: Dict[Tuple[str, ...], List[SynonymRule]] = defaultdict(list)
+        self._side_lengths: Set[int] = set()
+        for rule in rules:
+            self.add(rule)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, rule: SynonymRule) -> None:
+        """Add a rule to the set (duplicates are kept; lookups dedupe)."""
+        self._rules.append(rule)
+        self._by_lhs[rule.lhs].append(rule)
+        self._by_rhs[rule.rhs].append(rule)
+        self._side_lengths.add(len(rule.lhs))
+        self._side_lengths.add(len(rule.rhs))
+
+    def add_text_rule(self, lhs: str, rhs: str, closeness: float = 1.0) -> SynonymRule:
+        """Tokenise ``lhs``/``rhs`` and add the resulting rule."""
+        rule = SynonymRule(
+            tuple(self._tokenizer.tokenize(lhs)),
+            tuple(self._tokenizer.tokenize(rhs)),
+            closeness,
+        )
+        self.add(rule)
+        return rule
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[str, str]],
+        *,
+        closeness: float = 1.0,
+        tokenizer: Optional[Tokenizer] = None,
+    ) -> "SynonymRuleSet":
+        """Build a rule set from ``(lhs_text, rhs_text)`` pairs."""
+        ruleset = cls(tokenizer=tokenizer)
+        for lhs, rhs in pairs:
+            ruleset.add_text_rule(lhs, rhs, closeness)
+        return ruleset
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[SynonymRule]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: SynonymRule) -> bool:
+        return rule in self._rules
+
+    @property
+    def rules(self) -> Sequence[SynonymRule]:
+        """The rules in insertion order (read-only view)."""
+        return tuple(self._rules)
+
+    @property
+    def max_side_tokens(self) -> int:
+        """The maximum number of tokens on either side of any rule (0 if empty)."""
+        return max(self._side_lengths, default=0)
+
+    @property
+    def side_lengths(self) -> Set[int]:
+        """The set of distinct side lengths, used to bound segment enumeration."""
+        return set(self._side_lengths)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def rules_with_lhs(self, tokens: Sequence[str]) -> List[SynonymRule]:
+        """Rules whose lhs equals ``tokens``."""
+        return list(self._by_lhs.get(tuple(tokens), ()))
+
+    def rules_with_rhs(self, tokens: Sequence[str]) -> List[SynonymRule]:
+        """Rules whose rhs equals ``tokens``."""
+        return list(self._by_rhs.get(tuple(tokens), ()))
+
+    def rules_with_side(self, tokens: Sequence[str]) -> List[SynonymRule]:
+        """Rules where ``tokens`` equals either side."""
+        key = tuple(tokens)
+        found = list(self._by_lhs.get(key, ()))
+        found.extend(rule for rule in self._by_rhs.get(key, ()) if rule.lhs != key)
+        return found
+
+    def matches_any_side(self, tokens: Sequence[str]) -> bool:
+        """Return True when ``tokens`` equals the lhs or rhs of some rule."""
+        key = tuple(tokens)
+        return key in self._by_lhs or key in self._by_rhs
+
+    def similarity(self, left: Sequence[str], right: Sequence[str]) -> float:
+        """Synonym similarity between two token sequences (Eq. 2, symmetric).
+
+        The paper defines ``sim_s(S, T) = C(R)`` when a rule maps S to T; we
+        look the pair up in both directions and return the best closeness of
+        any matching rule, or 0.0 when no rule connects the two sequences.
+        """
+        left_key, right_key = tuple(left), tuple(right)
+        best = 0.0
+        for rule in self._by_lhs.get(left_key, ()):
+            if rule.rhs == right_key:
+                best = max(best, rule.closeness)
+        for rule in self._by_lhs.get(right_key, ()):
+            if rule.rhs == left_key:
+                best = max(best, rule.closeness)
+        return best
+
+    def text_similarity(self, left: str, right: str) -> float:
+        """Synonym similarity between two raw strings (tokenised first)."""
+        return self.similarity(
+            self._tokenizer.tokenize(left), self._tokenizer.tokenize(right)
+        )
+
+    # ------------------------------------------------------------------ #
+    # segment enumeration support
+    # ------------------------------------------------------------------ #
+    def matching_spans(self, tokens: Sequence[str]) -> List[Tuple[int, int]]:
+        """Return all ``(start, end)`` spans of ``tokens`` matching a rule side.
+
+        Only spans whose length equals some rule-side length are probed, so
+        the cost is O(|tokens| · #distinct side lengths).
+        """
+        spans: List[Tuple[int, int]] = []
+        n = len(tokens)
+        for length in sorted(self._side_lengths):
+            if length > n:
+                continue
+            for start in range(n - length + 1):
+                window = tuple(tokens[start:start + length])
+                if window in self._by_lhs or window in self._by_rhs:
+                    spans.append((start, start + length))
+        return spans
+
+    def lhs_pebbles_for(self, tokens: Sequence[str]) -> List[Tuple[Tuple[str, ...], float]]:
+        """Return ``(lhs_tokens, closeness)`` pebble material for a segment.
+
+        For the synonym measure, the pebble of a segment ``P`` is the lhs of
+        an applicable rule with weight ``C(R)``.  When ``P`` equals a rule's
+        rhs the rule is still applicable (the other string holds the lhs), so
+        the lhs of such rules is also emitted.
+        """
+        key = tuple(tokens)
+        pebbles: List[Tuple[Tuple[str, ...], float]] = []
+        seen: Set[Tuple[Tuple[str, ...], float]] = set()
+        for rule in self._by_lhs.get(key, ()):
+            item = (rule.lhs, rule.closeness)
+            if item not in seen:
+                seen.add(item)
+                pebbles.append(item)
+        for rule in self._by_rhs.get(key, ()):
+            item = (rule.lhs, rule.closeness)
+            if item not in seen:
+                seen.add(item)
+                pebbles.append(item)
+        return pebbles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SynonymRuleSet(rules={len(self._rules)})"

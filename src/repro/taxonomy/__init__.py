@@ -1,0 +1,12 @@
+"""Taxonomy substrate: IS-A trees with depth, LCA, and label lookup."""
+
+from .builder import taxonomy_from_edges, taxonomy_from_parent_lines, taxonomy_from_paths
+from .tree import Taxonomy, TaxonomyNode
+
+__all__ = [
+    "Taxonomy",
+    "TaxonomyNode",
+    "taxonomy_from_edges",
+    "taxonomy_from_parent_lines",
+    "taxonomy_from_paths",
+]

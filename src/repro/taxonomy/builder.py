@@ -1,0 +1,113 @@
+"""Helpers for constructing :class:`~repro.taxonomy.tree.Taxonomy` objects.
+
+The paper loads two real taxonomies (MeSH tree, Wikipedia categories).  This
+module offers the loading-shaped entry points a downstream user would expect:
+building from parent/child edge lists, from root-to-leaf paths, and from the
+simple ``child<TAB>parent`` text format used by several public taxonomy
+dumps.  The synthetic generators in :mod:`repro.datasets.taxonomy_gen` also
+go through these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.tokenizer import Tokenizer
+from .tree import Taxonomy
+
+__all__ = [
+    "taxonomy_from_paths",
+    "taxonomy_from_edges",
+    "taxonomy_from_parent_lines",
+]
+
+
+def taxonomy_from_paths(
+    paths: Iterable[Sequence[str]],
+    *,
+    root_label: str = "root",
+    tokenizer: Optional[Tokenizer] = None,
+) -> Taxonomy:
+    """Build a taxonomy from root-to-leaf label paths (root excluded)."""
+    taxonomy = Taxonomy(root_label, tokenizer=tokenizer)
+    for path in paths:
+        if path:
+            taxonomy.add_path(list(path))
+    return taxonomy
+
+
+def taxonomy_from_edges(
+    edges: Iterable[Tuple[str, str]],
+    *,
+    root_label: str = "root",
+    tokenizer: Optional[Tokenizer] = None,
+) -> Taxonomy:
+    """Build a taxonomy from ``(parent_label, child_label)`` edges.
+
+    Parents that never appear as a child are attached directly under the
+    root.  Edges may arrive in any order; the builder resolves dependencies
+    by repeated passes, raising ``ValueError`` if a cycle prevents progress.
+    """
+    edge_list = list(edges)
+    children_of: Dict[str, List[str]] = {}
+    child_labels = set()
+    parent_labels = set()
+    for parent, child in edge_list:
+        children_of.setdefault(parent, []).append(child)
+        parent_labels.add(parent)
+        child_labels.add(child)
+
+    taxonomy = Taxonomy(root_label, tokenizer=tokenizer)
+    top_level = sorted(parent_labels - child_labels)
+    pending: List[Tuple[str, str]] = []
+    for label in top_level:
+        taxonomy.add_node(label, taxonomy.root)
+    # Breadth-first attach: repeatedly add children whose parent already exists.
+    remaining = list(edge_list)
+    while remaining:
+        progressed = False
+        next_round: List[Tuple[str, str]] = []
+        for parent, child in remaining:
+            if parent in taxonomy:
+                if child not in taxonomy:
+                    taxonomy.add_node(child, parent)
+                progressed = True
+            else:
+                next_round.append((parent, child))
+        if not progressed:
+            raise ValueError(
+                "could not resolve taxonomy edges; a cycle or dangling parent exists: "
+                f"{next_round[:3]}..."
+            )
+        remaining = next_round
+    return taxonomy
+
+
+def taxonomy_from_parent_lines(
+    lines: Iterable[str],
+    *,
+    separator: str = "\t",
+    root_label: str = "root",
+    tokenizer: Optional[Tokenizer] = None,
+) -> Taxonomy:
+    """Build a taxonomy from ``child<separator>parent`` text lines.
+
+    Blank lines and lines starting with ``#`` are skipped.  A line with no
+    separator declares a top-level category (attached under the root).
+    """
+    edges: List[Tuple[str, str]] = []
+    singletons: List[str] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if separator in line:
+            child, parent = line.split(separator, 1)
+            edges.append((parent.strip(), child.strip()))
+        else:
+            singletons.append(line)
+    taxonomy = taxonomy_from_edges(edges, root_label=root_label, tokenizer=tokenizer)
+    for label in singletons:
+        if label not in taxonomy:
+            taxonomy.add_node(label, taxonomy.root)
+    return taxonomy

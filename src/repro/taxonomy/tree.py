@@ -1,0 +1,274 @@
+"""Taxonomy tree substrate.
+
+Taxonomy similarity (Equation 3 of the paper) measures two strings mapped to
+taxonomy nodes by the depth of their lowest common ancestor divided by the
+larger of the two node depths.  The paper uses the MeSH tree and Wikipedia
+categories; this module provides the tree structure itself: node storage,
+depth bookkeeping, ancestor chains, LCA queries, and a label index that maps
+token sequences to nodes.
+
+Depth convention
+----------------
+The root has depth 1 (so a root-only match yields similarity 1/·), matching
+the paper's Figure 1 where the chain Wikipedia → food → coffee →
+coffee drinks → {espresso, latte} gives ``sim_t(latte, espresso) = 4/5``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.tokenizer import Tokenizer, default_tokenizer
+
+__all__ = ["TaxonomyNode", "Taxonomy"]
+
+
+@dataclass
+class TaxonomyNode:
+    """A single node in the taxonomy tree."""
+
+    node_id: int
+    label: str
+    tokens: Tuple[str, ...]
+    parent_id: Optional[int]
+    depth: int
+    children_ids: List[int] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        """True when the node has no parent."""
+        return self.parent_id is None
+
+
+class Taxonomy:
+    """A rooted tree of IS-A relations with label lookup and LCA queries.
+
+    Nodes are added top-down (parents before children).  Multiple nodes may
+    share a label in principle, but lookups return the first (shallowest)
+    node registered for a label, which matches how the paper maps segments to
+    taxonomy entities.
+    """
+
+    def __init__(self, root_label: str = "root", *, tokenizer: Optional[Tokenizer] = None) -> None:
+        self._tokenizer = tokenizer or default_tokenizer
+        self._nodes: List[TaxonomyNode] = []
+        self._by_label_tokens: Dict[Tuple[str, ...], int] = {}
+        self._label_lengths: Set[int] = set()
+        self._root_id = self._add_node(root_label, parent_id=None)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _add_node(self, label: str, parent_id: Optional[int]) -> int:
+        tokens = tuple(self._tokenizer.tokenize(label))
+        if not tokens:
+            raise ValueError("taxonomy node label must contain at least one token")
+        if parent_id is None:
+            depth = 1
+        else:
+            depth = self._nodes[parent_id].depth + 1
+        node_id = len(self._nodes)
+        node = TaxonomyNode(
+            node_id=node_id,
+            label=label,
+            tokens=tokens,
+            parent_id=parent_id,
+            depth=depth,
+        )
+        self._nodes.append(node)
+        if parent_id is not None:
+            self._nodes[parent_id].children_ids.append(node_id)
+        # First registration wins: keeps shallowest node for duplicate labels.
+        self._by_label_tokens.setdefault(tokens, node_id)
+        self._label_lengths.add(len(tokens))
+        return node_id
+
+    def add_node(self, label: str, parent: "int | str | TaxonomyNode") -> TaxonomyNode:
+        """Add a child node with ``label`` under ``parent``.
+
+        ``parent`` may be a node id, a node object, or a label string (the
+        label must already exist in the tree).
+        """
+        parent_id = self._resolve(parent)
+        node_id = self._add_node(label, parent_id)
+        return self._nodes[node_id]
+
+    def add_path(self, labels: Sequence[str]) -> TaxonomyNode:
+        """Add a root-to-leaf path of labels, creating missing nodes.
+
+        ``labels`` excludes the root.  Existing prefixes are reused, so paths
+        sharing ancestry build a proper tree.  Returns the node for the last
+        label.
+        """
+        current_id = self._root_id
+        for label in labels:
+            tokens = tuple(self._tokenizer.tokenize(label))
+            existing = None
+            for child_id in self._nodes[current_id].children_ids:
+                if self._nodes[child_id].tokens == tokens:
+                    existing = child_id
+                    break
+            if existing is None:
+                existing = self._add_node(label, current_id)
+            current_id = existing
+        return self._nodes[current_id]
+
+    def _resolve(self, node: "int | str | TaxonomyNode") -> int:
+        if isinstance(node, TaxonomyNode):
+            return node.node_id
+        if isinstance(node, int):
+            if not 0 <= node < len(self._nodes):
+                raise KeyError(f"unknown node id {node}")
+            return node
+        tokens = tuple(self._tokenizer.tokenize(node))
+        if tokens not in self._by_label_tokens:
+            raise KeyError(f"unknown taxonomy label {node!r}")
+        return self._by_label_tokens[tokens]
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> TaxonomyNode:
+        """The root node."""
+        return self._nodes[self._root_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[TaxonomyNode]:
+        return iter(self._nodes)
+
+    def node(self, node_id: int) -> TaxonomyNode:
+        """Return the node with ``node_id``."""
+        return self._nodes[node_id]
+
+    def find(self, label_or_tokens: "str | Sequence[str]") -> Optional[TaxonomyNode]:
+        """Return the node whose label matches, or None.
+
+        Accepts either a raw label string (tokenised with the taxonomy's
+        tokenizer) or a pre-tokenised sequence.
+        """
+        if isinstance(label_or_tokens, str):
+            tokens = tuple(self._tokenizer.tokenize(label_or_tokens))
+        else:
+            tokens = tuple(label_or_tokens)
+        node_id = self._by_label_tokens.get(tokens)
+        return None if node_id is None else self._nodes[node_id]
+
+    def __contains__(self, label_or_tokens: "str | Sequence[str]") -> bool:
+        return self.find(label_or_tokens) is not None
+
+    @property
+    def label_lengths(self) -> Set[int]:
+        """Distinct token counts of node labels (bounds segment enumeration)."""
+        return set(self._label_lengths)
+
+    @property
+    def max_label_tokens(self) -> int:
+        """The maximum number of tokens in any node label."""
+        return max(self._label_lengths, default=0)
+
+    @property
+    def max_depth(self) -> int:
+        """The maximum node depth in the tree."""
+        return max(node.depth for node in self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # ancestry and LCA
+    # ------------------------------------------------------------------ #
+    def ancestors(self, node: "int | str | TaxonomyNode", *, include_self: bool = True) -> List[TaxonomyNode]:
+        """Return the chain from ``node`` up to the root (node first)."""
+        node_id: Optional[int] = self._resolve(node)
+        chain: List[TaxonomyNode] = []
+        if not include_self:
+            node_id = self._nodes[node_id].parent_id
+        while node_id is not None:
+            chain.append(self._nodes[node_id])
+            node_id = self._nodes[node_id].parent_id
+        return chain
+
+    def lca(self, left: "int | str | TaxonomyNode", right: "int | str | TaxonomyNode") -> TaxonomyNode:
+        """Return the lowest common ancestor of two nodes."""
+        left_id = self._resolve(left)
+        right_id = self._resolve(right)
+        left_node = self._nodes[left_id]
+        right_node = self._nodes[right_id]
+        # Walk the deeper node up until depths match, then walk both up.
+        while left_node.depth > right_node.depth:
+            left_node = self._nodes[left_node.parent_id]  # type: ignore[index]
+        while right_node.depth > left_node.depth:
+            right_node = self._nodes[right_node.parent_id]  # type: ignore[index]
+        while left_node.node_id != right_node.node_id:
+            left_node = self._nodes[left_node.parent_id]  # type: ignore[index]
+            right_node = self._nodes[right_node.parent_id]  # type: ignore[index]
+        return left_node
+
+    def similarity_nodes(self, left: "int | str | TaxonomyNode", right: "int | str | TaxonomyNode") -> float:
+        """Taxonomy similarity between two nodes (Eq. 3)."""
+        left_node = self._nodes[self._resolve(left)]
+        right_node = self._nodes[self._resolve(right)]
+        ancestor = self.lca(left_node, right_node)
+        return ancestor.depth / max(left_node.depth, right_node.depth)
+
+    def similarity(self, left: "str | Sequence[str]", right: "str | Sequence[str]") -> float:
+        """Taxonomy similarity between two labels; 0.0 when either is unmapped."""
+        left_node = self.find(left)
+        right_node = self.find(right)
+        if left_node is None or right_node is None:
+            return 0.0
+        return self.similarity_nodes(left_node, right_node)
+
+    # ------------------------------------------------------------------ #
+    # segment enumeration and pebble support
+    # ------------------------------------------------------------------ #
+    def matching_spans(self, tokens: Sequence[str]) -> List[Tuple[int, int]]:
+        """Return all ``(start, end)`` spans of ``tokens`` matching a node label."""
+        spans: List[Tuple[int, int]] = []
+        n = len(tokens)
+        for length in sorted(self._label_lengths):
+            if length > n:
+                continue
+            for start in range(n - length + 1):
+                window = tuple(tokens[start:start + length])
+                if window in self._by_label_tokens:
+                    spans.append((start, start + length))
+        return spans
+
+    def ancestor_pebbles_for(self, tokens: Sequence[str]) -> List[Tuple[Tuple[str, ...], float]]:
+        """Return ``(ancestor_label_tokens, weight)`` pebbles for a segment.
+
+        For the taxonomy measure, the pebbles of a segment mapped to node
+        ``n`` are ``n`` and all its ancestors, each with weight ``1/|n|``
+        (Table 2 of the paper).
+        """
+        node = self.find(tokens)
+        if node is None:
+            return []
+        weight = 1.0 / node.depth
+        return [(ancestor.tokens, weight) for ancestor in self.ancestors(node)]
+
+    # ------------------------------------------------------------------ #
+    # statistics (Table 6 reproduction)
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Dict[str, float]:
+        """Return node count, min/avg/max leaf depth and average fanout.
+
+        Heights in the paper's Table 6 are reported per leaf; fanout is the
+        average number of children over internal nodes.
+        """
+        leaf_depths = [node.depth for node in self._nodes if not node.children_ids]
+        internal = [node for node in self._nodes if node.children_ids]
+        fanouts = [len(node.children_ids) for node in internal]
+        return {
+            "nodes": float(len(self._nodes)),
+            "min_height": float(min(leaf_depths, default=0)),
+            "avg_height": (sum(leaf_depths) / len(leaf_depths)) if leaf_depths else 0.0,
+            "max_height": float(max(leaf_depths, default=0)),
+            "avg_fanout": (sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Taxonomy(nodes={len(self._nodes)}, max_depth={self.max_depth})"

@@ -1,0 +1,72 @@
+"""Shared fixtures: the Figure-1 running example and small synthetic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SynonymRuleSet, Taxonomy
+from repro.core.measures import MeasureConfig
+from repro.datasets import TINY_PROFILE, generate_dataset, generate_ground_truth
+from repro.records import RecordCollection
+
+
+@pytest.fixture(scope="session")
+def figure1_rules() -> SynonymRuleSet:
+    """The synonym rules of the paper's Figure 1."""
+    return SynonymRuleSet.from_pairs(
+        [("coffee shop", "cafe"), ("cake", "gateau"), ("ny", "new york")]
+    )
+
+
+@pytest.fixture(scope="session")
+def figure1_taxonomy() -> Taxonomy:
+    """The taxonomy of the paper's Figure 1 (Wikipedia → food → coffee → ...)."""
+    taxonomy = Taxonomy("Wikipedia")
+    food = taxonomy.add_node("food", taxonomy.root)
+    coffee = taxonomy.add_node("coffee", food)
+    drinks = taxonomy.add_node("coffee drinks", coffee)
+    taxonomy.add_node("espresso", drinks)
+    taxonomy.add_node("latte", drinks)
+    cake = taxonomy.add_node("cake", food)
+    taxonomy.add_node("apple cake", cake)
+    return taxonomy
+
+
+@pytest.fixture(scope="session")
+def figure1_config(figure1_rules, figure1_taxonomy) -> MeasureConfig:
+    """Full TJS measure configuration over the Figure-1 knowledge sources."""
+    return MeasureConfig.from_codes("TJS", rules=figure1_rules, taxonomy=figure1_taxonomy)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small synthetic dataset shared by join and estimator tests."""
+    return generate_dataset(TINY_PROFILE, seed=101)
+
+
+@pytest.fixture(scope="session")
+def tiny_truth(tiny_dataset):
+    """Ground-truth pairs over the tiny dataset."""
+    return generate_ground_truth(tiny_dataset, positive_pairs=25, negative_pairs=25, seed=5)
+
+
+@pytest.fixture(scope="session")
+def poi_collections(figure1_rules, figure1_taxonomy):
+    """Two tiny POI collections used by end-to-end join tests."""
+    left = RecordCollection.from_strings(
+        [
+            "coffee shop latte Helsingki",
+            "pizza place new york",
+            "grand hotel paris",
+            "apple cake bakery",
+        ]
+    )
+    right = RecordCollection.from_strings(
+        [
+            "espresso cafe Helsinki",
+            "pizza place ny",
+            "louvre museum paris",
+            "gateau bakery",
+        ]
+    )
+    return left, right

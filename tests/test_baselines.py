@@ -1,0 +1,150 @@
+"""Tests for the baseline join algorithms (AdaptJoin, K-Join, PKduck, Combination)."""
+
+import pytest
+
+from repro.baselines import AdaptJoin, CombinationJoin, KJoin, PKDuck
+from repro.records import Record, RecordCollection
+
+
+@pytest.fixture
+def poi_left():
+    return RecordCollection.from_strings(
+        ["coffee shop latte Helsingki", "pizza place new york", "grand hotel paris"]
+    )
+
+
+@pytest.fixture
+def poi_right():
+    return RecordCollection.from_strings(
+        ["espresso cafe Helsinki", "pizza place ny", "louvre museum paris"]
+    )
+
+
+class TestAdaptJoin:
+    def test_finds_typo_pairs(self):
+        left = RecordCollection.from_strings(["helsingki city", "random words"])
+        right = RecordCollection.from_strings(["helsinki city", "other tokens"])
+        result = AdaptJoin(0.5).join(left, right)
+        assert (0, 0) in result.pair_ids()
+        assert (1, 1) not in result.pair_ids()
+
+    def test_similarity_is_gram_jaccard(self):
+        join = AdaptJoin(0.5)
+        left = Record(0, "helsinki", ("helsinki",))
+        right = Record(0, "helsinki", ("helsinki",))
+        assert join.similarity(left, right) == 1.0
+
+    def test_adaptive_scheme_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptJoin(0.8, max_scheme=0)
+
+    def test_higher_threshold_fewer_results(self, poi_left, poi_right):
+        low = AdaptJoin(0.2).join(poi_left, poi_right).pair_ids()
+        high = AdaptJoin(0.9).join(poi_left, poi_right).pair_ids()
+        assert high.issubset(low)
+
+    def test_cannot_see_synonym_or_taxonomy_pairs(self, figure1_taxonomy):
+        left = RecordCollection.from_strings(["coffee shop"])
+        right = RecordCollection.from_strings(["cafe"])
+        result = AdaptJoin(0.7).join(left, right)
+        assert len(result) == 0
+
+
+class TestKJoin:
+    def test_finds_taxonomy_pairs(self, figure1_taxonomy):
+        left = RecordCollection.from_strings(["latte"])
+        right = RecordCollection.from_strings(["espresso"])
+        result = KJoin(0.7, figure1_taxonomy).join(left, right)
+        assert (0, 0) in result.pair_ids()
+        assert result.pairs[0].similarity == pytest.approx(0.8)
+
+    def test_misses_pure_typo_pairs(self, figure1_taxonomy):
+        left = RecordCollection.from_strings(["helsingki"])
+        right = RecordCollection.from_strings(["helsinki"])
+        result = KJoin(0.7, figure1_taxonomy).join(left, right)
+        assert len(result) == 0
+
+    def test_exact_tokens_outside_taxonomy_count(self, figure1_taxonomy):
+        left = RecordCollection.from_strings(["latte bar"])
+        right = RecordCollection.from_strings(["espresso bar"])
+        join = KJoin(0.7, figure1_taxonomy)
+        value = join.similarity(left[0], right[0])
+        assert value == pytest.approx((0.8 + 1.0) / 2)
+
+    def test_signature_contains_deep_ancestors_only(self, figure1_taxonomy):
+        join = KJoin(0.9, figure1_taxonomy)
+        record = Record(0, "espresso", ("espresso",))
+        signature = join.signatures(record)
+        # At θ=0.9 and depth 5, only ancestors at depth >= ceil(4.5)=5 qualify.
+        assert len(signature) == 1
+
+
+class TestPKDuck:
+    def test_finds_synonym_pairs(self, figure1_rules):
+        left = RecordCollection.from_strings(["coffee shop downtown"])
+        right = RecordCollection.from_strings(["cafe downtown"])
+        result = PKDuck(0.9, figure1_rules).join(left, right)
+        assert (0, 0) in result.pair_ids()
+
+    def test_derivations_include_original(self, figure1_rules):
+        join = PKDuck(0.8, figure1_rules)
+        variants = join.derivations(("coffee", "shop", "downtown"))
+        assert ("coffee", "shop", "downtown") in variants
+        assert ("cafe", "downtown") in variants
+
+    def test_derivation_budget_respected(self, figure1_rules):
+        join = PKDuck(0.8, figure1_rules, max_derivations=2)
+        variants = join.derivations(("coffee", "shop", "cake", "ny"))
+        assert len(variants) <= 2
+
+    def test_misses_taxonomy_pairs(self, figure1_rules):
+        left = RecordCollection.from_strings(["latte"])
+        right = RecordCollection.from_strings(["espresso"])
+        result = PKDuck(0.7, figure1_rules).join(left, right)
+        assert len(result) == 0
+
+    def test_invalid_max_derivations(self, figure1_rules):
+        with pytest.raises(ValueError):
+            PKDuck(0.8, figure1_rules, max_derivations=0)
+
+
+class TestCombination:
+    def test_union_of_members(self, figure1_rules, figure1_taxonomy):
+        left = RecordCollection.from_strings(["latte", "coffee shop", "helsingki"])
+        right = RecordCollection.from_strings(["espresso", "cafe", "helsinki"])
+        combination = CombinationJoin(
+            [KJoin(0.6, figure1_taxonomy), PKDuck(0.6, figure1_rules), AdaptJoin(0.6)]
+        )
+        found = combination.join(left, right).pair_ids()
+        assert (0, 0) in found  # taxonomy
+        assert (1, 1) in found  # synonym
+        assert (2, 2) in found  # typo (gram)
+
+    def test_combination_requires_members(self):
+        with pytest.raises(ValueError):
+            CombinationJoin([])
+
+    def test_keeps_best_similarity_per_pair(self, figure1_rules, figure1_taxonomy):
+        left = RecordCollection.from_strings(["latte"])
+        right = RecordCollection.from_strings(["espresso"])
+        combination = CombinationJoin([KJoin(0.5, figure1_taxonomy), AdaptJoin(0.5)])
+        result = combination.join(left, right)
+        assert result.pairs[0].similarity == pytest.approx(0.8)
+
+    def test_cannot_handle_mixed_relation_pair(self, figure1_rules, figure1_taxonomy):
+        """The motivating example: a pair mixing typo+synonym+taxonomy relations
+        is missed by every single-measure baseline at a moderate threshold."""
+        left = RecordCollection.from_strings(["coffee shop latte helsingki"])
+        right = RecordCollection.from_strings(["espresso cafe helsinki"])
+        theta = 0.7
+        combination = CombinationJoin(
+            [KJoin(theta, figure1_taxonomy), PKDuck(theta, figure1_rules), AdaptJoin(theta)]
+        )
+        assert len(combination.join(left, right)) == 0
+
+        from repro.core.measures import MeasureConfig
+        from repro.join import PebbleJoin
+
+        config = MeasureConfig.from_codes("TJS", rules=figure1_rules, taxonomy=figure1_taxonomy)
+        unified = PebbleJoin(config, theta, tau=1).join(left, right)
+        assert (0, 0) in unified.pair_ids()

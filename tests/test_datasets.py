@@ -1,0 +1,135 @@
+"""Tests for synthetic dataset, taxonomy, synonym, and ground-truth generators."""
+
+import pytest
+
+from repro.datasets import (
+    MED_PROFILE,
+    TINY_PROFILE,
+    generate_dataset,
+    generate_ground_truth,
+    generate_synonym_rules,
+    generate_taxonomy,
+    generate_vocabulary,
+    make_abbreviation,
+    make_typo,
+)
+import random
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        words = generate_vocabulary(100, seed=1)
+        assert len(words) == 100
+        assert len(set(words)) == 100
+
+    def test_deterministic_with_seed(self):
+        assert generate_vocabulary(50, seed=7) == generate_vocabulary(50, seed=7)
+
+    def test_typo_changes_word(self):
+        rng = random.Random(3)
+        word = "espresso"
+        typos = {make_typo(word, rng) for _ in range(20)}
+        assert any(t != word for t in typos)
+
+    def test_abbreviation_of_phrase(self):
+        rng = random.Random(3)
+        assert make_abbreviation(("new", "york"), rng) == "ny"
+
+    def test_zero_size(self):
+        assert generate_vocabulary(0) == []
+
+
+class TestTaxonomyGeneration:
+    def test_node_count_matches_profile(self):
+        taxonomy = generate_taxonomy(TINY_PROFILE, seed=11)
+        assert len(taxonomy) == TINY_PROFILE.taxonomy_nodes
+
+    def test_depths_within_profile_bounds(self):
+        taxonomy = generate_taxonomy(TINY_PROFILE, seed=11)
+        _, _, max_depth = TINY_PROFILE.taxonomy_depth
+        # +1 because the generated root counts as depth 1.
+        assert taxonomy.max_depth <= max_depth + 1
+
+    def test_reproducible(self):
+        first = generate_taxonomy(TINY_PROFILE, seed=5)
+        second = generate_taxonomy(TINY_PROFILE, seed=5)
+        assert [n.label for n in first] == [n.label for n in second]
+
+    def test_override_node_count(self):
+        taxonomy = generate_taxonomy(TINY_PROFILE, seed=2, node_count=30)
+        assert len(taxonomy) == 30
+
+
+class TestSynonymGeneration:
+    def test_rule_count(self):
+        taxonomy = generate_taxonomy(TINY_PROFILE, seed=3)
+        rules = generate_synonym_rules(TINY_PROFILE, taxonomy=taxonomy, seed=3)
+        assert len(rules) == TINY_PROFILE.synonym_rules
+
+    def test_closeness_range_respected(self):
+        rules = generate_synonym_rules(TINY_PROFILE, seed=4, closeness_range=(0.9, 1.0))
+        assert all(0.9 <= rule.closeness <= 1.0 for rule in rules)
+
+    def test_some_rules_alias_taxonomy_labels(self):
+        taxonomy = generate_taxonomy(TINY_PROFILE, seed=5)
+        rules = generate_synonym_rules(TINY_PROFILE, taxonomy=taxonomy, seed=5)
+        labels = {node.tokens for node in taxonomy if not node.is_root}
+        assert any(rule.rhs in labels for rule in rules)
+
+
+class TestDatasetGeneration:
+    def test_dataset_shape(self, tiny_dataset):
+        assert len(tiny_dataset.records) == TINY_PROFILE.record_count
+        assert len(tiny_dataset.taxonomy) == TINY_PROFILE.taxonomy_nodes
+        assert len(tiny_dataset.rules) == TINY_PROFILE.synonym_rules
+
+    def test_records_embed_taxonomy_labels(self, tiny_dataset):
+        label_hits = 0
+        for record in list(tiny_dataset.records)[:50]:
+            if tiny_dataset.taxonomy.matching_spans(record.tokens):
+                label_hits += 1
+        assert label_hits > 10
+
+    def test_statistics_contains_table_fields(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        for key in ("records", "avg_tokens", "taxonomy_nodes", "synonym_rules", "taxonomy_avg_fanout"):
+            assert key in stats
+
+    def test_subset(self, tiny_dataset):
+        subset = tiny_dataset.subset(10)
+        assert len(subset.records) == 10
+        assert subset.taxonomy is tiny_dataset.taxonomy
+
+    def test_reproducible(self):
+        first = generate_dataset(TINY_PROFILE, seed=42)
+        second = generate_dataset(TINY_PROFILE, seed=42)
+        assert first.records.texts() == second.records.texts()
+
+
+class TestGroundTruth:
+    def test_counts(self, tiny_truth):
+        assert len(tiny_truth.positives()) == 25
+        assert len(tiny_truth.negatives()) == 25
+
+    def test_positive_pairs_have_relations(self, tiny_truth):
+        for pair in tiny_truth.positives():
+            assert pair.relations
+            assert set(pair.relations) <= {"typo", "synonym", "taxonomy"}
+
+    def test_negatives_have_no_relations(self, tiny_truth):
+        for pair in tiny_truth.negatives():
+            assert pair.relations == ()
+
+    def test_positive_pairs_differ_from_base(self, tiny_truth):
+        for pair in tiny_truth.positives():
+            assert pair.left.tokens != pair.right.tokens
+
+    def test_with_relation_filter(self, tiny_truth):
+        typo_pairs = tiny_truth.with_relation("typo")
+        assert all("typo" in pair.relations for pair in typo_pairs)
+
+    def test_requires_records(self):
+        dataset = generate_dataset(TINY_PROFILE, seed=1)
+        empty = dataset.subset(0)
+        with pytest.raises(ValueError):
+            generate_ground_truth(empty, positive_pairs=1, negative_pairs=1)

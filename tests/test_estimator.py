@@ -1,0 +1,202 @@
+"""Tests for the τ-recommendation machinery (Section 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimator import (
+    CostModel,
+    OnlineStatistics,
+    TauRecommender,
+    bernoulli_sample,
+    generate_sample_series,
+    recommend_tau,
+    scale_estimate,
+    student_t_quantile,
+)
+from repro.evaluation.experiments import config_for, split_dataset
+from repro.join.aufilter import PebbleJoin
+from repro.records import RecordCollection
+
+
+class TestOnlineStatistics:
+    def test_matches_direct_computation(self):
+        values = [3.0, 7.0, 7.0, 19.0, 2.0]
+        stats = OnlineStatistics()
+        stats.update_many(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.mean == pytest.approx(mean)
+        assert stats.variance == pytest.approx(variance)
+        assert stats.count == len(values)
+
+    def test_empty_and_single_observation(self):
+        stats = OnlineStatistics()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        stats.update(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        stats = OnlineStatistics()
+        stats.update_many([1.0, 2.0, 3.0])
+        low, high = stats.confidence_interval(1.036)
+        assert low <= stats.mean <= high
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_variance_non_negative(self, values):
+        stats = OnlineStatistics()
+        stats.update_many(values)
+        assert stats.variance >= 0.0
+
+    def test_student_t_quantile_close_to_table(self):
+        # 70% two-sided with many degrees of freedom tends to ~1.036.
+        assert student_t_quantile(0.7, 200) == pytest.approx(1.036, abs=0.02)
+        with pytest.raises(ValueError):
+            student_t_quantile(1.5, 10)
+        with pytest.raises(ValueError):
+            student_t_quantile(0.7, 0)
+
+
+class TestBernoulliSampling:
+    def test_probability_bounds(self):
+        collection = RecordCollection.from_strings(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            bernoulli_sample(collection, 0.0)
+        with pytest.raises(ValueError):
+            bernoulli_sample(collection, 1.5)
+
+    def test_full_probability_keeps_everything(self):
+        collection = RecordCollection.from_strings(["a", "b", "c"])
+        sample = bernoulli_sample(collection, 1.0)
+        assert len(sample) == 3
+
+    def test_sample_size_statistically_reasonable(self):
+        collection = RecordCollection.from_strings([f"r{i}" for i in range(1000)])
+        sample = bernoulli_sample(collection, 0.1, random.Random(1))
+        assert 50 <= len(sample) <= 200
+
+    def test_generate_sample_series(self):
+        collection = RecordCollection.from_strings([f"r{i}" for i in range(50)])
+        series = generate_sample_series(collection, 0.2, 5, seed=3)
+        assert len(series) == 5
+        assert all(sample.probability == 0.2 for sample in series)
+
+    def test_scale_estimate(self):
+        assert scale_estimate(10.0, 0.1, 0.1) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            scale_estimate(10.0, 0.0, 0.1)
+
+    def test_estimator_is_unbiased_in_expectation(self):
+        # Average of many scaled sample counts should approach the true count.
+        collection = RecordCollection.from_strings([f"r{i}" for i in range(400)])
+        rng = random.Random(7)
+        estimates = []
+        for _ in range(60):
+            sample = bernoulli_sample(collection, 0.1, rng)
+            estimates.append(scale_estimate(len(sample), 1.0, 0.1))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(400, rel=0.15)
+
+
+class TestCostModel:
+    def test_cost_combines_phases(self):
+        model = CostModel(filter_cost=1.0, verify_cost=10.0)
+        assert model.cost(100, 5) == pytest.approx(150.0)
+
+    def test_best_tau_picks_lowest_cost(self):
+        model = CostModel(filter_cost=1.0, verify_cost=10.0)
+        model.observe(1, estimated_processed=100, estimated_candidates=50)   # cost 600
+        model.observe(2, estimated_processed=200, estimated_candidates=10)   # cost 300
+        model.observe(3, estimated_processed=500, estimated_candidates=5)    # cost 550
+        assert model.best_tau() == 2
+
+    def test_estimate_tracks_iterations(self):
+        model = CostModel()
+        model.observe(1, 10, 1)
+        model.observe(1, 20, 3)
+        estimate = model.estimate(1)
+        assert estimate.iterations == 2
+        assert estimate.mean_processed == pytest.approx(15.0)
+
+    def test_confidence_interval_ordering(self):
+        model = CostModel()
+        model.observe(1, 10, 1)
+        model.observe(1, 30, 2)
+        low, high = model.estimate(1).confidence_interval(1.036)
+        assert low <= model.estimate(1).mean_cost <= high
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            CostModel(filter_cost=0)
+
+    def test_empty_model(self):
+        assert CostModel().best_tau() is None
+
+
+class TestTauRecommender:
+    def _factory(self, dataset, theta):
+        config = config_for(dataset)
+
+        def factory(tau: int) -> PebbleJoin:
+            return PebbleJoin(config, theta, tau=tau, method="au-heuristic")
+
+        return factory
+
+    def test_recommendation_runs_and_returns_valid_tau(self, tiny_dataset):
+        left, right = split_dataset(tiny_dataset, 40, 40)
+        recommender = TauRecommender(
+            self._factory(tiny_dataset, 0.85),
+            tau_universe=(1, 2, 3),
+            left_probability=0.3,
+            right_probability=0.3,
+            burn_in=3,
+            max_iterations=8,
+            seed=1,
+        )
+        result = recommender.recommend(left, right)
+        assert result.best_tau in (1, 2, 3)
+        assert 3 <= result.iterations <= 8
+        assert set(result.estimates.keys()) == {1, 2, 3}
+        assert result.elapsed_seconds > 0
+
+    def test_estimates_scale_with_sampling_probability(self, tiny_dataset):
+        left, right = split_dataset(tiny_dataset, 40, 40)
+        recommender = TauRecommender(
+            self._factory(tiny_dataset, 0.85),
+            tau_universe=(1,),
+            left_probability=0.5,
+            right_probability=0.5,
+            burn_in=4,
+            max_iterations=6,
+            seed=2,
+        )
+        result = recommender.recommend(left, right)
+        estimate = result.estimates[1]
+        # The scaled processed-pair estimate must be on the order of the true
+        # full-data filtering workload (not the tiny per-sample count).
+        engine = self._factory(tiny_dataset, 0.85)(1)
+        true_result = engine.join(left, right)
+        assert estimate.mean_processed == pytest.approx(
+            true_result.statistics.processed_pairs, rel=1.0
+        )
+
+    def test_invalid_configuration(self, tiny_dataset):
+        factory = self._factory(tiny_dataset, 0.8)
+        with pytest.raises(ValueError):
+            TauRecommender(factory, tau_universe=())
+        with pytest.raises(ValueError):
+            TauRecommender(factory, burn_in=0)
+        with pytest.raises(ValueError):
+            TauRecommender(factory, burn_in=5, max_iterations=2)
+
+    def test_recommend_tau_wrapper(self, tiny_dataset):
+        left, right = split_dataset(tiny_dataset, 30, 30)
+        result = recommend_tau(
+            left, right, config_for(tiny_dataset), 0.85,
+            tau_universe=(1, 2), sample_probability=0.3,
+            burn_in=3, max_iterations=6, seed=4,
+        )
+        assert result.best_tau in (1, 2)

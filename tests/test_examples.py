@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts run end to end and print sensible output."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=True,
+    )
+    return result.stdout
+
+
+def test_quickstart_example():
+    output = _run_example("quickstart.py")
+    assert "USIM(" in output
+    assert "0.822" in output
+    assert "Join found" in output
+
+
+def test_poi_deduplication_example():
+    output = _run_example("poi_deduplication.py")
+    assert "Unified (TJS)" in output
+    assert "Combination" in output
+    assert "Pairs found by the unified join" in output
+
+
+@pytest.mark.slow
+def test_parameter_tuning_example():
+    output = _run_example("parameter_tuning.py")
+    assert "Recommender suggestion" in output

@@ -1,0 +1,104 @@
+"""Tests for q-gram extraction and gram-set similarity measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.grams import (
+    cosine,
+    dice,
+    gram_frequencies,
+    jaccard,
+    overlap_coefficient,
+    qgram_multiset,
+    qgram_set,
+    qgrams,
+)
+
+WORDS = st.text(alphabet="abcdefghij", min_size=0, max_size=12)
+
+
+class TestQgrams:
+    def test_example2_helsinki(self):
+        # Example 2 of the paper: 2-grams of "Helsingki" and "Helsinki".
+        assert qgrams("helsingki", 2) == ["he", "el", "ls", "si", "in", "ng", "gk", "ki"]
+        assert qgrams("helsinki", 2) == ["he", "el", "ls", "si", "in", "nk", "ki"]
+
+    def test_short_string_returns_whole_string(self):
+        assert qgrams("a", 2) == ["a"]
+
+    def test_empty_string(self):
+        assert qgrams("", 2) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_multiset_counts_duplicates(self):
+        counts = qgram_multiset("aaa", 2)
+        assert counts == {"aa": 2}
+
+    @given(WORDS, st.integers(min_value=1, max_value=4))
+    def test_gram_count_formula(self, text, q):
+        grams = qgrams(text, q)
+        if not text:
+            assert grams == []
+        elif len(text) < q:
+            assert grams == [text]
+        else:
+            assert len(grams) == len(text) - q + 1
+
+
+class TestJaccard:
+    def test_example2_value(self):
+        # sim_j(Helsingki, Helsinki) = 6/9 = 2/3 (Example 2).
+        assert jaccard("helsingki", "helsinki", 2) == pytest.approx(2 / 3)
+
+    def test_identical_strings(self):
+        assert jaccard("coffee", "coffee") == 1.0
+
+    def test_disjoint_strings(self):
+        assert jaccard("aaaa", "bbbb") == 0.0
+
+    def test_both_empty(self):
+        assert jaccard("", "") == 1.0
+
+    @given(WORDS, WORDS)
+    def test_symmetry(self, left, right):
+        assert jaccard(left, right) == pytest.approx(jaccard(right, left))
+
+    @given(WORDS, WORDS)
+    def test_range(self, left, right):
+        assert 0.0 <= jaccard(left, right) <= 1.0
+
+    @given(WORDS)
+    def test_self_similarity_is_one(self, text):
+        assert jaccard(text, text) == 1.0
+
+
+class TestOtherGramMeasures:
+    @given(WORDS, WORDS)
+    def test_dice_range_and_symmetry(self, left, right):
+        assert 0.0 <= dice(left, right) <= 1.0
+        assert dice(left, right) == pytest.approx(dice(right, left))
+
+    @given(WORDS, WORDS)
+    def test_cosine_range(self, left, right):
+        assert 0.0 <= cosine(left, right) <= 1.0
+
+    @given(WORDS, WORDS)
+    def test_overlap_at_least_jaccard(self, left, right):
+        assert overlap_coefficient(left, right) >= jaccard(left, right) - 1e-12
+
+    @given(WORDS, WORDS)
+    def test_dice_at_least_jaccard(self, left, right):
+        assert dice(left, right) >= jaccard(left, right) - 1e-12
+
+
+class TestGramFrequencies:
+    def test_counts_documents_not_occurrences(self):
+        freqs = gram_frequencies(["aaa", "aab"], q=2)
+        assert freqs["aa"] == 2  # appears in both strings, once each counted
+        assert freqs["ab"] == 1
+
+    def test_empty_corpus(self):
+        assert gram_frequencies([]) == {}

@@ -1,0 +1,125 @@
+"""Tests for conflict-graph construction and w-MIS solvers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import build_conflict_graph
+from repro.core.measures import MeasureConfig
+from repro.core.mis import exact_wmis, greedy_wmis, is_maximal_independent_set, squareimp_wmis
+from repro.synonyms.rules import SynonymRuleSet
+
+
+@pytest.fixture
+def example5_graph():
+    """The graph of the paper's Example 4/5 (Figure 2), built from its rules.
+
+    S = {a, b, c, d, e}, T = {f, g, h} with six synonym rules; rule R6 is not
+    applicable, so the graph has 5 vertices.
+    """
+    rules = SynonymRuleSet()
+    rules.add_text_rule("b c d", "f", 0.3)
+    rules.add_text_rule("b c", "f g", 0.13)
+    rules.add_text_rule("c d", "f g", 0.27)
+    rules.add_text_rule("a", "g", 0.09)
+    rules.add_text_rule("d", "h", 0.22)
+    rules.add_text_rule("z e f", "g", 0.5)
+    config = MeasureConfig.from_codes("S", rules=rules)
+    graph = build_conflict_graph(tuple("abcde"), tuple("fgh"), config)
+    return graph, config
+
+
+class TestConflictGraph:
+    def test_example5_vertex_count(self, example5_graph):
+        graph, _ = example5_graph
+        # R1–R5 are applicable, R6 is not.
+        assert len(graph) == 5
+
+    def test_conflicting_rules_are_adjacent(self, example5_graph):
+        graph, _ = example5_graph
+        by_weight = {round(v.weight, 2): v.index for v in graph.vertices}
+        r3 = by_weight[0.27]  # {c d} -> {f g}
+        r5 = by_weight[0.22]  # {d} -> {h}
+        assert graph.are_adjacent(r3, r5)  # share token "d" on the S side
+
+    def test_non_conflicting_rules_not_adjacent(self, example5_graph):
+        graph, _ = example5_graph
+        by_weight = {round(v.weight, 2): v.index for v in graph.vertices}
+        r1 = by_weight[0.3]   # {b c d} -> {f}
+        r4 = by_weight[0.09]  # {a} -> {g}
+        assert not graph.are_adjacent(r1, r4)
+
+    def test_zero_weight_pairs_dropped(self, figure1_config):
+        graph = build_conflict_graph(("xyz",), ("qqq",), figure1_config)
+        assert len(graph) == 0
+
+    def test_figure1_graph_has_key_vertices(self, figure1_config):
+        graph = build_conflict_graph(
+            ("coffee", "shop", "latte", "helsingki"),
+            ("espresso", "cafe", "helsinki"),
+            figure1_config,
+        )
+        descriptions = {
+            (vertex.left.tokens, vertex.right.tokens): vertex.weight for vertex in graph.vertices
+        }
+        assert descriptions[(("coffee", "shop"), ("cafe",))] == pytest.approx(1.0)
+        assert descriptions[(("latte",), ("espresso",))] == pytest.approx(0.8)
+        assert descriptions[(("helsingki",), ("helsinki",))] == pytest.approx(2 / 3)
+
+    def test_is_independent(self, example5_graph):
+        graph, _ = example5_graph
+        assert graph.is_independent([])
+        for vertex in graph.vertices:
+            assert graph.is_independent([vertex.index])
+
+
+class TestWMIS:
+    def test_exact_beats_or_equals_greedy(self, example5_graph):
+        graph, _ = example5_graph
+        exact = exact_wmis(graph)
+        greedy = greedy_wmis(graph)
+        assert graph.total_weight(exact) >= graph.total_weight(greedy) - 1e-12
+
+    def test_exact_optimal_on_example5(self, example5_graph):
+        graph, _ = example5_graph
+        exact = exact_wmis(graph)
+        # The optimum selects R1 (0.3) and R4 (0.09): R1's T-side {f} and R4's
+        # {g} are disjoint, while any set containing R2 or R3 conflicts with
+        # R4 on token "g", capping those alternatives at 0.35.  This is the
+        # selection the paper's Example 5 reports for Algorithm 1.
+        assert graph.total_weight(exact) == pytest.approx(0.39)
+
+    def test_solutions_are_independent_sets(self, example5_graph):
+        graph, _ = example5_graph
+        for solver in (greedy_wmis, squareimp_wmis, exact_wmis):
+            selection = solver(graph)
+            assert graph.is_independent(selection)
+
+    def test_solutions_are_maximal(self, example5_graph):
+        graph, _ = example5_graph
+        assert is_maximal_independent_set(graph, greedy_wmis(graph))
+        assert is_maximal_independent_set(graph, squareimp_wmis(graph))
+
+    def test_squareimp_at_least_greedy_weight_on_figure1(self, figure1_config):
+        graph = build_conflict_graph(
+            ("coffee", "shop", "latte", "helsingki"),
+            ("espresso", "cafe", "helsinki"),
+            figure1_config,
+        )
+        greedy = graph.total_weight(greedy_wmis(graph))
+        square = graph.total_weight(squareimp_wmis(graph))
+        exact = graph.total_weight(exact_wmis(graph))
+        assert square >= greedy - 1e-9 or square == pytest.approx(greedy)
+        assert exact >= square - 1e-9
+
+    def test_exact_rejects_large_graphs(self, figure1_config):
+        graph = build_conflict_graph(
+            tuple("abcdefghij"), tuple("abcdefghij"), MeasureConfig.from_codes("J")
+        )
+        if len(graph) > 8:
+            with pytest.raises(ValueError):
+                exact_wmis(graph, max_vertices=8)
+
+    def test_greedy_invalid_key(self, example5_graph):
+        graph, _ = example5_graph
+        with pytest.raises(ValueError):
+            greedy_wmis(graph, key="nope")

@@ -1,0 +1,71 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the full pipeline the way a downstream user would:
+generate data, build knowledge sources, join, verify, and evaluate — and pin
+the cross-cutting invariants that individual unit tests cannot see.
+"""
+
+import pytest
+
+from repro.core.approximation import approximate_usim
+from repro.datasets import TINY_PROFILE, generate_dataset, generate_ground_truth
+from repro.evaluation.experiments import config_for, split_dataset
+from repro.evaluation.metrics import classify_pairs
+from repro.join import PebbleJoin, SignatureMethod, UnifiedJoin
+
+
+class TestEndToEndJoinPipeline:
+    def test_all_filters_agree_on_results(self, tiny_dataset):
+        """U-Filter, AU-heuristic, and AU-DP must verify the same pair set."""
+        config = config_for(tiny_dataset)
+        left, right = split_dataset(tiny_dataset, 40, 40)
+        results = {}
+        for method in SignatureMethod.ALL:
+            engine = PebbleJoin(config, 0.8, tau=2, method=method)
+            results[method] = engine.join(left, right).pair_ids()
+        assert results[SignatureMethod.U_FILTER] == results[SignatureMethod.AU_HEURISTIC]
+        assert results[SignatureMethod.U_FILTER] == results[SignatureMethod.AU_DP]
+
+    def test_join_results_respect_threshold_and_symmetric_measures(self, tiny_dataset):
+        config = config_for(tiny_dataset)
+        left, right = split_dataset(tiny_dataset, 40, 40)
+        result = PebbleJoin(config, 0.85, tau=2).join(left, right)
+        for pair in result.pairs:
+            value = approximate_usim(
+                left[pair.left_id].tokens, right[pair.right_id].tokens, config
+            ).value
+            assert value >= 0.85 - 1e-9
+
+    def test_ground_truth_pairs_are_recoverable_by_unified_join(self, tiny_dataset, tiny_truth):
+        """Most injected similar pairs score above a moderate threshold."""
+        config = config_for(tiny_dataset)
+
+        def similarity(left, right):
+            return approximate_usim(left.tokens, right.tokens, config).value
+
+        pr = classify_pairs(tiny_truth, similarity, 0.6)
+        assert pr.recall >= 0.6
+        assert pr.precision >= 0.8
+
+    def test_unified_join_beats_single_measures_on_recall(self, tiny_dataset, tiny_truth):
+        theta = 0.7
+        recalls = {}
+        for codes in ("J", "T", "S", "TJS"):
+            config = config_for(tiny_dataset, codes)
+
+            def similarity(left, right, _config=config):
+                return approximate_usim(left.tokens, right.tokens, _config).value
+
+            recalls[codes] = classify_pairs(tiny_truth, similarity, theta).recall
+        assert recalls["TJS"] >= max(recalls["J"], recalls["T"], recalls["S"])
+
+    def test_full_facade_with_generated_knowledge(self):
+        dataset = generate_dataset(TINY_PROFILE, count=60, seed=77)
+        join = UnifiedJoin(
+            rules=dataset.rules, taxonomy=dataset.taxonomy, theta=0.9, tau=2, method="au-dp"
+        )
+        result = join.self_join(dataset.records)
+        # Self-join output is deduplicated and ordered.
+        for pair in result.pairs:
+            assert pair.left_id < pair.right_id
+            assert pair.similarity >= 0.9 - 1e-9

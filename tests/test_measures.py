@@ -1,0 +1,114 @@
+"""Tests for individual measures, msim, and MeasureConfig."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.measures import Measure, MeasureConfig
+
+
+class TestMeasureCodes:
+    def test_from_code(self):
+        assert Measure.from_code("J") is Measure.JACCARD
+        assert Measure.from_code("s") is Measure.SYNONYM
+        assert Measure.from_code("T") is Measure.TAXONOMY
+
+    def test_unknown_code(self):
+        with pytest.raises(ValueError):
+            Measure.from_code("X")
+
+    def test_short_codes_roundtrip(self):
+        for measure in Measure:
+            assert Measure.from_code(measure.short_code) is measure
+
+
+class TestMeasureConfig:
+    def test_default_enables_all(self, figure1_config):
+        assert figure1_config.uses(Measure.JACCARD)
+        assert figure1_config.uses(Measure.SYNONYM)
+        assert figure1_config.uses(Measure.TAXONOMY)
+        assert figure1_config.codes == "JST"
+
+    def test_from_codes_subsets(self, figure1_rules, figure1_taxonomy):
+        config = MeasureConfig.from_codes("TJ", rules=figure1_rules, taxonomy=figure1_taxonomy)
+        assert config.uses(Measure.TAXONOMY)
+        assert config.uses(Measure.JACCARD)
+        assert not config.uses(Measure.SYNONYM)
+
+    def test_with_measures_copy(self, figure1_config):
+        restricted = figure1_config.with_measures("J")
+        assert restricted.enabled == frozenset({Measure.JACCARD})
+        assert figure1_config.enabled != restricted.enabled
+
+    def test_empty_measures_rejected(self):
+        with pytest.raises(ValueError):
+            MeasureConfig(enabled=frozenset())
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            MeasureConfig(q=0)
+
+    def test_max_rule_tokens(self, figure1_config):
+        # "coffee shop" (rule) and "coffee drinks"/"apple cake" (taxonomy) are 2 tokens.
+        assert figure1_config.max_rule_tokens == 2
+
+
+class TestIndividualMeasures:
+    def test_jaccard_segments(self, figure1_config):
+        value = figure1_config.jaccard(("helsingki",), ("helsinki",))
+        assert value == pytest.approx(2 / 3)
+
+    def test_synonym_similarity(self, figure1_config):
+        assert figure1_config.synonym(("coffee", "shop"), ("cafe",)) == 1.0
+        assert figure1_config.synonym(("coffee",), ("cafe",)) == 0.0
+
+    def test_taxonomy_similarity(self, figure1_config):
+        assert figure1_config.taxonomy_similarity(("latte",), ("espresso",)) == pytest.approx(0.8)
+
+    def test_disabled_measure_returns_zero(self, figure1_rules, figure1_taxonomy):
+        config = MeasureConfig.from_codes("J", rules=figure1_rules, taxonomy=figure1_taxonomy)
+        assert config.synonym(("coffee", "shop"), ("cafe",)) == 1.0  # raw helper still works
+        # but msim ignores it:
+        value, measure = config.msim_with_measure(("coffee", "shop"), ("cafe",))
+        assert measure is Measure.JACCARD or value == 0.0
+
+    def test_missing_knowledge_sources(self):
+        config = MeasureConfig()  # no rules, no taxonomy
+        assert config.synonym(("a",), ("b",)) == 0.0
+        assert config.taxonomy_similarity(("a",), ("b",)) == 0.0
+        assert config.msim(("ab",), ("ab",)) == 1.0
+
+
+class TestMsim:
+    def test_msim_picks_maximum(self, figure1_config):
+        # Paper: msim(cake, apple cake) = max(Jaccard 0.33, taxonomy 0.75) = 0.75.
+        value, measure = figure1_config.msim_with_measure(("cake",), ("apple", "cake"))
+        assert value == pytest.approx(0.75)
+        assert measure is Measure.TAXONOMY
+
+    def test_msim_synonym_beats_jaccard(self, figure1_config):
+        value, measure = figure1_config.msim_with_measure(("coffee", "shop"), ("cafe",))
+        assert value == 1.0
+        assert measure is Measure.SYNONYM
+
+    def test_msim_zero_for_unrelated(self, figure1_config):
+        value, measure = figure1_config.msim_with_measure(("xyz",), ("qqq",))
+        assert value == 0.0
+        assert measure is None
+
+    def test_msim_cache_returns_same_value(self, figure1_config):
+        first = figure1_config.msim(("latte",), ("espresso",))
+        second = figure1_config.msim(("latte",), ("espresso",))
+        assert first == second == pytest.approx(0.8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=st.lists(st.sampled_from(["coffee", "shop", "latte", "cake", "apple"]), min_size=1, max_size=3),
+        right=st.lists(st.sampled_from(["cafe", "espresso", "cake", "gateau", "apple"]), min_size=1, max_size=3),
+    )
+    def test_msim_range_and_symmetry_guard(self, figure1_config, left, right):
+        value = figure1_config.msim(tuple(left), tuple(right))
+        assert 0.0 <= value <= 1.0
+        # msim dominates every individual enabled measure.
+        assert value >= figure1_config.jaccard(left, right) - 1e-12
+        assert value >= figure1_config.synonym(left, right) - 1e-12
+        assert value >= figure1_config.taxonomy_similarity(left, right) - 1e-12

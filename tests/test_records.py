@@ -1,0 +1,52 @@
+"""Tests for Record and RecordCollection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.records import Record, RecordCollection
+
+
+class TestRecordCollection:
+    def test_from_strings_assigns_dense_ids(self):
+        collection = RecordCollection.from_strings(["a b", "c"])
+        assert [record.record_id for record in collection] == [0, 1]
+        assert collection[0].tokens == ("a", "b")
+
+    def test_non_dense_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RecordCollection([Record(record_id=5, text="a", tokens=("a",))])
+
+    def test_subset_renumbers(self):
+        collection = RecordCollection.from_strings(["a", "b", "c", "d"])
+        subset = collection.subset([1, 3])
+        assert len(subset) == 2
+        assert [record.text for record in subset] == ["b", "d"]
+        assert [record.record_id for record in subset] == [0, 1]
+
+    def test_head(self):
+        collection = RecordCollection.from_strings(["a", "b", "c"])
+        assert len(collection.head(2)) == 2
+        assert len(collection.head(10)) == 3
+
+    def test_texts_preserve_original_strings(self):
+        collection = RecordCollection.from_strings(["Coffee Shop", "cafe"])
+        assert collection.texts() == ["Coffee Shop", "cafe"]
+        # Tokens are normalised even though the original text is preserved.
+        assert collection[0].tokens == ("coffee", "shop")
+
+    def test_statistics_empty(self):
+        stats = RecordCollection().statistics()
+        assert stats["records"] == 0.0
+
+    def test_statistics_values(self):
+        collection = RecordCollection.from_strings(["a b c", "d e"])
+        stats = collection.statistics()
+        assert stats["records"] == 2.0
+        assert stats["min_tokens"] == 2.0
+        assert stats["max_tokens"] == 3.0
+        assert stats["avg_tokens"] == pytest.approx(2.5)
+
+    @given(st.lists(st.text(alphabet="abc ", min_size=1, max_size=10), min_size=0, max_size=20))
+    def test_length_matches_input(self, texts):
+        collection = RecordCollection.from_strings(texts)
+        assert len(collection) == len(texts)

@@ -1,0 +1,101 @@
+"""Tests for well-defined segments and partitions (Definitions 1–2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.segments import (
+    Segment,
+    count_partitions,
+    enumerate_partitions,
+    enumerate_segments,
+    singleton_partition,
+)
+from repro.core.tokenizer import TokenSpan
+from repro.synonyms.rules import SynonymRuleSet
+
+
+class TestEnumerateSegments:
+    def test_single_tokens_always_qualify(self):
+        segments = enumerate_segments(("a", "b", "c"))
+        spans = {(s.span.start, s.span.end) for s in segments}
+        assert spans == {(0, 1), (1, 2), (2, 3)}
+
+    def test_synonym_segment_detected(self, figure1_rules):
+        segments = enumerate_segments(("coffee", "shop", "latte"), rules=figure1_rules)
+        multi = [s for s in segments if len(s) > 1]
+        assert len(multi) == 1
+        assert multi[0].tokens == ("coffee", "shop")
+        assert multi[0].from_synonym
+
+    def test_taxonomy_segment_detected(self, figure1_taxonomy):
+        segments = enumerate_segments(("apple", "cake", "bakery"), taxonomy=figure1_taxonomy)
+        multi = [s for s in segments if len(s) > 1]
+        assert any(s.tokens == ("apple", "cake") and s.from_taxonomy for s in multi)
+
+    def test_paper_example_not_well_defined(self, figure1_rules, figure1_taxonomy):
+        # "shop latte" is explicitly not a well-defined segment in the paper.
+        segments = enumerate_segments(
+            ("coffee", "shop", "latte", "helsingki"),
+            rules=figure1_rules, taxonomy=figure1_taxonomy,
+        )
+        assert not any(s.tokens == ("shop", "latte") for s in segments)
+
+    def test_empty_tokens(self):
+        assert enumerate_segments(()) == []
+
+    def test_segment_conflict(self):
+        a = Segment(TokenSpan(0, 2), ("x", "y"))
+        b = Segment(TokenSpan(1, 3), ("y", "z"))
+        c = Segment(TokenSpan(2, 3), ("z",))
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)
+
+
+class TestEnumeratePartitions:
+    def test_paper_example3_partitions(self, figure1_rules, figure1_taxonomy):
+        # String S of Figure 1 has exactly two well-defined partitions.
+        tokens = ("coffee", "shop", "latte", "helsingki")
+        partitions = list(
+            enumerate_partitions(tokens, rules=figure1_rules, taxonomy=figure1_taxonomy)
+        )
+        assert len(partitions) == 2
+        sizes = sorted(len(p) for p in partitions)
+        assert sizes == [3, 4]
+
+    def test_every_partition_covers_all_tokens_once(self, figure1_rules, figure1_taxonomy):
+        tokens = ("apple", "cake", "coffee", "shop")
+        for partition in enumerate_partitions(
+            tokens, rules=figure1_rules, taxonomy=figure1_taxonomy
+        ):
+            covered = sorted(pos for seg in partition for pos in seg.span.positions())
+            assert covered == list(range(len(tokens)))
+
+    def test_limit_enforced(self, figure1_rules, figure1_taxonomy):
+        tokens = ("coffee", "shop", "latte", "helsingki")
+        with pytest.raises(RuntimeError):
+            list(enumerate_partitions(tokens, rules=figure1_rules,
+                                      taxonomy=figure1_taxonomy, limit=1))
+
+    def test_empty_tokens_single_empty_partition(self):
+        assert list(enumerate_partitions(())) == [()]
+
+    def test_count_matches_enumeration(self, figure1_rules, figure1_taxonomy):
+        tokens = ("coffee", "shop", "apple", "cake")
+        count = count_partitions(tokens, rules=figure1_rules, taxonomy=figure1_taxonomy)
+        enumerated = len(list(
+            enumerate_partitions(tokens, rules=figure1_rules, taxonomy=figure1_taxonomy)
+        ))
+        assert count == enumerated
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=6))
+    def test_count_partitions_with_rules_property(self, tokens):
+        rules = SynonymRuleSet.from_pairs([("a b", "x"), ("c d", "y")])
+        count = count_partitions(tokens, rules=rules)
+        enumerated = len(list(enumerate_partitions(tokens, rules=rules)))
+        assert count == enumerated
+        assert count >= 1
+
+    def test_singleton_partition(self):
+        partition = singleton_partition(("a", "b"))
+        assert [seg.tokens for seg in partition] == [("a",), ("b",)]

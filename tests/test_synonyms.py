@@ -1,0 +1,99 @@
+"""Tests for synonym rules and rule sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.synonyms.rules import SynonymRule, SynonymRuleSet
+
+
+class TestSynonymRule:
+    def test_basic_construction(self):
+        rule = SynonymRule(("coffee", "shop"), ("cafe",), 1.0)
+        assert rule.lhs_text == "coffee shop"
+        assert rule.rhs_text == "cafe"
+        assert rule.max_side_tokens == 2
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            SynonymRule((), ("cafe",))
+
+    def test_invalid_closeness_rejected(self):
+        with pytest.raises(ValueError):
+            SynonymRule(("a",), ("b",), 0.0)
+        with pytest.raises(ValueError):
+            SynonymRule(("a",), ("b",), 1.5)
+
+    def test_reversed(self):
+        rule = SynonymRule(("a",), ("b", "c"), 0.9)
+        swapped = rule.reversed()
+        assert swapped.lhs == ("b", "c")
+        assert swapped.rhs == ("a",)
+        assert swapped.closeness == 0.9
+
+
+class TestSynonymRuleSet:
+    def test_from_pairs_and_lookup(self):
+        rules = SynonymRuleSet.from_pairs([("coffee shop", "cafe")])
+        assert len(rules) == 1
+        assert rules.matches_any_side(("coffee", "shop"))
+        assert rules.matches_any_side(("cafe",))
+        assert not rules.matches_any_side(("tea",))
+
+    def test_similarity_is_symmetric_lookup(self):
+        rules = SynonymRuleSet.from_pairs([("coffee shop", "cafe")])
+        assert rules.similarity(("coffee", "shop"), ("cafe",)) == 1.0
+        assert rules.similarity(("cafe",), ("coffee", "shop")) == 1.0
+        assert rules.similarity(("cafe",), ("tea",)) == 0.0
+
+    def test_similarity_uses_best_closeness(self):
+        rules = SynonymRuleSet()
+        rules.add(SynonymRule(("a",), ("b",), 0.5))
+        rules.add(SynonymRule(("a",), ("b",), 0.9))
+        assert rules.similarity(("a",), ("b",)) == 0.9
+
+    def test_text_similarity(self):
+        rules = SynonymRuleSet.from_pairs([("new york", "ny")])
+        assert rules.text_similarity("New   York", "NY") == 1.0
+
+    def test_matching_spans(self):
+        rules = SynonymRuleSet.from_pairs([("coffee shop", "cafe")])
+        spans = rules.matching_spans(("best", "coffee", "shop", "cafe"))
+        assert (1, 3) in spans   # "coffee shop"
+        assert (3, 4) in spans   # "cafe"
+
+    def test_max_side_tokens(self):
+        rules = SynonymRuleSet.from_pairs([("a b c", "d"), ("e", "f")])
+        assert rules.max_side_tokens == 3
+        assert rules.side_lengths == {1, 3}
+
+    def test_lhs_pebbles_for_both_sides(self):
+        rules = SynonymRuleSet.from_pairs([("coffee shop", "cafe")], closeness=0.8)
+        # Segment equal to the rhs still yields the lhs pebble.
+        pebbles = rules.lhs_pebbles_for(("cafe",))
+        assert pebbles == [(("coffee", "shop"), 0.8)]
+        pebbles = rules.lhs_pebbles_for(("coffee", "shop"))
+        assert pebbles == [(("coffee", "shop"), 0.8)]
+
+    def test_rules_with_side(self):
+        rules = SynonymRuleSet.from_pairs([("a", "b"), ("b", "c")])
+        found = rules.rules_with_side(("b",))
+        assert len(found) == 2
+
+    def test_empty_ruleset(self):
+        rules = SynonymRuleSet()
+        assert len(rules) == 0
+        assert rules.max_side_tokens == 0
+        assert rules.similarity(("a",), ("b",)) == 0.0
+        assert rules.matching_spans(("a", "b")) == []
+
+    @given(st.lists(
+        st.tuples(
+            st.text(alphabet="abc", min_size=1, max_size=3),
+            st.text(alphabet="xyz", min_size=1, max_size=3),
+        ),
+        min_size=1, max_size=10,
+    ))
+    def test_every_added_rule_is_found(self, pairs):
+        rules = SynonymRuleSet.from_pairs(pairs)
+        for lhs, rhs in pairs:
+            assert rules.text_similarity(lhs, rhs) == 1.0

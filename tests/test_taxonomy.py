@@ -1,0 +1,136 @@
+"""Tests for the taxonomy tree: construction, LCA, similarity, builders."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.taxonomy import (
+    Taxonomy,
+    taxonomy_from_edges,
+    taxonomy_from_parent_lines,
+    taxonomy_from_paths,
+)
+
+
+@pytest.fixture
+def coffee_taxonomy():
+    taxonomy = Taxonomy("Wikipedia")
+    food = taxonomy.add_node("food", taxonomy.root)
+    coffee = taxonomy.add_node("coffee", food)
+    drinks = taxonomy.add_node("coffee drinks", coffee)
+    taxonomy.add_node("espresso", drinks)
+    taxonomy.add_node("latte", drinks)
+    cake = taxonomy.add_node("cake", food)
+    taxonomy.add_node("apple cake", cake)
+    return taxonomy
+
+
+class TestTaxonomyStructure:
+    def test_depths(self, coffee_taxonomy):
+        assert coffee_taxonomy.root.depth == 1
+        assert coffee_taxonomy.find("food").depth == 2
+        assert coffee_taxonomy.find("espresso").depth == 5
+
+    def test_find_by_label_and_tokens(self, coffee_taxonomy):
+        assert coffee_taxonomy.find("coffee drinks") is not None
+        assert coffee_taxonomy.find(("coffee", "drinks")) is not None
+        assert coffee_taxonomy.find("tea") is None
+
+    def test_contains(self, coffee_taxonomy):
+        assert "latte" in coffee_taxonomy
+        assert "tea" not in coffee_taxonomy
+
+    def test_add_node_by_label_parent(self, coffee_taxonomy):
+        node = coffee_taxonomy.add_node("mocha", "coffee drinks")
+        assert node.depth == 5
+
+    def test_unknown_parent_raises(self, coffee_taxonomy):
+        with pytest.raises(KeyError):
+            coffee_taxonomy.add_node("x", "does not exist")
+
+    def test_empty_label_rejected(self, coffee_taxonomy):
+        with pytest.raises(ValueError):
+            coffee_taxonomy.add_node("   ", coffee_taxonomy.root)
+
+    def test_ancestors_chain(self, coffee_taxonomy):
+        chain = [node.label for node in coffee_taxonomy.ancestors("espresso")]
+        assert chain == ["espresso", "coffee drinks", "coffee", "food", "Wikipedia"]
+
+    def test_label_lengths(self, coffee_taxonomy):
+        assert coffee_taxonomy.label_lengths == {1, 2}
+        assert coffee_taxonomy.max_label_tokens == 2
+
+    def test_statistics_shape(self, coffee_taxonomy):
+        stats = coffee_taxonomy.statistics()
+        assert stats["nodes"] == len(coffee_taxonomy)
+        assert stats["max_height"] >= stats["avg_height"] >= stats["min_height"]
+
+
+class TestLCAAndSimilarity:
+    def test_lca_of_siblings(self, coffee_taxonomy):
+        assert coffee_taxonomy.lca("espresso", "latte").label == "coffee drinks"
+
+    def test_lca_with_ancestor(self, coffee_taxonomy):
+        assert coffee_taxonomy.lca("espresso", "coffee").label == "coffee"
+
+    def test_paper_example_latte_espresso(self, coffee_taxonomy):
+        # Example 2 (iii): sim_t(latte, espresso) = 4/5.
+        assert coffee_taxonomy.similarity("latte", "espresso") == pytest.approx(0.8)
+
+    def test_paper_example_cake_apple_cake(self, coffee_taxonomy):
+        # Figure 1: taxonomy similarity of cake vs apple cake = 3/4 = 0.75.
+        assert coffee_taxonomy.similarity("cake", "apple cake") == pytest.approx(0.75)
+
+    def test_unmapped_label_gives_zero(self, coffee_taxonomy):
+        assert coffee_taxonomy.similarity("tea", "espresso") == 0.0
+
+    def test_similarity_is_symmetric(self, coffee_taxonomy):
+        labels = ["espresso", "latte", "cake", "apple cake", "food"]
+        for left in labels:
+            for right in labels:
+                assert coffee_taxonomy.similarity(left, right) == pytest.approx(
+                    coffee_taxonomy.similarity(right, left)
+                )
+
+    def test_self_similarity_is_one(self, coffee_taxonomy):
+        for label in ["espresso", "cake", "food"]:
+            assert coffee_taxonomy.similarity(label, label) == 1.0
+
+    def test_matching_spans(self, coffee_taxonomy):
+        spans = coffee_taxonomy.matching_spans(("best", "apple", "cake", "here"))
+        assert (1, 3) in spans  # "apple cake"
+        assert (2, 3) in spans  # "cake"
+
+    def test_ancestor_pebbles(self, coffee_taxonomy):
+        pebbles = coffee_taxonomy.ancestor_pebbles_for(("espresso",))
+        assert len(pebbles) == 5
+        for _, weight in pebbles:
+            assert weight == pytest.approx(1 / 5)
+
+
+class TestBuilders:
+    def test_from_paths_shares_prefixes(self):
+        taxonomy = taxonomy_from_paths([["food", "coffee"], ["food", "cake"]])
+        assert len(taxonomy) == 4  # root + food + coffee + cake
+        assert taxonomy.find("coffee").depth == 3
+
+    def test_from_edges(self):
+        taxonomy = taxonomy_from_edges([("food", "coffee"), ("coffee", "espresso")])
+        assert taxonomy.find("espresso").depth == 4
+
+    def test_from_edges_cycle_raises(self):
+        with pytest.raises(ValueError):
+            taxonomy_from_edges([("a", "b"), ("b", "a")])
+
+    def test_from_parent_lines(self):
+        lines = ["# comment", "food", "coffee\tfood", "espresso\tcoffee", ""]
+        taxonomy = taxonomy_from_parent_lines(lines)
+        assert taxonomy.find("espresso").depth == 4
+
+    @given(st.lists(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4),
+                    min_size=1, max_size=10))
+    def test_paths_always_build_valid_tree(self, paths):
+        taxonomy = taxonomy_from_paths(paths)
+        # Every node's depth equals its parent's depth + 1.
+        for node in taxonomy:
+            if node.parent_id is not None:
+                assert node.depth == taxonomy.node(node.parent_id).depth + 1

@@ -1,0 +1,91 @@
+"""Tests for tokenisation, normalisation, and token spans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tokenizer import TokenSpan, Tokenizer, join_tokens, normalize_text
+
+
+class TestNormalizeText:
+    def test_collapses_whitespace(self):
+        assert normalize_text("a   b\t c\n d") == "a b c d"
+
+    def test_lowercases_by_default(self):
+        assert normalize_text("Coffee Shop") == "coffee shop"
+
+    def test_lowercase_can_be_disabled(self):
+        assert normalize_text("Coffee Shop", lowercase=False) == "Coffee Shop"
+
+    def test_strip_punctuation(self):
+        assert normalize_text("coffee, shop!", strip_punctuation=True) == "coffee shop"
+
+    def test_empty_string(self):
+        assert normalize_text("") == ""
+
+    def test_whitespace_only(self):
+        assert normalize_text("   \t\n") == ""
+
+
+class TestTokenizer:
+    def test_basic_split(self):
+        assert Tokenizer().tokenize("coffee shop latte") == ["coffee", "shop", "latte"]
+
+    def test_empty_input_gives_no_tokens(self):
+        assert Tokenizer().tokenize("") == []
+        assert Tokenizer().tokenize("    ") == []
+
+    def test_canonical_roundtrip(self):
+        tok = Tokenizer()
+        assert tok.canonical("  Coffee   SHOP ") == "coffee shop"
+
+    def test_tokenize_all(self):
+        tok = Tokenizer()
+        assert tok.tokenize_all(["a b", "c"]) == [["a", "b"], ["c"]]
+
+    def test_custom_delimiter(self):
+        tok = Tokenizer(delimiter=r"[,\s]+")
+        assert tok.tokenize("a, b,c") == ["a", "b", "c"]
+
+    @given(st.text())
+    def test_tokens_never_contain_whitespace(self, text):
+        for token in Tokenizer().tokenize(text):
+            assert token == token.strip()
+            assert " " not in token
+
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1, max_size=8))
+    def test_join_then_tokenize_is_identity(self, tokens):
+        tok = Tokenizer()
+        assert tok.tokenize(join_tokens(tokens)) == tokens
+
+
+class TestTokenSpan:
+    def test_length(self):
+        assert len(TokenSpan(1, 4)) == 3
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            TokenSpan(3, 2)
+        with pytest.raises(ValueError):
+            TokenSpan(-1, 2)
+
+    def test_overlap_detection(self):
+        assert TokenSpan(0, 2).overlaps(TokenSpan(1, 3))
+        assert not TokenSpan(0, 2).overlaps(TokenSpan(2, 4))
+
+    def test_contains(self):
+        span = TokenSpan(2, 5)
+        assert span.contains(2)
+        assert span.contains(4)
+        assert not span.contains(5)
+
+    def test_slice(self):
+        assert TokenSpan(1, 3).slice(["a", "b", "c", "d"]) == ("b", "c")
+
+    @given(
+        st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10),
+    )
+    def test_overlap_is_symmetric(self, a, b, c, d):
+        first = TokenSpan(min(a, b), max(a, b))
+        second = TokenSpan(min(c, d), max(c, d))
+        assert first.overlaps(second) == second.overlaps(first)
