@@ -2,22 +2,49 @@
 
 Paper shape: all filters grow roughly linearly over the measured range (no
 quadratic blow-up), and AU-Filter (DP) scales best.
+
+The ``run_fig7`` driver is shared with the tier-1 benchmark smoke tests
+(``tests/test_benchmarks_smoke.py``), which execute it at tiny sizes; it also
+cross-checks the chunked :meth:`~repro.join.aufilter.PebbleJoin.join_batches`
+streaming API against the materializing join at the largest size.
 """
 
 from __future__ import annotations
 
-from repro.evaluation.experiments import scalability
+from repro.evaluation.experiments import config_for, scalability, split_dataset
+from repro.join.aufilter import PebbleJoin
 from repro.join.signatures import SignatureMethod
 
 SIZES = (30, 60, 90)
 THETA = 0.9
+TAU = 3
+
+
+def run_fig7(dataset, *, sizes=SIZES, theta=THETA, tau=TAU):
+    """The Figure-7 grid: join time per method and per-side size."""
+    return scalability(dataset, sizes=sizes, theta=theta, tau=tau)
+
+
+def run_batched_consistency(dataset, *, size, theta=THETA, tau=TAU, batch_size=16):
+    """Check that the streaming join yields exactly the materializing join."""
+    config = config_for(dataset)
+    left, right = split_dataset(dataset, size, size)
+    engine = PebbleJoin(config, theta, tau=tau, method=SignatureMethod.AU_DP)
+    full = engine.join(left, right)
+    streamed = set()
+    batches = 0
+    for batch in engine.join_batches(left, right, batch_size=batch_size):
+        batches += 1
+        streamed.update((pair.left_id, pair.right_id) for pair in batch.pairs)
+    return {
+        "matches": streamed == full.pair_ids(),
+        "batches": batches,
+        "pairs": len(full),
+    }
 
 
 def test_fig7_scalability(benchmark, med_dataset):
-    results = benchmark.pedantic(
-        lambda: scalability(med_dataset, sizes=SIZES, theta=THETA, tau=3),
-        rounds=1, iterations=1,
-    )
+    results = benchmark.pedantic(lambda: run_fig7(med_dataset), rounds=1, iterations=1)
 
     print(f"\n[MED subset] Figure 7 — join time (s) vs per-side size at θ = {THETA}")
     print(f"  {'filter':<14}" + "".join(f" n={size:<6}" for size in SIZES))
@@ -34,3 +61,15 @@ def test_fig7_scalability(benchmark, med_dataset):
         large = results[method][SIZES[-1]].statistics.total_seconds
         if small > 0.05:  # ignore measurements dominated by constant overhead
             assert large / small < 9.0
+
+
+def test_fig7_batched_join_consistency(benchmark, med_dataset):
+    outcome = benchmark.pedantic(
+        lambda: run_batched_consistency(med_dataset, size=SIZES[-1]), rounds=1, iterations=1
+    )
+    print(
+        f"\n[MED subset] streamed join: {outcome['pairs']} pairs across "
+        f"{outcome['batches']} batches"
+    )
+    assert outcome["matches"]
+    assert outcome["batches"] > 1

@@ -6,3 +6,12 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running tests (examples, sweeps)")
+    config.addinivalue_line(
+        "markers",
+        "benchmarks: fast smoke runs of the benchmark harnesses "
+        "(tiny sizes; the full-scale runs live under benchmarks/)",
+    )

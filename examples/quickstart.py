@@ -1,8 +1,9 @@
 """Quickstart: the Figure-1 example of the paper, end to end.
 
 Builds the toy taxonomy and synonym rules of the paper's Figure 1, computes
-the unified similarity of the running example pair, and then joins two small
-POI collections with the AU-Filter (DP) join.
+the unified similarity of the running example pair, joins two small POI
+collections with the AU-Filter (DP) join, and shows how prepared
+collections let repeated joins reuse one pebble generation and signing.
 
 Run with::
 
@@ -72,6 +73,19 @@ def main() -> None:
     for pair in sorted(result.pairs, key=lambda p: -p.similarity):
         print(f"  {pois_a[pair.left_id].text!r} <-> {pois_b[pair.right_id].text!r} "
               f"(sim={pair.similarity:.3f})")
+
+    # --- prepared reuse across repeated joins ------------------------------
+    # prepare() caches pebbles, orders, and signatures, so running several
+    # joins over the same collections only pays for signing once per
+    # configuration — here the pair join above is followed by a self-join of
+    # collection A for near-duplicate detection, reusing A's preparation.
+    prepared_a = join.prepare(pois_a)
+    prepared_b = join.prepare(pois_b)
+    pair_result = join.join(prepared_a, prepared_b)
+    dedup_result = join.join(prepared_a)  # self-join: pairs reported once
+    print(f"\nPrepared reuse: pair join again -> {len(pair_result)} pairs, "
+          f"self-join of collection A -> {len(dedup_result)} near-duplicates "
+          f"(signatures cached: {prepared_a.cached_signature_count})")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,10 @@
 """Algorithm 7: sampling-based recommendation of the overlap constraint τ.
 
-The recommender draws a series of small independent Bernoulli samples from
-both input collections, runs *only the filtering stage* of the AU-Filter
-join on each sample for every candidate τ, scales the observed cardinalities
+The recommender signs the full input collections **once** (at the largest
+candidate τ, through the :class:`~repro.join.prepared.PreparedCollection`
+signature cache), then draws a series of small independent Bernoulli samples
+of the *signed* records, runs only the probe-based filtering stage on each
+sample — one multi-τ pass per iteration — scales the observed cardinalities
 up to the full data (unbiased Bernoulli estimators), and folds them into the
 cost model.  Iterations continue until both
 
@@ -11,6 +13,16 @@ cost model.  Iterations continue until both
   than the cost of running one more estimation iteration (Inequality 24),
 
 after which the τ with the lowest estimated total cost is returned.
+
+Because the prepared signature cache is shared, a subsequent full join at
+the same (θ, signing τ, method) — as ``UnifiedJoin(tau="auto")`` performs —
+reuses the recommendation's signing verbatim: the full collections are
+signed exactly once end to end.
+
+Self-joins are estimated as self-joins: one sample per iteration, filtered
+with ``exclude_self_pairs`` so that neither ``(i, i)`` nor mirrored pairs
+inflate the cost estimates (each unordered pair survives sampling with
+probability ``p²``, so estimates scale by ``1/p²``).
 """
 
 from __future__ import annotations
@@ -21,8 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.measures import MeasureConfig
-from ..records import RecordCollection
-from .bernoulli import BernoulliSample, bernoulli_sample, scale_estimate
+from .bernoulli import scale_estimate
 from .cost_model import CostEstimate, CostModel
 
 __all__ = ["RecommendationResult", "TauRecommender", "recommend_tau"]
@@ -44,6 +55,11 @@ class RecommendationResult:
     elapsed_seconds: float
     estimates: Dict[int, CostEstimate]
     sample_sizes: List[Tuple[int, int]] = field(default_factory=list)
+    #: τ the shared signatures were selected for (``max(tau_universe)``);
+    #: a follow-up join signing at this τ hits the prepared cache.
+    signing_tau: int = 1
+    #: Whether the recommendation estimated a self-join.
+    self_join: bool = False
 
     def estimated_cost(self, tau: int) -> float:
         """Estimated total cost of joining with ``tau``."""
@@ -68,9 +84,10 @@ class TauRecommender:
         seed: Optional[int] = None,
     ) -> None:
         """``join_factory(tau)`` must return a join engine exposing
-        ``build_order``, ``sign_collection``, and ``filter_candidates`` —
-        i.e. a :class:`~repro.join.aufilter.PebbleJoin` configured for the
-        target θ and signature method.
+        ``as_prepared``, ``filter_candidates_multi``, and the ``config`` /
+        ``theta`` / ``method`` / ``order_strategy`` attributes — i.e. a
+        :class:`~repro.join.aufilter.PebbleJoin` configured for the target θ
+        and signature method.
         """
         if burn_in < 1:
             raise ValueError("burn_in must be at least 1")
@@ -91,52 +108,71 @@ class TauRecommender:
     # ------------------------------------------------------------------ #
     # one estimation iteration
     # ------------------------------------------------------------------ #
+    def _sample_signed(self, signed: Sequence, probability: float) -> List:
+        return [record for record in signed if self.rng.random() < probability]
+
     def _run_iteration(
-        self, left: RecordCollection, right: RecordCollection
+        self,
+        engine,
+        left_signed: Sequence,
+        right_signed: Sequence,
+        self_join: bool,
     ) -> Tuple[Dict[int, Tuple[float, float]], Tuple[int, int], float]:
-        """Sample both collections, run filtering for every τ, scale estimates.
+        """Sample the signed records, probe every τ in one pass, scale.
 
         Returns the per-τ ``(T̂, V̂)`` estimates, the sample sizes, and the raw
         (unscaled) processed-pair count of this iteration, which feeds the
         stopping rule's right-hand side.
         """
-        left_sample = bernoulli_sample(left, self.left_probability, self.rng)
-        right_sample = bernoulli_sample(right, self.right_probability, self.rng)
-        estimates: Dict[int, Tuple[float, float]] = {}
-        raw_processed_total = 0.0
+        if self_join:
+            sample = self._sample_signed(left_signed, self.left_probability)
+            sizes = (len(sample), len(sample))
+            left_scale = right_scale = self.left_probability
+            if len(sample) == 0:
+                multi = None
+            else:
+                # A self-join sample is filtered as a self-join: one index,
+                # (i, i) and mirrored pairs excluded.
+                multi = engine.filter_candidates_multi(
+                    sample, sample, self.tau_universe, exclude_self_pairs=True
+                )
+        else:
+            left_sample = self._sample_signed(left_signed, self.left_probability)
+            right_sample = self._sample_signed(right_signed, self.right_probability)
+            sizes = (len(left_sample), len(right_sample))
+            left_scale, right_scale = self.left_probability, self.right_probability
+            if len(left_sample) == 0 or len(right_sample) == 0:
+                multi = None
+            else:
+                multi = engine.filter_candidates_multi(
+                    left_sample, right_sample, self.tau_universe
+                )
 
-        if len(left_sample) == 0 or len(right_sample) == 0:
+        estimates: Dict[int, Tuple[float, float]] = {}
+        if multi is None:
             # Empty samples estimate zero work for every τ; they still count
             # as an iteration (the estimator stays unbiased in expectation).
             for tau in self.tau_universe:
                 estimates[tau] = (0.0, 0.0)
-            return estimates, (len(left_sample), len(right_sample)), 0.0
+            return estimates, sizes, 0.0
 
-        # Sign once per iteration with the largest τ so the same signatures
-        # serve every probe; the overlap requirement is applied per τ during
-        # filtering, mirroring how Algorithm 7 reuses the filtering stage.
-        engine = self.join_factory(max(self.tau_universe))
-        order = engine.build_order(left_sample.collection, right_sample.collection)
-        left_signed = engine.sign_collection(left_sample.collection, order)
-        right_signed = engine.sign_collection(right_sample.collection, order)
-
+        processed = scale_estimate(multi.processed_pairs, left_scale, right_scale)
         for tau in self.tau_universe:
-            outcome = engine.filter_candidates(left_signed, right_signed, tau=tau)
-            processed = scale_estimate(
-                outcome.processed_pairs, self.left_probability, self.right_probability
-            )
             candidates = scale_estimate(
-                outcome.candidate_count, self.left_probability, self.right_probability
+                multi.candidate_counts[tau], left_scale, right_scale
             )
             estimates[tau] = (processed, candidates)
-            raw_processed_total += outcome.processed_pairs
-        return estimates, (len(left_sample), len(right_sample)), raw_processed_total
+        return estimates, sizes, float(multi.processed_pairs)
 
     # ------------------------------------------------------------------ #
     # stopping rule
     # ------------------------------------------------------------------ #
     def _should_stop(self, iteration: int, last_raw_processed: float) -> bool:
-        """Inequality 24 after the burn-in period."""
+        """Inequality 24 after the burn-in period.
+
+        One estimation iteration is a single multi-τ probe pass, so its cost
+        is one filtering pass over the sample — not one pass per candidate τ.
+        """
         if iteration < self.burn_in:
             return False
         estimates = {tau: self.cost_model.estimate(tau) for tau in self.tau_universe}
@@ -150,25 +186,61 @@ class TauRecommender:
         if not other_lowers:
             return True
         penalty = best_upper - min(other_lowers)
-        next_iteration_cost = self.cost_model.filter_cost * last_raw_processed * len(self.tau_universe)
+        next_iteration_cost = self.cost_model.filter_cost * last_raw_processed
         return penalty < next_iteration_cost
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def recommend(
-        self, left: RecordCollection, right: Optional[RecordCollection] = None
+        self,
+        left,
+        right=None,
+        *,
+        order=None,
     ) -> RecommendationResult:
-        """Run Algorithm 7 and return the recommended τ with its evidence."""
-        right_collection = left if right is None else right
+        """Run Algorithm 7 and return the recommended τ with its evidence.
+
+        ``left`` and ``right`` may be raw
+        :class:`~repro.records.RecordCollection` objects or prepared
+        collections; ``right=None`` estimates a self-join (deduplicated
+        pairs, ``exclude_self_pairs``).  Passing the same collection twice
+        keeps cross-join semantics — matching what ``join(c, c)`` executes —
+        while still sharing one preparation and signing.  A precomputed
+        ``order`` (shared with the final join) can be supplied to avoid
+        rebuilding the global order.
+        """
         start = time.perf_counter()
+        signing_tau = max(self.tau_universe)
+        engine = self.join_factory(signing_tau)
+        self_join = right is None
+
+        left_prep = engine.as_prepared(left)
+        right_prep = left_prep if (self_join or right is left) else engine.as_prepared(right)
+        if order is None:
+            if right_prep is left_prep:
+                order = left_prep.build_order(engine.order_strategy)
+            else:
+                order = left_prep.shared_order_with(right_prep, engine.order_strategy)
+
+        # One full signing at the largest candidate τ serves every iteration
+        # and — through the prepared cache — the final join.
+        left_signed = left_prep.signed(order, engine.theta, signing_tau, engine.method)
+        right_signed = (
+            left_signed
+            if self_join
+            else right_prep.signed(order, engine.theta, signing_tau, engine.method)
+        )
+
         sample_sizes: List[Tuple[int, int]] = []
         iteration = 0
         last_raw_processed = 0.0
 
         while iteration < self.max_iterations:
             iteration += 1
-            estimates, sizes, raw_processed = self._run_iteration(left, right_collection)
+            estimates, sizes, raw_processed = self._run_iteration(
+                engine, left_signed, right_signed, self_join
+            )
             sample_sizes.append(sizes)
             last_raw_processed = raw_processed
             for tau, (processed, candidates) in estimates.items():
@@ -184,12 +256,14 @@ class TauRecommender:
             elapsed_seconds=time.perf_counter() - start,
             estimates=estimates_by_tau,
             sample_sizes=sample_sizes,
+            signing_tau=signing_tau,
+            self_join=self_join,
         )
 
 
 def recommend_tau(
-    left: RecordCollection,
-    right: Optional[RecordCollection],
+    left,
+    right,
     config: MeasureConfig,
     theta: float,
     *,
@@ -200,8 +274,13 @@ def recommend_tau(
     max_iterations: int = 100,
     t_quantile: float = DEFAULT_T_QUANTILE,
     seed: Optional[int] = None,
+    order=None,
 ) -> RecommendationResult:
-    """Convenience wrapper: recommend τ for a unified join configuration."""
+    """Convenience wrapper: recommend τ for a unified join configuration.
+
+    ``left``/``right`` accept raw or prepared collections; ``right=None``
+    recommends for a self-join.
+    """
     from ..join.aufilter import PebbleJoin
 
     def factory(tau: int) -> PebbleJoin:
@@ -217,4 +296,4 @@ def recommend_tau(
         t_quantile=t_quantile,
         seed=seed,
     )
-    return recommender.recommend(left, right)
+    return recommender.recommend(left, right, order=order)

@@ -21,6 +21,7 @@ from ..datasets.ground_truth import GroundTruth, generate_ground_truth
 from ..datasets.synthetic import SyntheticDataset
 from ..estimator.recommend import RecommendationResult, TauRecommender
 from ..join.aufilter import JoinResult, PebbleJoin
+from ..join.prepared import PreparedCollection, build_shared_order
 from ..join.signatures import SignatureMethod
 from ..records import Record, RecordCollection
 from .metrics import PrecisionRecall, classify_pairs, percentiles
@@ -238,7 +239,7 @@ def tau_tradeoff(
     cells: List[TauTradeoffCell] = []
     for theta in thetas:
         for tau in taus:
-            engine = PebbleJoin(config, theta, tau=tau, method=method)
+            engine = PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
             start = time.perf_counter()
             result = engine.join(left, right)
             elapsed = time.perf_counter() - start
@@ -256,6 +257,11 @@ def tau_tradeoff(
     return cells
 
 
+def _effective_tau(method: str, tau: int) -> int:
+    """U-Filter implies τ = 1 (an explicit larger τ is rejected by the engine)."""
+    return 1 if method == SignatureMethod.U_FILTER else tau
+
+
 def join_time_by_method(
     left: RecordCollection,
     right: RecordCollection,
@@ -265,13 +271,23 @@ def join_time_by_method(
     tau: int = 3,
     methods: Sequence[str] = SignatureMethod.ALL,
 ) -> Dict[str, Dict[float, JoinResult]]:
-    """Reproduce Figures 4 and 5: U-Filter vs AU-heuristic vs AU-DP."""
+    """Reproduce Figures 4 and 5: U-Filter vs AU-heuristic vs AU-DP.
+
+    Both sides are prepared once and shared across every (method, θ) cell,
+    so the comparison measures signing + filtering + verification rather
+    than repeated pebble generation.
+    """
+    left_prep = PreparedCollection.prepare(left, config)
+    right_prep = PreparedCollection.prepare(right, config)
+    order = build_shared_order([left_prep, right_prep])
     results: Dict[str, Dict[float, JoinResult]] = {}
     for method in methods:
         results[method] = {}
         for theta in thetas:
-            engine = PebbleJoin(config, theta, tau=tau, method=method)
-            results[method][theta] = engine.join(left, right)
+            engine = PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
+            results[method][theta] = engine.join(
+                left_prep, right_prep, precomputed_order=order
+            )
     return results
 
 
@@ -291,7 +307,7 @@ def join_time_by_measure(
         config = config_for(dataset, codes)
         results[codes] = {}
         for theta in thetas:
-            engine = PebbleJoin(config, theta, tau=tau, method=method)
+            engine = PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
             results[codes][theta] = engine.join(left, right)
     return results
 
@@ -312,9 +328,14 @@ def scalability(
     config = config_for(dataset)
     for size in sizes:
         left, right = split_dataset(dataset, size, size)
+        left_prep = PreparedCollection.prepare(left, config)
+        right_prep = PreparedCollection.prepare(right, config)
+        order = build_shared_order([left_prep, right_prep])
         for method in methods:
-            engine = PebbleJoin(config, theta, tau=tau, method=method)
-            results[method][size] = engine.join(left, right)
+            engine = PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
+            results[method][size] = engine.join(
+                left_prep, right_prep, precomputed_order=order
+            )
     return results
 
 
@@ -327,11 +348,20 @@ def time_breakdown(
     sample_probability: float = 0.1,
     seed: Optional[int] = 11,
 ) -> Dict[int, Dict[str, float]]:
-    """Reproduce Table 10: suggestion / filtering / verification seconds."""
+    """Reproduce Table 10: suggestion / filtering / verification seconds.
+
+    The recommendation and the final join share one preparation, order, and
+    full signing (the ``UnifiedJoin(tau="auto")`` flow): suggestion seconds
+    include the single full signing at ``max(tau_universe)``, and the final
+    join's signing is a cache hit.
+    """
     config = config_for(dataset)
     breakdown: Dict[int, Dict[str, float]] = {}
     for size in sizes:
         left, right = split_dataset(dataset, size, size)
+        left_prep = PreparedCollection.prepare(left, config)
+        right_prep = PreparedCollection.prepare(right, config)
+        order = left_prep.shared_order_with(right_prep)
 
         def factory(tau: int) -> PebbleJoin:
             return PebbleJoin(config, theta, tau=tau, method=SignatureMethod.AU_DP)
@@ -346,11 +376,16 @@ def time_breakdown(
             seed=seed,
         )
         start = time.perf_counter()
-        recommendation = recommender.recommend(left, right)
+        recommendation = recommender.recommend(left_prep, right_prep, order=order)
         suggestion_seconds = time.perf_counter() - start
 
         engine = PebbleJoin(config, theta, tau=recommendation.best_tau, method=SignatureMethod.AU_DP)
-        result = engine.join(left, right)
+        result = engine.join(
+            left_prep,
+            right_prep,
+            precomputed_order=order,
+            signing_tau=recommendation.signing_tau,
+        )
         breakdown[size] = {
             "suggestion": suggestion_seconds,
             "filtering": result.statistics.signing_seconds + result.statistics.filtering_seconds,
@@ -372,7 +407,7 @@ def _join_seconds_for_tau(
     tau: int,
     method: str,
 ) -> float:
-    engine = PebbleJoin(config, theta, tau=tau, method=method)
+    engine = PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
     start = time.perf_counter()
     engine.join(left, right)
     return time.perf_counter() - start
@@ -391,6 +426,9 @@ def parameter_selection_comparison(
     """Reproduce Table 11: suggested vs mean-random vs worst τ join time."""
     config = config_for(dataset)
     left, right = split_dataset(dataset, size, size)
+    left_prep = PreparedCollection.prepare(left, config)
+    right_prep = PreparedCollection.prepare(right, config)
+    order = left_prep.shared_order_with(right_prep)
     comparison: Dict[float, Dict[str, float]] = {}
     for theta in thetas:
         times = {
@@ -398,7 +436,7 @@ def parameter_selection_comparison(
         }
 
         def factory(tau: int) -> PebbleJoin:
-            return PebbleJoin(config, theta, tau=tau, method=method)
+            return PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
 
         recommender = TauRecommender(
             factory,
@@ -409,7 +447,7 @@ def parameter_selection_comparison(
             max_iterations=10,
             seed=seed,
         )
-        recommendation = recommender.recommend(left, right)
+        recommendation = recommender.recommend(left_prep, right_prep, order=order)
         comparison[theta] = {
             "suggested": times[recommendation.best_tau],
             "random_mean": sum(times.values()) / len(times),
@@ -440,6 +478,9 @@ def suggestion_accuracy(
     """
     config = config_for(dataset)
     left, right = split_dataset(dataset, size, size)
+    left_prep = PreparedCollection.prepare(left, config)
+    right_prep = PreparedCollection.prepare(right, config)
+    order = left_prep.shared_order_with(right_prep)
     accuracy: Dict[float, Dict[str, float]] = {}
     for theta in thetas:
         times = {
@@ -452,7 +493,7 @@ def suggestion_accuracy(
         suggestion_seconds = 0.0
         for run in range(runs):
             def factory(tau: int) -> PebbleJoin:
-                return PebbleJoin(config, theta, tau=tau, method=method)
+                return PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
 
             recommender = TauRecommender(
                 factory,
@@ -464,7 +505,7 @@ def suggestion_accuracy(
                 seed=seed + run,
             )
             start = time.perf_counter()
-            recommendation = recommender.recommend(left, right)
+            recommendation = recommender.recommend(left_prep, right_prep, order=order)
             suggestion_seconds += time.perf_counter() - start
             if times[recommendation.best_tau] <= best_time * tolerance_ratio:
                 hits += 1
@@ -489,10 +530,13 @@ def sampling_probability_tradeoff(
     """Reproduce Figure 8: iterations and suggestion time vs sample probability."""
     config = config_for(dataset)
     left, right = split_dataset(dataset, size, size)
+    left_prep = PreparedCollection.prepare(left, config)
+    right_prep = PreparedCollection.prepare(right, config)
+    order = left_prep.shared_order_with(right_prep)
     outcome: Dict[float, Dict[str, float]] = {}
     for probability in probabilities:
         def factory(tau: int) -> PebbleJoin:
-            return PebbleJoin(config, theta, tau=tau, method=method)
+            return PebbleJoin(config, theta, tau=_effective_tau(method, tau), method=method)
 
         recommender = TauRecommender(
             factory,
@@ -504,7 +548,7 @@ def sampling_probability_tradeoff(
             seed=seed,
         )
         start = time.perf_counter()
-        recommendation = recommender.recommend(left, right)
+        recommendation = recommender.recommend(left_prep, right_prep, order=order)
         elapsed = time.perf_counter() - start
         outcome[probability] = {
             "iterations": float(recommendation.iterations),

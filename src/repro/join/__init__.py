@@ -1,11 +1,20 @@
 """Pebble-based filter-and-verify join framework (Section 3 of the paper)."""
 
-from .aufilter import FilterOutcome, JoinResult, JoinStatistics, PebbleJoin
+from .aufilter import (
+    FilterOutcome,
+    JoinBatch,
+    JoinResult,
+    JoinStatistics,
+    MultiFilterOutcome,
+    PebbleJoin,
+    dual_index_filter_candidates,
+)
 from .framework import UnifiedJoin
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
 from .partition_bound import greedy_cover_size, min_partition_size
 from .pebbles import Pebble, PebbleKey, generate_pebbles
+from .prepared import PreparedCollection, PreparedRecord, build_shared_order
 from .signatures import SignatureMethod, SignedRecord, select_signature_prefix, sign_record
 from .ufilter import UFilterJoin
 from .verification import UnifiedVerifier, VerifiedPair, Verifier
@@ -14,11 +23,15 @@ __all__ = [
     "FilterOutcome",
     "GlobalOrder",
     "InvertedIndex",
+    "JoinBatch",
     "JoinResult",
     "JoinStatistics",
+    "MultiFilterOutcome",
     "Pebble",
     "PebbleKey",
     "PebbleJoin",
+    "PreparedCollection",
+    "PreparedRecord",
     "SignatureMethod",
     "SignedRecord",
     "UFilterJoin",
@@ -26,6 +39,8 @@ __all__ = [
     "UnifiedVerifier",
     "VerifiedPair",
     "Verifier",
+    "build_shared_order",
+    "dual_index_filter_candidates",
     "generate_pebbles",
     "greedy_cover_size",
     "min_partition_size",

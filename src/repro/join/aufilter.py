@@ -5,6 +5,35 @@ U-Filter signature method it is Algorithm 3; with ``tau ≥ 1`` and an
 AU-Filter signature method it is Algorithm 6.  The engine exposes the
 filtering stage separately because the τ-recommendation machinery of
 Section 4 runs filtering alone on samples.
+
+Filtering architecture
+----------------------
+Filtering is *probe-based*: one inverted index is built on the side with the
+smaller signature footprint and the other side's signatures stream through
+it.  Each probe record keeps a small integer-keyed overlap counter per
+partner it touches; a candidate is emitted the moment its counter reaches
+the overlap requirement τ and further counting for that pair is
+short-circuited.  A self-join takes a dedicated single-index path: the
+collection is indexed once and probed against itself, and because posting
+lists are sorted ascending by record id the probe breaks out of a posting
+list at the first partner ``id >= probe_id`` (each unordered pair is counted
+exactly once, when the higher id probes).
+
+``processed_pairs`` still reports the paper's ``T_τ`` — every (left, right)
+postings combination the filter touches — so the cost model and the
+τ-recommender see the same quantity as the classic dual-index formulation
+(the legacy implementation is kept as
+:func:`dual_index_filter_candidates` for equivalence tests and benchmarks).
+
+Signing reuse
+-------------
+Both sides of a join may be passed as
+:class:`~repro.join.prepared.PreparedCollection` objects, in which case
+pebble generation, the global order, and per-(θ, τ, method) signatures are
+all cached and shared across joins, the τ-recommender, and
+``UnifiedJoin(tau="auto")``.  :meth:`PebbleJoin.join_batches` streams the
+probe side in chunks so large joins never materialize the full candidate
+list.
 """
 
 from __future__ import annotations
@@ -12,16 +41,28 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.measures import MeasureConfig
-from ..records import Record, RecordCollection
+from ..records import RecordCollection
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
+from .prepared import PreparedCollection
 from .signatures import SignatureMethod, SignedRecord, sign_record
 from .verification import UnifiedVerifier, VerifiedPair, Verifier
 
-__all__ = ["FilterOutcome", "JoinStatistics", "JoinResult", "PebbleJoin"]
+__all__ = [
+    "FilterOutcome",
+    "MultiFilterOutcome",
+    "JoinBatch",
+    "JoinStatistics",
+    "JoinResult",
+    "PebbleJoin",
+    "dual_index_filter_candidates",
+]
+
+#: Either a raw record collection or a prepared one; engines accept both.
+Joinable = Union[RecordCollection, PreparedCollection]
 
 
 @dataclass
@@ -31,12 +72,16 @@ class FilterOutcome:
     Attributes
     ----------
     candidates:
-        Candidate ``(left_id, right_id)`` pairs surviving the overlap test.
+        Candidate ``(left_id, right_id)`` pairs surviving the overlap test,
+        in emission order (the moment their overlap counter reached τ).
     processed_pairs:
         The paper's ``T_τ``: how many (left, right) postings combinations the
-        filter touched — the filtering cost driver in the cost model.
+        filter touched — the filtering cost driver in the cost model.  For a
+        fixed signing this is independent of τ.
     overlap_counts:
-        For diagnostics: the number of shared signature keys per candidate.
+        Optional diagnostics (``collect_overlap_counts=True``): the overlap
+        counter per touched pair, *saturating at the overlap requirement*
+        because counting short-circuits once a pair becomes a candidate.
     """
 
     candidates: List[Tuple[int, int]]
@@ -47,6 +92,29 @@ class FilterOutcome:
     def candidate_count(self) -> int:
         """The paper's ``V_τ``: number of candidates sent to verification."""
         return len(self.candidates)
+
+
+@dataclass
+class MultiFilterOutcome:
+    """Per-τ candidate cardinalities from one shared filtering pass.
+
+    The τ-recommender probes every candidate τ on one signing; since the
+    postings touched do not depend on τ, a single probe pass with counters
+    capped at ``max(taus)`` yields every ``V_τ`` at once.
+    """
+
+    processed_pairs: int
+    candidate_counts: Dict[int, int]
+
+
+@dataclass
+class JoinBatch:
+    """One streamed chunk of a :meth:`PebbleJoin.join_batches` run."""
+
+    pairs: List[VerifiedPair]
+    candidate_count: int
+    processed_pairs: int
+    probe_range: Tuple[int, int]
 
 
 @dataclass
@@ -100,6 +168,159 @@ def _average_signature_length(signed: Sequence[SignedRecord]) -> float:
     return sum(record.signature_length for record in signed) / len(signed)
 
 
+def dual_index_filter_candidates(
+    left_signed: Sequence[SignedRecord],
+    right_signed: Sequence[SignedRecord],
+    *,
+    requirement: int,
+    exclude_self_pairs: bool = False,
+) -> FilterOutcome:
+    """The classic dual-index filter (reference implementation).
+
+    Builds one inverted index per side — including the identical index twice
+    for a self-join, exactly as the pre-probe engine did — and enumerates the
+    full postings cross-product per common key.  Kept as the semantic
+    reference for the probe-based filter: equivalence tests and the
+    filtering benchmarks compare against it.  ``overlap_counts`` here are
+    exact (not saturated).
+    """
+    if requirement < 1:
+        raise ValueError("the overlap requirement must be a positive integer")
+    left_index = InvertedIndex.build(left_signed)
+    right_index = InvertedIndex.build(right_signed)
+    common = left_index.common_keys(right_index)
+
+    overlap_counts: Dict[Tuple[int, int], int] = defaultdict(int)
+    processed = 0
+    for key in common:
+        left_postings = left_index.postings(key)
+        right_postings = right_index.postings(key)
+        for left_id in left_postings:
+            for right_id in right_postings:
+                if exclude_self_pairs and left_id >= right_id:
+                    continue
+                processed += 1
+                overlap_counts[(left_id, right_id)] += 1
+
+    candidates = [pair for pair, count in overlap_counts.items() if count >= requirement]
+    return FilterOutcome(
+        candidates=candidates,
+        processed_pairs=processed,
+        overlap_counts=dict(overlap_counts),
+    )
+
+
+def _probe_candidates(
+    postings_map: Dict,
+    probe_records: Sequence[SignedRecord],
+    requirement: int,
+    *,
+    probe_is_left: bool,
+    exclude_self_pairs: bool,
+    collect_counts: bool = False,
+    postings_ascending: bool = False,
+) -> Tuple[List[Tuple[int, int]], int, Optional[Dict[Tuple[int, int], int]]]:
+    """Stream probe signatures through an inverted index (the hot loop).
+
+    Orientation: with ``probe_is_left`` the index holds the right side and
+    candidates are ``(probe_id, other)``; otherwise the index holds the left
+    side (or the single self-join index) and candidates are
+    ``(other, probe_id)``.  ``exclude_self_pairs`` keeps ``left < right``;
+    in the ``(other, probe_id)`` orientation with ``postings_ascending``
+    (the indexed records were added in ascending id order) the probe breaks
+    out of a posting list at the first ``id >= probe_id`` instead of
+    scanning past every excluded entry.
+    """
+    candidates: List[Tuple[int, int]] = []
+    processed = 0
+    overlap: Optional[Dict[Tuple[int, int], int]] = {} if collect_counts else None
+    get_postings = postings_map.get
+
+    for signed in probe_records:
+        probe_id = signed.record.record_id
+        counts: Dict[int, int] = {}
+        counts_get = counts.get
+        for pebble in signed.signature:
+            postings = get_postings(pebble.key)
+            if postings is None:
+                continue
+            for other in postings:
+                if exclude_self_pairs:
+                    if probe_is_left:
+                        if other <= probe_id:
+                            continue
+                    elif other >= probe_id:
+                        if postings_ascending:
+                            break  # nothing left to pair with in this list
+                        continue
+                processed += 1
+                count = counts_get(other, 0)
+                if count >= requirement:
+                    continue  # short-circuit: already a candidate
+                count += 1
+                counts[other] = count
+                if count == requirement:
+                    if probe_is_left:
+                        candidates.append((probe_id, other))
+                    else:
+                        candidates.append((other, probe_id))
+        if overlap is not None:
+            if probe_is_left:
+                for other, count in counts.items():
+                    overlap[(probe_id, other)] = count
+            else:
+                for other, count in counts.items():
+                    overlap[(other, probe_id)] = count
+    return candidates, processed, overlap
+
+
+def _ids_ascending(signed_records: Sequence[SignedRecord]) -> bool:
+    """True when the records appear in strictly ascending id order.
+
+    Index posting lists inherit this order, which is what licenses the
+    early-``break`` exclusion in :func:`_probe_candidates`.  Signed lists
+    from ``sign_collection`` / ``PreparedCollection.signed`` are always
+    ascending; the O(n) check keeps arbitrarily reordered caller input
+    correct (it merely loses the early break).
+    """
+    previous = -1
+    for signed in signed_records:
+        record_id = signed.record.record_id
+        if record_id <= previous:
+            return False
+        previous = record_id
+    return True
+
+
+def _choose_index_side(
+    left_signed: Sequence[SignedRecord],
+    right_signed: Sequence[SignedRecord],
+) -> Tuple[InvertedIndex, Sequence[SignedRecord], bool, bool]:
+    """Build the index on the smaller-footprint side; stream the other.
+
+    Returns ``(index, probe_records, probe_is_left, postings_ascending)``.
+    A self-join (``left_signed is right_signed``) builds one index and
+    probes it with itself.
+    """
+    if left_signed is right_signed:
+        index_records: Sequence[SignedRecord] = left_signed
+        probe_records: Sequence[SignedRecord] = left_signed
+        probe_is_left = False
+    else:
+        left_footprint = sum(s.signature_length for s in left_signed)
+        right_footprint = sum(s.signature_length for s in right_signed)
+        if left_footprint <= right_footprint:
+            index_records, probe_records, probe_is_left = left_signed, right_signed, False
+        else:
+            index_records, probe_records, probe_is_left = right_signed, left_signed, True
+    return (
+        InvertedIndex.build(index_records),
+        probe_records,
+        probe_is_left,
+        _ids_ascending(index_records),
+    )
+
+
 class PebbleJoin:
     """Unified set join with pebble signatures (U-Filter / AU-Filter).
 
@@ -112,6 +333,8 @@ class PebbleJoin:
         Join threshold θ.
     tau:
         Overlap constraint τ (minimum number of shared signature pebbles).
+        The U-Filter method implies τ = 1; combining it with a larger τ is a
+        configuration conflict and raises ``ValueError``.
     method:
         Signature-selection strategy (one of :class:`SignatureMethod`).
     order_strategy:
@@ -136,9 +359,14 @@ class PebbleJoin:
         if tau < 1:
             raise ValueError("tau must be a positive integer")
         SignatureMethod.validate(method)
+        if method == SignatureMethod.U_FILTER and tau > 1:
+            raise ValueError(
+                "the U-Filter method implies tau=1 (Algorithm 3); "
+                f"got tau={tau} — pass tau=1 or use an AU-Filter method"
+            )
         self.config = config
         self.theta = theta
-        self.tau = 1 if method == SignatureMethod.U_FILTER else tau
+        self.tau = tau
         self.method = method
         self.order_strategy = order_strategy
         self.verifier = verifier or UnifiedVerifier(config, theta, t=approximation_t)
@@ -147,8 +375,23 @@ class PebbleJoin:
     # ------------------------------------------------------------------ #
     # preparation
     # ------------------------------------------------------------------ #
+    def prepare(self, collection: RecordCollection) -> PreparedCollection:
+        """Prepare a collection for (repeated) joining under this config."""
+        return PreparedCollection.prepare(collection, self.config)
+
+    def as_prepared(self, collection: Joinable) -> PreparedCollection:
+        """Coerce to a :class:`PreparedCollection` bound to this config."""
+        if isinstance(collection, PreparedCollection):
+            if collection.config is not self.config:
+                raise ValueError(
+                    "the prepared collection is bound to a different MeasureConfig; "
+                    "prepare it with this engine (or share one config object)"
+                )
+            return collection
+        return self.prepare(collection)
+
     def build_order(
-        self, left: RecordCollection, right: Optional[RecordCollection] = None
+        self, left: Joinable, right: Optional[Joinable] = None
     ) -> GlobalOrder:
         """Build the corpus-wide pebble order over one or two collections."""
         from .pebbles import generate_pebbles
@@ -157,15 +400,20 @@ class PebbleJoin:
         for collection in (left, right):
             if collection is None:
                 continue
+            if isinstance(collection, PreparedCollection):
+                collection.contribute_to_order(order)
+                continue
             for record in collection:
                 _, pebbles = generate_pebbles(record.tokens, self.config)
                 order.add_record_pebbles(pebbles)
         return order
 
     def sign_collection(
-        self, collection: RecordCollection, order: GlobalOrder
+        self, collection: Joinable, order: GlobalOrder
     ) -> List[SignedRecord]:
         """Sign every record of a collection under the given global order."""
+        if isinstance(collection, PreparedCollection):
+            return collection.signed(order, self.theta, self.tau, self.method)
         return [
             sign_record(
                 record,
@@ -188,66 +436,151 @@ class PebbleJoin:
         *,
         tau: Optional[int] = None,
         exclude_self_pairs: bool = False,
+        collect_overlap_counts: bool = False,
     ) -> FilterOutcome:
-        """Run the filtering stage (Lines 1–8 of Algorithm 6).
+        """Run the probe-based filtering stage (Lines 1–8 of Algorithm 6).
 
         ``tau`` overrides the configured overlap constraint, which is how the
         recommendation algorithm probes several τ values on one signing.
         ``exclude_self_pairs`` drops ``left_id >= right_id`` pairs for
-        self-joins.
+        self-joins.  When ``left_signed is right_signed`` (every self-join)
+        a single index is built and probed against itself.  Candidate sets
+        are identical to :func:`dual_index_filter_candidates`; only the
+        emission order and the (opt-in, saturated) ``overlap_counts``
+        differ.
         """
-        overlap_requirement = self.tau if tau is None else tau
-        left_index = InvertedIndex.build(left_signed)
-        right_index = InvertedIndex.build(right_signed)
-        common = left_index.common_keys(right_index)
+        requirement = self.tau if tau is None else tau
+        if requirement < 1:
+            raise ValueError("the overlap requirement must be a positive integer")
 
-        overlap_counts: Dict[Tuple[int, int], int] = defaultdict(int)
-        processed = 0
-        for key in common:
-            left_postings = left_index.postings(key)
-            right_postings = right_index.postings(key)
-            for left_id in left_postings:
-                for right_id in right_postings:
-                    if exclude_self_pairs and left_id >= right_id:
-                        continue
-                    processed += 1
-                    overlap_counts[(left_id, right_id)] += 1
-
-        candidates = [
-            pair for pair, count in overlap_counts.items() if count >= overlap_requirement
-        ]
+        index, probe_records, probe_is_left, ascending = _choose_index_side(
+            left_signed, right_signed
+        )
+        candidates, processed, overlap = _probe_candidates(
+            index.raw_postings,
+            probe_records,
+            requirement,
+            probe_is_left=probe_is_left,
+            exclude_self_pairs=exclude_self_pairs,
+            collect_counts=collect_overlap_counts,
+            postings_ascending=ascending,
+        )
         return FilterOutcome(
             candidates=candidates,
             processed_pairs=processed,
-            overlap_counts=dict(overlap_counts),
+            overlap_counts=overlap or {},
+        )
+
+    def filter_candidates_multi(
+        self,
+        left_signed: Sequence[SignedRecord],
+        right_signed: Sequence[SignedRecord],
+        taus: Sequence[int],
+        *,
+        exclude_self_pairs: bool = False,
+    ) -> MultiFilterOutcome:
+        """Probe every τ of ``taus`` in one pass over one signing.
+
+        Used by the τ-recommender: one filtering pass with counters capped at
+        ``max(taus)`` yields ``V_τ`` for every candidate τ simultaneously,
+        replacing ``len(taus)`` full filter runs per sampling iteration.
+        """
+        unique_taus = sorted(set(taus))
+        if not unique_taus:
+            raise ValueError("taus must not be empty")
+        outcome = self.filter_candidates(
+            left_signed,
+            right_signed,
+            tau=unique_taus[-1],
+            exclude_self_pairs=exclude_self_pairs,
+            collect_overlap_counts=True,
+        )
+        counts = list(outcome.overlap_counts.values())
+        candidate_counts = {
+            tau: sum(1 for count in counts if count >= tau) for tau in unique_taus
+        }
+        return MultiFilterOutcome(
+            processed_pairs=outcome.processed_pairs,
+            candidate_counts=candidate_counts,
         )
 
     # ------------------------------------------------------------------ #
     # full join
     # ------------------------------------------------------------------ #
+    def _resolve_sides(
+        self, left: Joinable, right: Optional[Joinable]
+    ) -> Tuple[PreparedCollection, PreparedCollection, bool]:
+        self_join = right is None
+        left_prep = self.as_prepared(left)
+        if self_join or right is left:
+            right_prep = left_prep
+        else:
+            right_prep = self.as_prepared(right)
+        return left_prep, right_prep, self_join
+
+    def _signing_tau(self, signing_tau: Optional[int]) -> int:
+        if signing_tau is None:
+            return self.tau
+        if signing_tau < self.tau:
+            raise ValueError(
+                "signing_tau must be >= the filtering tau: signatures selected "
+                f"for tau={signing_tau} only guarantee {signing_tau} overlaps, "
+                f"but filtering requires {self.tau}"
+            )
+        return signing_tau
+
+    def _order_and_sign(
+        self,
+        left_prep: PreparedCollection,
+        right_prep: PreparedCollection,
+        precomputed_order: Optional[GlobalOrder],
+        signing_tau: Optional[int],
+    ) -> Tuple[GlobalOrder, List[SignedRecord], List[SignedRecord]]:
+        """Resolve the global order and sign both sides (cache-backed)."""
+        sign_tau = self._signing_tau(signing_tau)
+        if precomputed_order is not None:
+            order = precomputed_order
+        elif right_prep is left_prep:
+            order = left_prep.build_order(self.order_strategy)
+        else:
+            order = left_prep.shared_order_with(right_prep, self.order_strategy)
+        left_signed = left_prep.signed(order, self.theta, sign_tau, self.method)
+        right_signed = (
+            left_signed
+            if right_prep is left_prep
+            else right_prep.signed(order, self.theta, sign_tau, self.method)
+        )
+        return order, left_signed, right_signed
+
     def join(
         self,
-        left: RecordCollection,
-        right: Optional[RecordCollection] = None,
+        left: Joinable,
+        right: Optional[Joinable] = None,
         *,
         precomputed_order: Optional[GlobalOrder] = None,
+        signing_tau: Optional[int] = None,
     ) -> JoinResult:
-        """Join two collections (or self-join one) and verify candidates."""
-        self_join = right is None
-        right_collection = left if self_join else right
+        """Join two collections (or self-join one) and verify candidates.
+
+        ``signing_tau`` signs with a larger τ than the filtering requirement
+        (still lossless, since a τ'-signature guarantees τ' ≥ τ overlaps for
+        any θ-similar pair).  ``UnifiedJoin(tau="auto")`` uses this to share
+        one full signing between the recommendation and the final join.
+        """
+        start = time.perf_counter()
+        left_prep, right_prep, self_join = self._resolve_sides(left, right)
 
         statistics = JoinStatistics(
             tau=self.tau,
             theta=self.theta,
             method=self.method,
-            left_records=len(left),
-            right_records=len(right_collection),
+            left_records=len(left_prep),
+            right_records=len(right_prep),
         )
 
-        start = time.perf_counter()
-        order = precomputed_order or self.build_order(left, None if self_join else right_collection)
-        left_signed = self.sign_collection(left, order)
-        right_signed = left_signed if self_join else self.sign_collection(right_collection, order)
+        _, left_signed, right_signed = self._order_and_sign(
+            left_prep, right_prep, precomputed_order, signing_tau
+        )
         statistics.signing_seconds = time.perf_counter() - start
         statistics.avg_signature_length_left = _average_signature_length(left_signed)
         statistics.avg_signature_length_right = _average_signature_length(right_signed)
@@ -261,16 +594,95 @@ class PebbleJoin:
         statistics.candidate_count = outcome.candidate_count
 
         start = time.perf_counter()
-        pairs: List[VerifiedPair] = []
-        for left_id, right_id in outcome.candidates:
-            verified = self.verifier.verify(left[left_id], right_collection[right_id])
-            if verified is not None:
-                pairs.append(verified)
+        pairs = self._verify_candidates(outcome.candidates, left_prep, right_prep)
         statistics.verification_seconds = time.perf_counter() - start
         statistics.result_count = len(pairs)
 
         return JoinResult(pairs=pairs, statistics=statistics)
 
-    def self_join(self, collection: RecordCollection) -> JoinResult:
+    def _verify_candidates(
+        self,
+        candidates: Iterable[Tuple[int, int]],
+        left: PreparedCollection,
+        right: PreparedCollection,
+        pool=None,
+    ) -> List[VerifiedPair]:
+        if pool is not None:
+            verified = pool.map(
+                lambda pair: self.verifier.verify(left[pair[0]], right[pair[1]]),
+                candidates,
+            )
+            return [pair for pair in verified if pair is not None]
+        pairs: List[VerifiedPair] = []
+        for left_id, right_id in candidates:
+            verified = self.verifier.verify(left[left_id], right[right_id])
+            if verified is not None:
+                pairs.append(verified)
+        return pairs
+
+    def join_batches(
+        self,
+        left: Joinable,
+        right: Optional[Joinable] = None,
+        *,
+        batch_size: int = 1024,
+        precomputed_order: Optional[GlobalOrder] = None,
+        signing_tau: Optional[int] = None,
+        verify_workers: int = 0,
+    ) -> Iterator[JoinBatch]:
+        """Stream the join: filter and verify one probe chunk at a time.
+
+        The probe side (the larger side, or the whole collection for a
+        self-join) is processed in chunks of ``batch_size`` records; each
+        chunk's candidates are verified immediately and yielded as a
+        :class:`JoinBatch`, so the full candidate list is never
+        materialized.  ``verify_workers > 0`` verifies each chunk through a
+        thread pool — useful for verifiers that release the GIL or perform
+        I/O; the default CPU-bound python verifier gains little under the
+        GIL.  The union of all batch pairs equals :meth:`join`'s result.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be a positive integer")
+        if verify_workers < 0:
+            raise ValueError("verify_workers must be >= 0")
+
+        left_prep, right_prep, self_join = self._resolve_sides(left, right)
+        _, left_signed, right_signed = self._order_and_sign(
+            left_prep, right_prep, precomputed_order, signing_tau
+        )
+        index, probe_records, probe_is_left, ascending = _choose_index_side(
+            left_signed, right_signed
+        )
+
+        pool = None
+        executor = None
+        if verify_workers > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            executor = ThreadPoolExecutor(max_workers=verify_workers)
+            pool = executor
+        try:
+            for chunk_start in range(0, len(probe_records), batch_size):
+                chunk = probe_records[chunk_start : chunk_start + batch_size]
+                candidates, processed, _ = _probe_candidates(
+                    index.raw_postings,
+                    chunk,
+                    self.tau,
+                    probe_is_left=probe_is_left,
+                    exclude_self_pairs=self_join,
+                    postings_ascending=ascending,
+                )
+                pairs = self._verify_candidates(candidates, left_prep, right_prep, pool)
+                yield JoinBatch(
+                    pairs=pairs,
+                    candidate_count=len(candidates),
+                    processed_pairs=processed,
+                    probe_range=(chunk_start, chunk_start + len(chunk)),
+                )
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+
+    def self_join(self, collection: Joinable) -> JoinResult:
         """Self-join convenience wrapper (pairs reported once, left < right)."""
         return self.join(collection)

@@ -11,19 +11,34 @@ the optional τ recommendation, and verification into one object:
 
 ``tau="auto"`` runs the Section-4 recommendation before the join; an integer
 pins it; the default of 1 with the U-Filter method reproduces Algorithm 3.
+
+Prepared reuse
+--------------
+:meth:`UnifiedJoin.prepare` returns a
+:class:`~repro.join.prepared.PreparedCollection` whose pebbles, global
+orders, and per-(θ, τ, method) signatures are cached; pass prepared
+collections to :meth:`join` / :meth:`join_batches` to amortize signing
+across repeated joins.  With ``tau="auto"`` the facade prepares both sides
+itself, shares one global order between the recommendation and the final
+join, and signs the full collections exactly once: the recommender signs at
+``max(tau_universe)`` and the final join reuses those signatures while
+filtering at the recommended τ (lossless, since a τ'-signature guarantees
+τ' ≥ τ overlaps for any θ-similar pair).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Union
+import warnings
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 from ..core.grams import DEFAULT_Q
 from ..core.measures import MeasureConfig
 from ..records import RecordCollection
 from ..synonyms.rules import SynonymRuleSet
 from ..taxonomy.tree import Taxonomy
-from .aufilter import JoinResult, PebbleJoin
+from .aufilter import JoinBatch, JoinResult, PebbleJoin
+from .prepared import PreparedCollection
 from .signatures import SignatureMethod
 
 __all__ = ["UnifiedJoin"]
@@ -42,7 +57,10 @@ class UnifiedJoin:
         Join threshold in [0, 1].
     tau:
         Overlap constraint: a positive integer, or ``"auto"`` to run the
-        sampling-based recommendation of Section 4 before joining.
+        sampling-based recommendation of Section 4 before joining.  The
+        U-Filter method implies τ = 1: an explicit larger τ raises
+        ``ValueError``, and ``tau="auto"`` is pinned to 1 with a warning
+        (the recommendation would be pointless).
     method:
         Signature selection method (default AU-Filter DP, the paper's best).
     q:
@@ -76,55 +94,132 @@ class UnifiedJoin:
         if isinstance(tau, str):
             if tau != "auto":
                 raise ValueError("tau must be a positive integer or 'auto'")
-            self.tau: Union[int, str] = "auto"
+            if self.method == SignatureMethod.U_FILTER:
+                warnings.warn(
+                    "tau='auto' with the U-Filter method is a conflict: U-Filter "
+                    "implies tau=1, so the sampling recommendation would be "
+                    "discarded; pinning tau=1 and skipping the recommendation",
+                    stacklevel=2,
+                )
+                self.tau: Union[int, str] = 1
+            else:
+                self.tau = "auto"
         else:
             if tau < 1:
                 raise ValueError("tau must be a positive integer or 'auto'")
+            if self.method == SignatureMethod.U_FILTER and tau > 1:
+                raise ValueError(
+                    "the U-Filter method implies tau=1 (Algorithm 3); "
+                    f"got tau={tau} — pass tau=1 or use an AU-Filter method"
+                )
             self.tau = int(tau)
         self.last_recommendation = None
 
     # ------------------------------------------------------------------ #
-    # joining
+    # preparation
     # ------------------------------------------------------------------ #
-    def _resolve_tau(
-        self, left: RecordCollection, right: Optional[RecordCollection]
-    ) -> tuple[int, float]:
-        """Return the τ to use and the seconds spent deciding it."""
-        if self.tau != "auto":
-            return int(self.tau), 0.0
-        from ..estimator.recommend import recommend_tau
+    def prepare(self, collection: RecordCollection) -> PreparedCollection:
+        """Prepare a collection for repeated joins under this configuration."""
+        return PreparedCollection.prepare(collection, self.config)
 
-        start = time.perf_counter()
-        recommendation = recommend_tau(
-            left,
-            right,
-            self.config,
-            self.theta,
-            method=self.method,
-            tau_universe=self.tau_universe,
-            sample_probability=self.sample_probability,
-            seed=self.recommendation_seed,
-        )
-        self.last_recommendation = recommendation
-        return recommendation.best_tau, time.perf_counter() - start
-
-    def join(
-        self, left: RecordCollection, right: Optional[RecordCollection] = None
-    ) -> JoinResult:
-        """Join two collections (or self-join one) under the configuration."""
-        tau, suggestion_seconds = self._resolve_tau(left, right)
-        engine = PebbleJoin(
+    def _engine(self, tau: int) -> PebbleJoin:
+        return PebbleJoin(
             self.config,
             self.theta,
             tau=tau,
             method=self.method,
             approximation_t=self.approximation_t,
         )
-        result = engine.join(left, right)
+
+    def _resolve(
+        self, left, right
+    ) -> Tuple[PebbleJoin, PreparedCollection, Optional[PreparedCollection], object, Optional[int], float]:
+        """Prepare the sides, pick τ, and return the configured engine.
+
+        Returns ``(engine, left_prep, right_prep_or_None, order, signing_tau,
+        suggestion_seconds)`` where ``right_prep_or_None`` is ``None`` for a
+        self-join (so the engine takes its dedicated self-join path).
+        """
+        probe_engine = self._engine(1 if self.tau == "auto" else int(self.tau))
+        self_join = right is None
+        left_prep = probe_engine.as_prepared(left)
+        if self_join:
+            right_prep = None
+            order = left_prep.build_order(probe_engine.order_strategy)
+        elif right is left:
+            # join(c, c): cross-join semantics, but share one preparation.
+            right_prep = left_prep
+            order = left_prep.build_order(probe_engine.order_strategy)
+        else:
+            right_prep = probe_engine.as_prepared(right)
+            order = left_prep.shared_order_with(right_prep, probe_engine.order_strategy)
+
+        if self.tau != "auto":
+            return probe_engine, left_prep, right_prep, order, None, 0.0
+
+        from ..estimator.recommend import recommend_tau
+
+        start = time.perf_counter()
+        recommendation = recommend_tau(
+            left_prep,
+            right_prep,
+            self.config,
+            self.theta,
+            method=self.method,
+            tau_universe=self.tau_universe,
+            sample_probability=self.sample_probability,
+            seed=self.recommendation_seed,
+            order=order,
+        )
+        self.last_recommendation = recommendation
+        suggestion_seconds = time.perf_counter() - start
+        engine = self._engine(recommendation.best_tau)
+        return engine, left_prep, right_prep, order, recommendation.signing_tau, suggestion_seconds
+
+    # ------------------------------------------------------------------ #
+    # joining
+    # ------------------------------------------------------------------ #
+    def join(
+        self, left, right=None
+    ) -> JoinResult:
+        """Join two collections (or self-join one) under the configuration.
+
+        Both sides accept raw record collections or collections prepared
+        with :meth:`prepare`.  With ``tau="auto"``, the recommendation and
+        the final join share one preparation, order, and full signing.
+        """
+        engine, left_prep, right_prep, order, signing_tau, suggestion_seconds = self._resolve(
+            left, right
+        )
+        result = engine.join(
+            left_prep,
+            right_prep,
+            precomputed_order=order,
+            signing_tau=signing_tau,
+        )
         result.statistics.suggestion_seconds = suggestion_seconds
         return result
 
-    def self_join(self, collection: RecordCollection) -> JoinResult:
+    def join_batches(
+        self,
+        left,
+        right=None,
+        *,
+        batch_size: int = 1024,
+        verify_workers: int = 0,
+    ) -> Iterator[JoinBatch]:
+        """Stream the join in verified chunks (see ``PebbleJoin.join_batches``)."""
+        engine, left_prep, right_prep, order, signing_tau, _ = self._resolve(left, right)
+        return engine.join_batches(
+            left_prep,
+            right_prep,
+            batch_size=batch_size,
+            precomputed_order=order,
+            signing_tau=signing_tau,
+            verify_workers=verify_workers,
+        )
+
+    def self_join(self, collection) -> JoinResult:
         """Self-join convenience wrapper."""
         return self.join(collection)
 

@@ -37,6 +37,7 @@ class GlobalOrder:
             raise ValueError("strategy must be 'frequency' or 'weight'")
         self.strategy = strategy
         self._frequencies: Counter = Counter()
+        self._mutation_count = 0
 
     # ------------------------------------------------------------------ #
     # building
@@ -44,6 +45,7 @@ class GlobalOrder:
     def add_record_pebbles(self, pebbles: Iterable[Pebble]) -> None:
         """Register one record's pebbles (each distinct key counted once)."""
         self._frequencies.update({pebble.key for pebble in pebbles})
+        self._mutation_count += 1
 
     def add_collections(self, pebble_lists: Iterable[Iterable[Pebble]]) -> None:
         """Register many records' pebbles."""
@@ -56,6 +58,17 @@ class GlobalOrder:
     def frequency(self, key: PebbleKey) -> int:
         """Number of registered records containing ``key`` (0 when unseen)."""
         return self._frequencies.get(key, 0)
+
+    @property
+    def mutation_count(self) -> int:
+        """Number of building calls so far.
+
+        Signature caches (see :class:`~repro.join.prepared.PreparedCollection`)
+        key cached signatures by ``(id(order), order.mutation_count, ...)`` so
+        that signing against an order that was extended afterwards never
+        returns stale signatures.
+        """
+        return self._mutation_count
 
     def sort_pebbles(self, pebbles: Sequence[Pebble]) -> List[Pebble]:
         """Return ``pebbles`` sorted by this global order.

@@ -1,0 +1,262 @@
+"""Reusable prepared collections: cached pebbles, orders, and signatures.
+
+Every stage of the pebble join pipeline re-derives expensive per-record
+artifacts from scratch in the naive formulation: building the global order
+generates every record's pebbles, signing generates them again, and the
+τ-recommendation of Section 4 used to re-generate and re-sign samples on
+every Monte-Carlo iteration.  :class:`PreparedCollection` caches the three
+layers explicitly:
+
+1. **Pebbles** (``segments``, ``pebbles``, and the ``MP(S)`` partition bound
+   per record) — computed once per record, independent of θ/τ/method.
+2. **Global orders** — one :class:`~repro.join.global_order.GlobalOrder` per
+   ordering strategy, built from the cached pebbles
+   (:func:`build_shared_order` combines several prepared collections into one
+   corpus-wide order for two-collection joins).
+3. **Signatures** — one signed-record list per ``(order, θ, τ, method)``
+   combination, so repeated joins, the τ-recommender, and the final
+   ``tau="auto"`` join all share a single full signing.
+
+A prepared collection is bound to one :class:`~repro.core.measures.MeasureConfig`
+(pebbles depend on the knowledge sources and gram length); engines check the
+binding by identity before reusing it.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..core.measures import MeasureConfig
+from ..core.segments import Segment
+from ..records import Record, RecordCollection
+from .global_order import GlobalOrder
+from .partition_bound import min_partition_size
+from .pebbles import Pebble, generate_pebbles
+from .signatures import SignedRecord, sign_record
+
+__all__ = ["PreparedCollection", "PreparedRecord", "build_shared_order"]
+
+
+class PreparedRecord:
+    """One record's cached signing inputs (pebbles are θ/τ-independent)."""
+
+    __slots__ = ("record", "segments", "pebbles", "min_partitions")
+
+    def __init__(
+        self,
+        record: Record,
+        segments: Sequence[Segment],
+        pebbles: Sequence[Pebble],
+        min_partitions: int,
+    ) -> None:
+        self.record = record
+        self.segments = segments
+        self.pebbles = pebbles
+        self.min_partitions = min_partitions
+
+
+#: Cache key for one signing: order identity and version plus (θ, τ, method).
+_SignatureKey = Tuple[int, int, float, int, str]
+
+
+class PreparedCollection:
+    """A record collection with cached pebbles, orders, and signatures.
+
+    Use :meth:`prepare` (or ``PebbleJoin.prepare`` / ``UnifiedJoin.prepare``)
+    to build one, then pass it anywhere a plain
+    :class:`~repro.records.RecordCollection` is accepted by the join engines.
+    The container protocol delegates to the underlying collection, so
+    ``prepared[record_id]`` and ``len(prepared)`` behave identically.
+    """
+
+    def __init__(self, collection: RecordCollection, config: MeasureConfig) -> None:
+        self.collection = collection
+        self.config = config
+        self._prepared: List[PreparedRecord] = [
+            self._prepare_record(record) for record in collection
+        ]
+        self._orders: Dict[str, GlobalOrder] = {}
+        # Cache values keep a strong reference to their GlobalOrder: the key
+        # uses id(order), and without the reference a dead order's id could
+        # be reused by a new order, silently returning stale signatures.
+        self._signatures: Dict[_SignatureKey, Tuple[GlobalOrder, List[SignedRecord]]] = {}
+        # Partner collections are held weakly so a long-lived collection
+        # joined against many short-lived partners does not pin them (their
+        # shared orders die with them; our own signatures under those orders
+        # can be released with clear_caches()).
+        self._shared_orders: Dict[
+            Tuple[int, str], Tuple["weakref.ref[PreparedCollection]", GlobalOrder]
+        ] = {}
+
+    @classmethod
+    def prepare(cls, collection: RecordCollection, config: MeasureConfig) -> "PreparedCollection":
+        """Prepare a collection (generates every record's pebbles once)."""
+        return cls(collection, config)
+
+    def _prepare_record(self, record: Record) -> PreparedRecord:
+        segments, pebbles = generate_pebbles(record.tokens, self.config)
+        min_partitions = min_partition_size(record.tokens, self.config, segments=segments)
+        return PreparedRecord(record, segments, pebbles, min_partitions)
+
+    # ------------------------------------------------------------------ #
+    # container protocol (delegates to the underlying collection)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.collection)
+
+    def __getitem__(self, record_id: int) -> Record:
+        return self.collection[record_id]
+
+    @property
+    def prepared_records(self) -> Sequence[PreparedRecord]:
+        """The cached per-record pebble artifacts, in record-id order."""
+        return self._prepared
+
+    # ------------------------------------------------------------------ #
+    # orders
+    # ------------------------------------------------------------------ #
+    def contribute_to_order(self, order: GlobalOrder) -> GlobalOrder:
+        """Register this collection's cached pebbles with ``order``."""
+        for prepared in self._prepared:
+            order.add_record_pebbles(prepared.pebbles)
+        return order
+
+    def build_order(self, strategy: str = "frequency") -> GlobalOrder:
+        """A single-collection global order, cached per strategy."""
+        order = self._orders.get(strategy)
+        if order is None:
+            order = self.contribute_to_order(GlobalOrder(strategy))
+            self._orders[strategy] = order
+        return order
+
+    def shared_order_with(
+        self, other: "PreparedCollection", strategy: str = "frequency"
+    ) -> GlobalOrder:
+        """A corpus-wide order over this collection and ``other``, cached.
+
+        Repeated two-collection joins over the same prepared pair reuse one
+        order object, which is what lets the per-(order, θ, τ, method)
+        signature cache hit across calls.  The cache is mirrored on both
+        collections, so ``a.shared_order_with(b)`` and
+        ``b.shared_order_with(a)`` return the same order (pebble frequencies
+        are symmetric in the contribution order).
+        """
+        if other is self:
+            return self.build_order(strategy)
+        entry = self._shared_orders.get((id(other), strategy))
+        if entry is not None and entry[0]() is other:
+            return entry[1]
+        order = build_shared_order([self, other], strategy)
+        self._store_shared_order(other, strategy, order)
+        other._store_shared_order(self, strategy, order)
+        return order
+
+    def _store_shared_order(
+        self, partner: "PreparedCollection", strategy: str, order: GlobalOrder
+    ) -> None:
+        """Cache a shared order, auto-purging when the partner dies.
+
+        The weakref callback drops the entry and every signature signed
+        under that order: once the partner is gone the order can never be
+        cache-hit again, so keeping those signings would be a leak.
+        """
+        key = (id(partner), strategy)
+        owner_ref = weakref.ref(self)
+
+        def _purge(_dead, owner_ref=owner_ref, key=key, order=order):
+            owner = owner_ref()
+            if owner is None:
+                return
+            entry = owner._shared_orders.get(key)
+            if entry is not None and entry[1] is order:
+                del owner._shared_orders[key]
+            stale = [k for k, v in owner._signatures.items() if v[0] is order]
+            for stale_key in stale:
+                del owner._signatures[stale_key]
+
+        self._shared_orders[key] = (weakref.ref(partner, _purge), order)
+
+    def clear_caches(self) -> None:
+        """Release all cached orders and signatures (pebbles are kept).
+
+        The caches are unbounded by design — one signing per distinct
+        (order, θ, τ, method) combination — which is exactly right for a
+        bounded set of configurations but accumulates when one long-lived
+        collection is joined against an endless stream of partners.  Such
+        callers can drop the derived state between partners; re-preparing
+        pebbles, the expensive part, is not needed.
+        """
+        self._orders.clear()
+        self._signatures.clear()
+        self._shared_orders.clear()
+
+    # ------------------------------------------------------------------ #
+    # signatures
+    # ------------------------------------------------------------------ #
+    def signed(
+        self,
+        order: GlobalOrder,
+        theta: float,
+        tau: int,
+        method: str,
+    ) -> List[SignedRecord]:
+        """Sign every record under ``order``, caching per (order, θ, τ, method).
+
+        The cache key includes the order's :attr:`~GlobalOrder.mutation_count`
+        so signatures computed against an order that was extended afterwards
+        are never returned stale.
+        """
+        key = (id(order), order.mutation_count, theta, tau, method)
+        entry = self._signatures.get(key)
+        if entry is not None and entry[0] is order:
+            return entry[1]
+        signed = [
+            sign_record(
+                prepared.record,
+                self.config,
+                order,
+                theta,
+                tau=tau,
+                method=method,
+                segments=prepared.segments,
+                pebbles=prepared.pebbles,
+                min_partitions=prepared.min_partitions,
+            )
+            for prepared in self._prepared
+        ]
+        self._signatures[key] = (order, signed)
+        return signed
+
+    @property
+    def cached_signature_count(self) -> int:
+        """Number of distinct (order, θ, τ, method) signings held in cache."""
+        return len(self._signatures)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreparedCollection(records={len(self)}, orders={len(self._orders)}, "
+            f"signings={len(self._signatures)})"
+        )
+
+
+def build_shared_order(
+    prepared: Sequence[PreparedCollection], strategy: str = "frequency"
+) -> GlobalOrder:
+    """Build one corpus-wide order over several prepared collections.
+
+    Duplicate entries (e.g. the same prepared collection passed twice for a
+    self-join) are contributed only once, matching how
+    ``PebbleJoin.build_order`` treats a self-join.
+    """
+    order = GlobalOrder(strategy)
+    contributed: List[PreparedCollection] = []
+    for collection in prepared:
+        if any(collection is existing for existing in contributed):
+            continue
+        contributed.append(collection)
+        collection.contribute_to_order(order)
+    return order

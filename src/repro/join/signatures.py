@@ -320,11 +320,26 @@ def sign_record(
     *,
     tau: int = 1,
     method: str = SignatureMethod.U_FILTER,
+    segments: Optional[Sequence[Segment]] = None,
+    pebbles: Optional[Sequence[Pebble]] = None,
+    min_partitions: Optional[int] = None,
 ) -> SignedRecord:
-    """Generate pebbles for ``record``, sort them, and select its signature."""
-    segments, pebbles = generate_pebbles(record.tokens, config)
+    """Generate pebbles for ``record``, sort them, and select its signature.
+
+    ``segments``, ``pebbles``, and ``min_partitions`` may be supplied when the
+    caller has already computed them (see
+    :class:`~repro.join.prepared.PreparedCollection`); pebble generation and
+    the partition bound are by far the most expensive parts of signing, so
+    reusing them makes re-signing under a different (θ, τ, method) cheap.
+    ``segments`` and ``pebbles`` must be passed together.
+    """
+    if (segments is None) != (pebbles is None):
+        raise ValueError("segments and pebbles must be supplied together")
+    if segments is None or pebbles is None:
+        segments, pebbles = generate_pebbles(record.tokens, config)
     sorted_pebbles = order.sort_pebbles(pebbles)
-    min_partitions = min_partition_size(record.tokens, config, segments=segments)
+    if min_partitions is None:
+        min_partitions = min_partition_size(record.tokens, config, segments=segments)
     prefix_length = select_signature_prefix(
         sorted_pebbles,
         len(segments),

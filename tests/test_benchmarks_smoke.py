@@ -1,0 +1,70 @@
+"""Tier-1 smoke runs of the benchmark harnesses at tiny sizes.
+
+The full-scale figure reproductions live under ``benchmarks/`` and only run
+with pytest-benchmark; these smoke tests import the same ``run_*`` drivers
+and execute them on a small synthetic corpus so regressions in the harness
+code surface in the regular test suite.  Deselect with ``-m "not
+benchmarks"``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import MED_PROFILE, generate_dataset
+from repro.join.signatures import SignatureMethod
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+
+import bench_fig4_join_time  # noqa: E402
+import bench_fig7_scalability  # noqa: E402
+
+pytestmark = pytest.mark.benchmarks
+
+
+@pytest.fixture(scope="module")
+def smoke_dataset():
+    """A miniature MED-like corpus (same generator as the benchmark suite)."""
+    return generate_dataset(MED_PROFILE, count=80, seed=42)
+
+
+def test_fig4_harness_smoke(smoke_dataset):
+    results = bench_fig4_join_time.run_fig4(
+        smoke_dataset, side=20, thetas=(0.85,), tau=2
+    )
+    for method in SignatureMethod.ALL:
+        assert 0.85 in results[method]
+    # All filters must verify the same result set.
+    reference = results[SignatureMethod.U_FILTER][0.85].pair_ids()
+    assert results[SignatureMethod.AU_DP][0.85].pair_ids() == reference
+    assert results[SignatureMethod.AU_HEURISTIC][0.85].pair_ids() == reference
+
+
+def test_fig4_selfjoin_filter_harness_smoke(smoke_dataset):
+    outcome = bench_fig4_join_time.run_selfjoin_filter_comparison(
+        smoke_dataset, side=40, theta=0.85, tau=2, repeats=1
+    )
+    # At smoke scale only the equivalence contract is asserted; the ≥2x
+    # speedup assertion runs at full size in benchmarks/.
+    assert outcome["candidates_match"]
+    assert outcome["processed_match"]
+    assert outcome["candidates"] > 0
+
+
+def test_fig7_harness_smoke(smoke_dataset):
+    results = bench_fig7_scalability.run_fig7(
+        smoke_dataset, sizes=(10, 20), theta=0.9, tau=2
+    )
+    for method in SignatureMethod.ALL:
+        assert set(results[method]) == {10, 20}
+
+
+def test_fig7_batched_harness_smoke(smoke_dataset):
+    outcome = bench_fig7_scalability.run_batched_consistency(
+        smoke_dataset, size=20, tau=2, batch_size=4
+    )
+    assert outcome["matches"]
+    assert outcome["batches"] > 1

@@ -21,7 +21,8 @@ class TestEndToEndJoinPipeline:
         left, right = split_dataset(tiny_dataset, 40, 40)
         results = {}
         for method in SignatureMethod.ALL:
-            engine = PebbleJoin(config, 0.8, tau=2, method=method)
+            tau = 1 if method == SignatureMethod.U_FILTER else 2
+            engine = PebbleJoin(config, 0.8, tau=tau, method=method)
             results[method] = engine.join(left, right).pair_ids()
         assert results[SignatureMethod.U_FILTER] == results[SignatureMethod.AU_HEURISTIC]
         assert results[SignatureMethod.U_FILTER] == results[SignatureMethod.AU_DP]

@@ -51,7 +51,8 @@ class TestPebbleJoinEndToEnd:
     @pytest.mark.parametrize("method", SignatureMethod.ALL)
     def test_poi_join_finds_expected_pairs(self, figure1_config, poi_collections, method):
         left, right = poi_collections
-        engine = PebbleJoin(figure1_config, 0.7, tau=2, method=method)
+        tau = 1 if method == SignatureMethod.U_FILTER else 2
+        engine = PebbleJoin(figure1_config, 0.7, tau=tau, method=method)
         result = engine.join(left, right)
         found = result.pair_ids()
         # coffee shop latte Helsingki <-> espresso cafe Helsinki
@@ -101,6 +102,10 @@ class TestPebbleJoinEndToEnd:
             PebbleJoin(figure1_config, 0.8, tau=0)
         with pytest.raises(ValueError):
             PebbleJoin(figure1_config, 0.8, method="magic")
+        # U-Filter implies tau=1: a conflicting larger tau is rejected, not
+        # silently clamped.
+        with pytest.raises(ValueError):
+            PebbleJoin(figure1_config, 0.8, tau=2, method=SignatureMethod.U_FILTER)
 
     def test_ufilter_join_class(self, figure1_config, poi_collections):
         left, right = poi_collections
@@ -153,6 +158,27 @@ class TestUnifiedJoinFacade:
             UnifiedJoin(rules=figure1_rules, tau=0)
         with pytest.raises(ValueError):
             UnifiedJoin(rules=figure1_rules, tau="sometimes")
+        with pytest.raises(ValueError):
+            UnifiedJoin(rules=figure1_rules, tau=3, method=SignatureMethod.U_FILTER)
+
+    def test_auto_tau_with_ufilter_warns_and_skips_recommendation(
+        self, figure1_rules, figure1_taxonomy, poi_collections
+    ):
+        left, right = poi_collections
+        with pytest.warns(UserWarning, match="U-Filter"):
+            join = UnifiedJoin(
+                rules=figure1_rules,
+                taxonomy=figure1_taxonomy,
+                theta=0.7,
+                tau="auto",
+                method=SignatureMethod.U_FILTER,
+            )
+        assert join.tau == 1
+        result = join.join(left, right)
+        # The pointless sampling recommendation is skipped entirely.
+        assert join.last_recommendation is None
+        assert result.statistics.suggestion_seconds == 0.0
+        assert result.statistics.tau == 1
 
     def test_auto_tau_on_tiny_dataset(self, tiny_dataset):
         from repro.evaluation.experiments import split_dataset
