@@ -84,6 +84,18 @@ def _print_table(name, results, thetas=THETAS):
         for theta in thetas:
             row += f" {results[method][theta].statistics.total_seconds:>8.2f}"
         print(row)
+    # Verification-breakdown mode: how the tiered cascade spent the
+    # candidates of each cell (bound prunes vs full Algorithm-1 runs).
+    print(f"  {'verification':<14}" + "".join(f" θ={theta:<6}" for theta in thetas))
+    for method in SignatureMethod.ALL:
+        row = f"  {method:<14}"
+        for theta in thetas:
+            stats = results[method][theta].statistics.verification
+            if stats is None or stats.candidates == 0:
+                row += f" {'-':>8}"
+            else:
+                row += f" {stats.prune_rate:>7.0%}p"
+        print(row)
 
 
 def test_fig4_join_time_med(benchmark, med_dataset):

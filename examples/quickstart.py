@@ -74,11 +74,21 @@ def main() -> None:
         print(f"  {pois_a[pair.left_id].text!r} <-> {pois_b[pair.right_id].text!r} "
               f"(sim={pair.similarity:.3f})")
 
+    # The verifier runs a tiered bound cascade before the full Algorithm 1;
+    # its per-tier counters are reported with every join result.
+    verification = result.statistics.verification
+    print(f"Verification cascade: {verification.candidates} candidates, "
+          f"{verification.upper_bound_prunes} pruned by the upper bound, "
+          f"{verification.graphs_built} graph-verified "
+          f"({verification.ceiling_stops} skipped the improvement loop)")
+
     # --- prepared reuse across repeated joins ------------------------------
-    # prepare() caches pebbles, orders, and signatures, so running several
+    # prepare() caches pebbles, orders, signatures, and per-record
+    # verification state (cached conflict-graph sides), so running several
     # joins over the same collections only pays for signing once per
-    # configuration — here the pair join above is followed by a self-join of
-    # collection A for near-duplicate detection, reusing A's preparation.
+    # configuration and for each record's segment bookkeeping once ever —
+    # here the pair join above is followed by a self-join of collection A
+    # for near-duplicate detection, reusing A's preparation end to end.
     prepared_a = join.prepare(pois_a)
     prepared_b = join.prepare(pois_b)
     pair_result = join.join(prepared_a, prepared_b)

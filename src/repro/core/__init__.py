@@ -9,9 +9,23 @@ matching, conflict graphs, and weighted maximum independent set search).
 from .aggregation import MatchedPair, SimilarityBreakdown, partition_similarity
 from .approximation import ApproximationResult, approximate_usim
 from .exact import ExactBudgetExceeded, exact_usim
-from .graph import ConflictGraph, PairVertex, build_conflict_graph
+from .graph import (
+    ConflictGraph,
+    GraphSide,
+    PairVertex,
+    build_conflict_graph,
+    build_conflict_graph_from_sides,
+    prepare_graph_side,
+    singleton_greedy_lower_bound,
+    usim_upper_bound,
+)
 from .grams import DEFAULT_Q, jaccard, qgram_set, qgrams
-from .matching import greedy_matching, hungarian_matching, maximum_weight_matching
+from .matching import (
+    greedy_matching,
+    hungarian_matching,
+    matching_weight_upper_bound,
+    maximum_weight_matching,
+)
 from .measures import Measure, MeasureConfig
 from .mis import exact_wmis, greedy_wmis, squareimp_wmis
 from .segments import Segment, enumerate_partitions, enumerate_segments
@@ -23,6 +37,7 @@ __all__ = [
     "ConflictGraph",
     "DEFAULT_Q",
     "ExactBudgetExceeded",
+    "GraphSide",
     "MatchedPair",
     "Measure",
     "MeasureConfig",
@@ -34,6 +49,7 @@ __all__ = [
     "UnifiedSimilarity",
     "approximate_usim",
     "build_conflict_graph",
+    "build_conflict_graph_from_sides",
     "default_tokenizer",
     "enumerate_partitions",
     "enumerate_segments",
@@ -43,9 +59,13 @@ __all__ = [
     "greedy_wmis",
     "hungarian_matching",
     "jaccard",
+    "matching_weight_upper_bound",
     "maximum_weight_matching",
     "partition_similarity",
+    "prepare_graph_side",
     "qgram_set",
     "qgrams",
+    "singleton_greedy_lower_bound",
     "squareimp_wmis",
+    "usim_upper_bound",
 ]

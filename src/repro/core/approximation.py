@@ -28,14 +28,27 @@ from .mis import greedy_wmis, squareimp_wmis
 __all__ = ["ApproximationResult", "approximate_usim", "approximate_usim_on_graph"]
 
 
+#: Slack added to the value ceiling before skipping improvement rounds; keeps
+#: the skip conservative against any floating-point drift in GetSim sums.
+_CEILING_EPSILON = 1e-9
+
+
 @dataclass(frozen=True)
 class ApproximationResult:
-    """Outcome of Algorithm 1 on one string pair."""
+    """Outcome of Algorithm 1 on one string pair.
+
+    ``ceiling_stopped`` reports that the improvement loop was cut short by
+    the value ceiling: once the realised similarity exceeds ``1 - 1/t`` no
+    swap can gain the required ``1/t`` (GetSim is capped at 1), so skipping
+    the remaining rounds provably cannot change the outcome.  The
+    verification engine reports these as bound-based early accepts.
+    """
 
     breakdown: SimilarityBreakdown
     selection: Tuple[int, ...]
     graph_size: int
     improvement_rounds: int
+    ceiling_stopped: bool = False
 
     @property
     def value(self) -> float:
@@ -78,6 +91,7 @@ def approximate_usim_on_graph(
     pool_limit: int = 12,
     max_evaluations: int = 8,
     seed: str = "squareimp",
+    early_ceiling: bool = True,
 ) -> ApproximationResult:
     """Run Algorithm 1 on a pre-built conflict graph.
 
@@ -104,6 +118,12 @@ def approximate_usim_on_graph(
     seed:
         ``"squareimp"`` (default) or ``"greedy"`` — the ablation benchmark
         compares the two.
+    early_ceiling:
+        Skip improvement rounds once the realised similarity exceeds
+        ``1 - 1/t``: the loop only accepts swaps gaining at least ``1/t``
+        and GetSim never exceeds 1, so no remaining round can change the
+        result.  The returned value is bit-identical with the flag on or
+        off; it exists so benchmarks can measure the pre-optimization cost.
     """
     if t <= 1.0:
         raise ValueError("t must be greater than 1")
@@ -124,8 +144,14 @@ def approximate_usim_on_graph(
     rounds = 0
     max_rounds = int(t)
     weights = [vertex.weight for vertex in graph.vertices]
+    ceiling_stopped = False
 
     while rounds < max_rounds:
+        if early_ceiling and best_breakdown.value + min_gain > 1.0 + _CEILING_EPSILON:
+            # GetSim is capped at 1, so no swap can clear best + 1/t: the
+            # remaining rounds would evaluate candidates and accept none.
+            ceiling_stopped = True
+            break
         rounds += 1
         # Rank candidate swaps by raw vertex-weight gain, then evaluate the
         # best few with the full GetSim computation.
@@ -160,6 +186,7 @@ def approximate_usim_on_graph(
         selection=tuple(sorted(selection)),
         graph_size=len(graph),
         improvement_rounds=rounds,
+        ceiling_stopped=ceiling_stopped,
     )
 
 
@@ -173,6 +200,7 @@ def approximate_usim(
     pool_limit: int = 12,
     max_evaluations: int = 8,
     seed: str = "squareimp",
+    early_ceiling: bool = True,
 ) -> ApproximationResult:
     """Build the conflict graph for a string pair and run Algorithm 1."""
     if not left_tokens or not right_tokens:
@@ -186,4 +214,5 @@ def approximate_usim(
         pool_limit=pool_limit,
         max_evaluations=max_evaluations,
         seed=seed,
+        early_ceiling=early_ceiling,
     )

@@ -6,17 +6,48 @@ pairs that cannot be applied simultaneously (their segments overlap
 positionally on the same side).  The graph is (k+1)-claw-free where ``k`` is
 the maximal token count of any applicable synonym-rule side or taxonomy
 label, which is what makes the w-MIS approximation possible.
+
+Prepared verification
+---------------------
+Everything the graph needs from one string — its well-defined segments,
+per-segment synonym/taxonomy lookups, gram sets, positional overlaps among
+segments, and its minimal partition size — depends on that string alone.
+:class:`GraphSide` caches this one-sided state so that a record verified
+against ``k`` candidates pays the segment enumeration and per-segment
+bookkeeping once instead of ``k`` times;
+:func:`build_conflict_graph_from_sides` assembles the pair graph from two
+cached sides, and :func:`build_conflict_graph` is now a thin wrapper that
+builds both sides ad hoc (one code path, so the cached and uncached
+constructions cannot diverge).
+
+The side state also powers the verification pruning cascade:
+:func:`usim_upper_bound` bounds the unified similarity from above without
+building the pair graph (per-segment msim upper bounds fed to a matching
+bound), and :func:`singleton_greedy_lower_bound` bounds the *exact* USIM
+from below via a greedy matching of the all-singletons partitions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .grams import qgram_set
+from .matching import greedy_matching, matching_weight_upper_bound
 from .measures import Measure, MeasureConfig
 from .segments import Segment, enumerate_segments
 
-__all__ = ["PairVertex", "ConflictGraph", "build_conflict_graph"]
+__all__ = [
+    "PairVertex",
+    "ConflictGraph",
+    "GraphSide",
+    "prepare_graph_side",
+    "build_conflict_graph",
+    "build_conflict_graph_from_sides",
+    "usim_upper_bound",
+    "singleton_greedy_lower_bound",
+]
 
 _EPSILON = 1e-12
 
@@ -98,18 +129,291 @@ class ConflictGraph:
         return f"ConflictGraph(vertices={len(self.vertices)}, edges={edge_count})"
 
 
-def _qualifies(left: Segment, right: Segment, config: MeasureConfig) -> bool:
-    """Check conditions (a)-(c) of the graph construction in Section 2.3."""
-    if left.is_single_token and right.is_single_token:
-        return True
-    if config.uses(Measure.SYNONYM) and config.rules is not None:
-        if config.rules.similarity(left.tokens, right.tokens) > 0.0:
-            return True
-    if config.uses(Measure.TAXONOMY) and config.taxonomy is not None:
-        if left.from_taxonomy and right.from_taxonomy:
-            if config.taxonomy.find(left.tokens) is not None and config.taxonomy.find(right.tokens) is not None:
-                return True
-    return False
+class _SegmentMatchState:
+    """Per-segment material for the qualification test (conditions a–c)."""
+
+    __slots__ = ("is_single", "syn_keys", "has_tax")
+
+    def __init__(
+        self,
+        is_single: bool,
+        syn_keys: Optional[FrozenSet[Tuple[str, ...]]],
+        has_tax: bool,
+    ) -> None:
+        self.is_single = is_single
+        self.syn_keys = syn_keys
+        self.has_tax = has_tax
+
+
+class _SegmentBoundState:
+    """Per-segment material for the msim upper bound (pruning cascade)."""
+
+    __slots__ = ("grams", "syn_closeness", "tax_ancestors", "tax_depth")
+
+    def __init__(
+        self,
+        grams: FrozenSet[str],
+        syn_closeness: Optional[Dict[Tuple[str, ...], float]],
+        tax_ancestors: Optional[Dict[int, int]],
+        tax_depth: int,
+    ) -> None:
+        self.grams = grams
+        self.syn_closeness = syn_closeness
+        self.tax_ancestors = tax_ancestors
+        self.tax_depth = tax_depth
+
+
+class GraphSide:
+    """One string's cached conflict-graph material (everything pair-free).
+
+    A side is bound to one :class:`~repro.core.measures.MeasureConfig`; all
+    derived state is computed lazily so cheap uses (plain graph assembly)
+    never pay for the bound-specific extras (gram sets, partition DP).
+    """
+
+    def __init__(
+        self,
+        tokens: Sequence[str],
+        config: MeasureConfig,
+        segments: Optional[Sequence[Segment]] = None,
+    ) -> None:
+        self.tokens: Tuple[str, ...] = tuple(tokens)
+        self.config = config
+        if segments is None:
+            segments = enumerate_segments(
+                self.tokens,
+                rules=config.rules if config.uses(Measure.SYNONYM) else None,
+                taxonomy=config.taxonomy if config.uses(Measure.TAXONOMY) else None,
+            )
+        self.segments: Tuple[Segment, ...] = tuple(segments)
+
+    @cached_property
+    def match_state(self) -> Tuple[_SegmentMatchState, ...]:
+        """Qualification material per segment (syn lhs keys, taxonomy hit)."""
+        config = self.config
+        rules = config.rules if config.uses(Measure.SYNONYM) else None
+        taxonomy = config.taxonomy if config.uses(Measure.TAXONOMY) else None
+        states: List[_SegmentMatchState] = []
+        for segment in self.segments:
+            syn_keys: Optional[FrozenSet[Tuple[str, ...]]] = None
+            if rules is not None:
+                keys = frozenset(
+                    lhs for lhs, _ in rules.lhs_pebbles_for(segment.tokens)
+                )
+                syn_keys = keys or None
+            has_tax = (
+                taxonomy is not None
+                and segment.from_taxonomy
+                and taxonomy.find(segment.tokens) is not None
+            )
+            states.append(
+                _SegmentMatchState(segment.is_single_token, syn_keys, has_tax)
+            )
+        return tuple(states)
+
+    @cached_property
+    def overlap_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """For each segment, the indices of segments it overlaps (incl. self)."""
+        spans = [segment.span for segment in self.segments]
+        count = len(spans)
+        overlaps: List[Set[int]] = [set() for _ in range(count)]
+        for i in range(count):
+            overlaps[i].add(i)
+            for j in range(i + 1, count):
+                if spans[i].overlaps(spans[j]):
+                    overlaps[i].add(j)
+                    overlaps[j].add(i)
+        return tuple(frozenset(ov) for ov in overlaps)
+
+    @cached_property
+    def bound_state(self) -> Tuple[_SegmentBoundState, ...]:
+        """Per-segment upper-bound material (gram sets, closeness, ancestors)."""
+        config = self.config
+        rules = config.rules if config.uses(Measure.SYNONYM) else None
+        taxonomy = config.taxonomy if config.uses(Measure.TAXONOMY) else None
+        use_grams = config.uses(Measure.JACCARD)
+        states: List[_SegmentBoundState] = []
+        for segment in self.segments:
+            grams: FrozenSet[str] = (
+                qgram_set(segment.text, config.q) if use_grams else frozenset()
+            )
+            syn_closeness: Optional[Dict[Tuple[str, ...], float]] = None
+            if rules is not None:
+                closeness: Dict[Tuple[str, ...], float] = {}
+                for lhs, value in rules.lhs_pebbles_for(segment.tokens):
+                    if value > closeness.get(lhs, 0.0):
+                        closeness[lhs] = value
+                syn_closeness = closeness or None
+            tax_ancestors: Optional[Dict[int, int]] = None
+            tax_depth = 0
+            if taxonomy is not None:
+                node = taxonomy.find(segment.tokens)
+                if node is not None:
+                    tax_depth = node.depth
+                    tax_ancestors = {
+                        ancestor.node_id: ancestor.depth
+                        for ancestor in taxonomy.ancestors(node)
+                    }
+            states.append(
+                _SegmentBoundState(grams, syn_closeness, tax_ancestors, tax_depth)
+            )
+        return tuple(states)
+
+    @cached_property
+    def min_partition_size(self) -> int:
+        """Exact minimal number of segments in any well-defined partition.
+
+        A linear DP over positions (segments are intervals, so minimum
+        interval cover is polynomial); every position starts at least a
+        singleton segment, so the DP always completes.  This is the true
+        minimum — tighter than the Algorithm-2 set-cover estimate — and it
+        lower-bounds ``max(|P_S|, |P_T|)`` for every well-defined partition,
+        which is what the upper bound divides by.
+        """
+        n = len(self.tokens)
+        if n == 0:
+            return 0
+        infinity = n + 1
+        best = [infinity] * (n + 1)
+        best[n] = 0
+        ends_by_start: Dict[int, List[int]] = {}
+        for segment in self.segments:
+            ends_by_start.setdefault(segment.span.start, []).append(segment.span.end)
+        for position in range(n - 1, -1, -1):
+            current = infinity
+            for end in ends_by_start.get(position, (position + 1,)):
+                candidate = 1 + best[end]
+                if candidate < current:
+                    current = candidate
+            best[position] = current
+        return best[0]
+
+    @cached_property
+    def singleton_token_tuples(self) -> Tuple[Tuple[str, ...], ...]:
+        """Each token as a 1-tuple (msim probes of the singleton partition)."""
+        return tuple((token,) for token in self.tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphSide(tokens={len(self.tokens)}, segments={len(self.segments)})"
+
+
+def prepare_graph_side(
+    tokens: Sequence[str],
+    config: MeasureConfig,
+    *,
+    segments: Optional[Sequence[Segment]] = None,
+) -> GraphSide:
+    """Build the cached one-sided graph state of a token sequence.
+
+    ``segments`` may be supplied when the caller already holds the record's
+    well-defined segments (e.g. from pebble generation); they must have been
+    enumerated under the same measure configuration.
+    """
+    return GraphSide(tokens, config, segments)
+
+
+def build_conflict_graph_from_sides(
+    left_side: GraphSide,
+    right_side: GraphSide,
+    config: MeasureConfig,
+    *,
+    min_weight: float = _EPSILON,
+) -> ConflictGraph:
+    """Assemble the pair conflict graph from two cached sides.
+
+    Produces a graph identical (vertex order, weights, adjacency) to the
+    historical per-pair construction: vertices are emitted left-major over
+    the positionally sorted segment lists, weights come from the shared
+    memoised ``msim``, and edges connect vertices whose segments overlap on
+    either side — now looked up in each side's cached overlap sets instead
+    of re-testing spans per vertex pair.
+    """
+    _check_side_configs(left_side, right_side, config)
+    rules = config.rules if config.uses(Measure.SYNONYM) else None
+    use_tax = config.uses(Measure.TAXONOMY) and config.taxonomy is not None
+    left_match = left_side.match_state
+    right_match = right_side.match_state
+    msim = config.msim_with_measure
+
+    vertices: List[PairVertex] = []
+    vertex_sides: List[Tuple[int, int]] = []
+    for i, left in enumerate(left_side.segments):
+        left_state = left_match[i]
+        for j, right in enumerate(right_side.segments):
+            right_state = right_match[j]
+            # Conditions (a)–(c) of Section 2.3.  The synonym condition is
+            # pre-filtered by shared lhs pebble keys: a connecting rule
+            # deposits its lhs key on both sides, so disjoint key sets imply
+            # similarity 0 without the directional rule lookup.
+            if left_state.is_single and right_state.is_single:
+                pass
+            elif (
+                rules is not None
+                and left_state.syn_keys is not None
+                and right_state.syn_keys is not None
+                and not left_state.syn_keys.isdisjoint(right_state.syn_keys)
+                and rules.similarity(left.tokens, right.tokens) > 0.0
+            ):
+                pass
+            elif use_tax and left_state.has_tax and right_state.has_tax:
+                pass
+            else:
+                continue
+            weight, measure = msim(
+                left.tokens,
+                right.tokens,
+                left_text=left.text,
+                right_text=right.text,
+            )
+            if weight < min_weight:
+                continue
+            vertices.append(
+                PairVertex(
+                    index=len(vertices),
+                    left=left,
+                    right=right,
+                    weight=weight,
+                    measure=measure,
+                )
+            )
+            vertex_sides.append((i, j))
+
+    by_left: Dict[int, Set[int]] = {}
+    by_right: Dict[int, Set[int]] = {}
+    for vertex_id, (i, j) in enumerate(vertex_sides):
+        by_left.setdefault(i, set()).add(vertex_id)
+        by_right.setdefault(j, set()).add(vertex_id)
+
+    left_overlap = left_side.overlap_sets
+    right_overlap = right_side.overlap_sets
+    union_left: Dict[int, Set[int]] = {}
+    union_right: Dict[int, Set[int]] = {}
+
+    def conflict_union(
+        index: int,
+        overlaps: Sequence[FrozenSet[int]],
+        by_segment: Dict[int, Set[int]],
+        cache: Dict[int, Set[int]],
+    ) -> Set[int]:
+        union = cache.get(index)
+        if union is None:
+            union = set()
+            for other in overlaps[index]:
+                members = by_segment.get(other)
+                if members:
+                    union |= members
+            cache[index] = union
+        return union
+
+    adjacency: List[Set[int]] = []
+    for vertex_id, (i, j) in enumerate(vertex_sides):
+        neighbours = conflict_union(i, left_overlap, by_left, union_left) | conflict_union(
+            j, right_overlap, by_right, union_right
+        )
+        neighbours.discard(vertex_id)
+        adjacency.append(neighbours)
+
+    return ConflictGraph(left_side.tokens, right_side.tokens, vertices, adjacency)
 
 
 def build_conflict_graph(
@@ -125,41 +429,139 @@ def build_conflict_graph(
     Section 2.3 whose ``msim`` weight is at least ``min_weight`` (zero-weight
     vertices can never contribute to the similarity, so they are dropped to
     keep the graph small).  Edges connect vertices whose segments overlap on
-    either side.
+    either side.  This is a convenience wrapper that prepares both sides ad
+    hoc; repeated verification should cache :class:`GraphSide` objects and
+    call :func:`build_conflict_graph_from_sides`.
     """
-    left_segments = enumerate_segments(
-        left_tokens, rules=config.rules if config.uses(Measure.SYNONYM) else None,
-        taxonomy=config.taxonomy if config.uses(Measure.TAXONOMY) else None,
-    )
-    right_segments = enumerate_segments(
-        right_tokens, rules=config.rules if config.uses(Measure.SYNONYM) else None,
-        taxonomy=config.taxonomy if config.uses(Measure.TAXONOMY) else None,
+    return build_conflict_graph_from_sides(
+        GraphSide(left_tokens, config),
+        GraphSide(right_tokens, config),
+        config,
+        min_weight=min_weight,
     )
 
-    vertices: List[PairVertex] = []
-    for left in left_segments:
-        for right in right_segments:
-            if not _qualifies(left, right, config):
-                continue
-            weight, measure = config.msim_with_measure(left.tokens, right.tokens)
-            if weight < min_weight:
-                continue
-            vertices.append(
-                PairVertex(
-                    index=len(vertices),
-                    left=left,
-                    right=right,
-                    weight=weight,
-                    measure=measure,
-                )
-            )
 
-    adjacency: List[Set[int]] = [set() for _ in vertices]
-    for i, first in enumerate(vertices):
-        for j in range(i + 1, len(vertices)):
-            second = vertices[j]
-            if first.conflicts_with(second):
-                adjacency[i].add(j)
-                adjacency[j].add(i)
+def _check_side_configs(
+    left_side: GraphSide, right_side: GraphSide, config: MeasureConfig
+) -> None:
+    """Reject sides prepared under a different measure configuration.
 
-    return ConflictGraph(left_tokens, right_tokens, vertices, adjacency)
+    A side's cached segments and bound material are derived from its own
+    config; mixing them with another config's gating/weights would build a
+    silently inconsistent graph, so identity is required.
+    """
+    if left_side.config is not config or right_side.config is not config:
+        raise ValueError(
+            "graph sides are bound to a different MeasureConfig; prepare them "
+            "under the config used for assembly (or share one config object)"
+        )
+
+
+# --------------------------------------------------------------------- #
+# verification bounds (the pruning cascade's tiers)
+# --------------------------------------------------------------------- #
+def _segment_pair_upper_bound(
+    left: _SegmentBoundState,
+    right: _SegmentBoundState,
+    use_jaccard: bool,
+) -> float:
+    """An upper bound on ``msim`` of one segment pair from cached state.
+
+    Jaccard and taxonomy contributions are exact (gram-set arithmetic and
+    shared-ancestor LCA depth); the synonym contribution is an upper bound —
+    a shared lhs key caps the closeness of any connecting rule, but two
+    segments may share a key without a directional rule between them.
+    """
+    bound = 0.0
+    if use_jaccard and left.grams and right.grams:
+        intersection = len(left.grams & right.grams)
+        if intersection:
+            union = len(left.grams) + len(right.grams) - intersection
+            value = intersection / union
+            if value > bound:
+                bound = value
+    if left.syn_closeness is not None and right.syn_closeness is not None:
+        smaller, larger = left.syn_closeness, right.syn_closeness
+        if len(larger) < len(smaller):
+            smaller, larger = larger, smaller
+        for key, closeness in smaller.items():
+            other = larger.get(key)
+            if other is not None:
+                value = closeness if closeness < other else other
+                if value > bound:
+                    bound = value
+    if left.tax_ancestors is not None and right.tax_ancestors is not None:
+        smaller_anc, larger_anc = left.tax_ancestors, right.tax_ancestors
+        if len(larger_anc) < len(smaller_anc):
+            smaller_anc, larger_anc = larger_anc, smaller_anc
+        lca_depth = 0
+        for node_id, depth in smaller_anc.items():
+            if depth > lca_depth and node_id in larger_anc:
+                lca_depth = depth
+        if lca_depth:
+            value = lca_depth / max(left.tax_depth, right.tax_depth)
+            if value > bound:
+                bound = value
+    return bound
+
+
+def usim_upper_bound(
+    left_side: GraphSide,
+    right_side: GraphSide,
+    config: MeasureConfig,
+    *,
+    exact_limit: int = 16,
+) -> float:
+    """An upper bound on the unified similarity, pair graph not required.
+
+    Every well-defined partition pair realises ``W(P) / max(|P_S|, |P_T|)``
+    where the matching ``W(P)`` only pairs well-defined segments; bounding
+    the numerator by a maximum matching over *all* segment pairs (with
+    per-pair msim upper bounds) and the denominator from below by the exact
+    minimal partition sizes therefore bounds USIM — and a fortiori the
+    Algorithm-1 approximation, which realises some partition pair — from
+    above.
+    """
+    _check_side_configs(left_side, right_side, config)
+    if not left_side.tokens or not right_side.tokens:
+        return 0.0
+    use_jaccard = config.uses(Measure.JACCARD)
+    left_bounds = left_side.bound_state
+    right_bounds = right_side.bound_state
+    matrix: List[List[float]] = [
+        [
+            _segment_pair_upper_bound(left, right, use_jaccard)
+            for right in right_bounds
+        ]
+        for left in left_bounds
+    ]
+    numerator = matching_weight_upper_bound(matrix, exact_limit=exact_limit)
+    denominator = max(left_side.min_partition_size, right_side.min_partition_size, 1)
+    value = numerator / denominator
+    return 1.0 if value > 1.0 else value
+
+
+def singleton_greedy_lower_bound(
+    left_side: GraphSide,
+    right_side: GraphSide,
+    config: MeasureConfig,
+) -> float:
+    """A lower bound on the *exact* USIM via the all-singletons partitions.
+
+    Greedily matches tokens by msim and divides by the larger token count —
+    a lower bound on ``GetSim`` of the empty selection (greedy ≤ Hungarian)
+    and hence on the exact USIM.  Note this does **not** lower-bound the
+    Algorithm-1 approximation (whose seed selection may realise less than
+    the singleton partitions), so the cascade only uses it to skip
+    upper-bound work that provably cannot prune, never to accept pairs.
+    """
+    left_tuples = left_side.singleton_token_tuples
+    right_tuples = right_side.singleton_token_tuples
+    if not left_tuples or not right_tuples:
+        return 0.0
+    msim = config.msim
+    weights = [
+        [msim(left, right) for right in right_tuples] for left in left_tuples
+    ]
+    total, _ = greedy_matching(weights)
+    return total / max(len(left_tuples), len(right_tuples))

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from typing import List, Sequence, Set, Tuple
 
-__all__ = ["hungarian_matching", "greedy_matching", "maximum_weight_matching"]
+__all__ = [
+    "hungarian_matching",
+    "greedy_matching",
+    "maximum_weight_matching",
+    "matching_weight_upper_bound",
+]
 
 _EPSILON = 1e-12
 
@@ -137,6 +142,40 @@ def maximum_weight_matching(
 
 #: Alias kept for readers following the paper's terminology.
 hungarian_matching = maximum_weight_matching
+
+
+def matching_weight_upper_bound(
+    weights: Sequence[Sequence[float]],
+    *,
+    exact_limit: int = 16,
+) -> float:
+    """A cheap upper bound on the maximum-weight matching of ``weights``.
+
+    Used by the verification pruning cascade: when the matrix is small the
+    exact Hungarian solver is run (the tightest possible bound); larger
+    matrices fall back to the minimum of three sound bounds —
+
+    * the sum of per-row maxima (each row is matched at most once),
+    * the sum of per-column maxima (symmetrically), and
+    * twice the greedy matching weight (greedy is a 1/2-approximation, so
+      ``2 · greedy ≥ optimum``).
+
+    Every returned value is ≥ the true maximum matching weight, which is what
+    makes threshold pruning against it lossless.
+    """
+    if not weights or not weights[0]:
+        return 0.0
+    rows = len(weights)
+    cols = len(weights[0])
+    if max(rows, cols) <= exact_limit:
+        total, _ = maximum_weight_matching(weights)
+        return total
+    row_max_sum = sum(max(row) for row in weights)
+    col_max_sum = sum(
+        max(weights[i][j] for i in range(rows)) for j in range(cols)
+    )
+    greedy_total, _ = greedy_matching(weights)
+    return min(row_max_sum, col_max_sum, 2.0 * greedy_total)
 
 
 def greedy_matching(

@@ -144,6 +144,14 @@ class MeasureConfig:
         """Gram Jaccard similarity between the joined texts of two segments."""
         return grams.jaccard(" ".join(left), " ".join(right), self.q)
 
+    def jaccard_text(self, left_text: str, right_text: str) -> float:
+        """Gram Jaccard on pre-joined segment texts (skips the token join).
+
+        Callers holding :attr:`Segment.text` (cached on the segment) avoid
+        re-joining the tokens on every similarity probe.
+        """
+        return grams.jaccard(left_text, right_text, self.q)
+
     def synonym(self, left: Sequence[str], right: Sequence[str]) -> float:
         """Synonym similarity (Eq. 2) or 0.0 when no rule set is configured."""
         if self.rules is None:
@@ -165,15 +173,28 @@ class MeasureConfig:
         return value
 
     def msim_with_measure(
-        self, left: Sequence[str], right: Sequence[str]
+        self,
+        left: Sequence[str],
+        right: Sequence[str],
+        *,
+        left_text: Optional[str] = None,
+        right_text: Optional[str] = None,
     ) -> Tuple[float, Optional[Measure]]:
         """Like :meth:`msim` but also report which measure attains the maximum.
 
         Returns ``(0.0, None)`` when no enabled measure yields a positive
-        similarity.  Results are memoised per token-tuple pair.
+        similarity.  Results are memoised per token-tuple pair.  Callers that
+        already hold token tuples (``Segment.tokens``) pay no copy for the
+        cache key, and callers holding the cached segment text can pass it
+        via ``left_text``/``right_text`` to spare the Jaccard measure its
+        re-join.
         """
         cache: dict = self._msim_cache  # type: ignore[attr-defined]
-        cache_key = (tuple(left), tuple(right))
+        if type(left) is not tuple:
+            left = tuple(left)
+        if type(right) is not tuple:
+            right = tuple(right)
+        cache_key = (left, right)
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
@@ -188,7 +209,10 @@ class MeasureConfig:
             if value > best_value:
                 best_value, best_measure = value, Measure.TAXONOMY
         if self.uses(Measure.JACCARD):
-            value = self.jaccard(left, right)
+            value = self.jaccard_text(
+                left_text if left_text is not None else " ".join(left),
+                right_text if right_text is not None else " ".join(right),
+            )
             if value > best_value:
                 best_value, best_measure = value, Measure.JACCARD
         result = (best_value, best_measure)

@@ -13,6 +13,7 @@ This module enumerates segments and partitions and defines the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.tokenizer import TokenSpan, join_tokens
@@ -50,9 +51,14 @@ class Segment:
     from_synonym: bool = False
     from_taxonomy: bool = False
 
-    @property
+    @cached_property
     def text(self) -> str:
-        """The segment tokens joined into canonical text."""
+        """The segment tokens joined into canonical text (computed once).
+
+        ``cached_property`` writes straight into ``__dict__``, which frozen
+        dataclasses permit; equality and hashing still use only the declared
+        fields, so the cache never affects value semantics.
+        """
         return join_tokens(self.tokens)
 
     @property
@@ -100,7 +106,7 @@ def enumerate_segments(
             found[(start, end)] = (syn, True)
     # Single-token segments always qualify (condition iii).
     for position in range(n):
-        found.setdefault((position, position + 1), found.get((position, position + 1), (False, False)))
+        found.setdefault((position, position + 1), (False, False))
 
     segments = [
         Segment(

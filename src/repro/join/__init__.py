@@ -17,7 +17,7 @@ from .pebbles import Pebble, PebbleKey, generate_pebbles
 from .prepared import PreparedCollection, PreparedRecord, build_shared_order
 from .signatures import SignatureMethod, SignedRecord, select_signature_prefix, sign_record
 from .ufilter import UFilterJoin
-from .verification import UnifiedVerifier, VerifiedPair, Verifier
+from .verification import UnifiedVerifier, VerificationStats, VerifiedPair, Verifier
 
 __all__ = [
     "FilterOutcome",
@@ -37,6 +37,7 @@ __all__ = [
     "UFilterJoin",
     "UnifiedJoin",
     "UnifiedVerifier",
+    "VerificationStats",
     "VerifiedPair",
     "Verifier",
     "build_shared_order",

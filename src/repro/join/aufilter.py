@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -49,7 +50,7 @@ from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
 from .prepared import PreparedCollection
 from .signatures import SignatureMethod, SignedRecord, sign_record
-from .verification import UnifiedVerifier, VerifiedPair, Verifier
+from .verification import UnifiedVerifier, VerificationStats, VerifiedPair, Verifier
 
 __all__ = [
     "FilterOutcome",
@@ -82,11 +83,16 @@ class FilterOutcome:
         Optional diagnostics (``collect_overlap_counts=True``): the overlap
         counter per touched pair, *saturating at the overlap requirement*
         because counting short-circuits once a pair becomes a candidate.
+    probe_side:
+        Which side of each candidate tuple is the probe record (``"left"``
+        or ``"right"``); candidates are emitted probe-major, which the
+        verification engine exploits to group them per probe record.
     """
 
     candidates: List[Tuple[int, int]]
     processed_pairs: int
     overlap_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    probe_side: str = "left"
 
     @property
     def candidate_count(self) -> int:
@@ -109,17 +115,28 @@ class MultiFilterOutcome:
 
 @dataclass
 class JoinBatch:
-    """One streamed chunk of a :meth:`PebbleJoin.join_batches` run."""
+    """One streamed chunk of a :meth:`PebbleJoin.join_batches` run.
+
+    ``verification`` carries the chunk's tiered-cascade counters (pruned vs
+    fully verified pairs) when the engine's verifier reports them.
+    """
 
     pairs: List[VerifiedPair]
     candidate_count: int
     processed_pairs: int
     probe_range: Tuple[int, int]
+    verification: Optional[VerificationStats] = None
 
 
 @dataclass
 class JoinStatistics:
-    """Timing and cardinality statistics of one join run."""
+    """Timing and cardinality statistics of one join run.
+
+    ``verification`` breaks the verification stage down by cascade tier
+    (bound prunes, ceiling stops, full Algorithm-1 runs) when the engine's
+    verifier reports statistics; it is ``None`` for custom verifiers that
+    do not.
+    """
 
     signing_seconds: float = 0.0
     filtering_seconds: float = 0.0
@@ -135,6 +152,7 @@ class JoinStatistics:
     tau: int = 1
     theta: float = 0.0
     method: str = SignatureMethod.U_FILTER
+    verification: Optional[VerificationStats] = None
 
     @property
     def total_seconds(self) -> float:
@@ -166,6 +184,20 @@ def _average_signature_length(signed: Sequence[SignedRecord]) -> float:
     if not signed:
         return 0.0
     return sum(record.signature_length for record in signed) / len(signed)
+
+
+@contextmanager
+def _verification_pool(workers: int):
+    """Yield a thread pool for verification, or None for the serial path."""
+    if workers < 0:
+        raise ValueError("verify_workers must be >= 0")
+    if workers == 0:
+        yield None
+        return
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        yield executor
 
 
 def dual_index_filter_candidates(
@@ -469,6 +501,7 @@ class PebbleJoin:
             candidates=candidates,
             processed_pairs=processed,
             overlap_counts=overlap or {},
+            probe_side="left" if probe_is_left else "right",
         )
 
     def filter_candidates_multi(
@@ -559,6 +592,7 @@ class PebbleJoin:
         *,
         precomputed_order: Optional[GlobalOrder] = None,
         signing_tau: Optional[int] = None,
+        verify_workers: int = 0,
     ) -> JoinResult:
         """Join two collections (or self-join one) and verify candidates.
 
@@ -566,6 +600,8 @@ class PebbleJoin:
         (still lossless, since a τ'-signature guarantees τ' ≥ τ overlaps for
         any θ-similar pair).  ``UnifiedJoin(tau="auto")`` uses this to share
         one full signing between the recommendation and the final join.
+        ``verify_workers > 0`` verifies candidates through a thread pool
+        (whole probe groups per worker, statistics aggregated race-free).
         """
         start = time.perf_counter()
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
@@ -594,11 +630,31 @@ class PebbleJoin:
         statistics.candidate_count = outcome.candidate_count
 
         start = time.perf_counter()
-        pairs = self._verify_candidates(outcome.candidates, left_prep, right_prep)
+        snapshot = self._stats_snapshot()
+        with _verification_pool(verify_workers) as pool:
+            pairs = self._verify_candidates(
+                outcome.candidates,
+                left_prep,
+                right_prep,
+                pool=pool,
+                probe_side=outcome.probe_side,
+            )
         statistics.verification_seconds = time.perf_counter() - start
+        statistics.verification = self._stats_delta(snapshot)
         statistics.result_count = len(pairs)
 
         return JoinResult(pairs=pairs, statistics=statistics)
+
+    def _stats_snapshot(self) -> Optional[VerificationStats]:
+        stats = getattr(self.verifier, "stats", None)
+        return stats.snapshot() if isinstance(stats, VerificationStats) else None
+
+    def _stats_delta(
+        self, snapshot: Optional[VerificationStats]
+    ) -> Optional[VerificationStats]:
+        if snapshot is None:
+            return None
+        return self.verifier.stats.diff(snapshot)
 
     def _verify_candidates(
         self,
@@ -606,19 +662,18 @@ class PebbleJoin:
         left: PreparedCollection,
         right: PreparedCollection,
         pool=None,
+        probe_side: str = "left",
     ) -> List[VerifiedPair]:
-        if pool is not None:
-            verified = pool.map(
-                lambda pair: self.verifier.verify(left[pair[0]], right[pair[1]]),
-                candidates,
-            )
-            return [pair for pair in verified if pair is not None]
-        pairs: List[VerifiedPair] = []
-        for left_id, right_id in candidates:
-            verified = self.verifier.verify(left[left_id], right[right_id])
-            if verified is not None:
-                pairs.append(verified)
-        return pairs
+        verify_batch = getattr(self.verifier, "verify_batch", None)
+        if verify_batch is None:
+            # Duck-typed verifiers exposing only verify() keep working.
+            pairs: List[VerifiedPair] = []
+            for left_id, right_id in candidates:
+                verified = self.verifier.verify(left[left_id], right[right_id])
+                if verified is not None:
+                    pairs.append(verified)
+            return pairs
+        return verify_batch(candidates, left, right, pool=pool, probe_side=probe_side)
 
     def join_batches(
         self,
@@ -637,16 +692,39 @@ class PebbleJoin:
         chunk's candidates are verified immediately and yielded as a
         :class:`JoinBatch`, so the full candidate list is never
         materialized.  ``verify_workers > 0`` verifies each chunk through a
-        thread pool — useful for verifiers that release the GIL or perform
-        I/O; the default CPU-bound python verifier gains little under the
-        GIL.  The union of all batch pairs equals :meth:`join`'s result.
+        thread pool: candidates are grouped per probe record, whole groups
+        are handed to workers, and per-worker verification counts are
+        aggregated afterwards (no racy shared-counter increments).  The
+        union of all batch pairs equals :meth:`join`'s result.
         """
+        # Validate at call time: the streaming body below lives in an inner
+        # generator, so raising here (not on first iteration) needs this
+        # wrapper to be a plain function.
         if batch_size < 1:
             raise ValueError("batch_size must be a positive integer")
         if verify_workers < 0:
             raise ValueError("verify_workers must be >= 0")
-
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
+        return self._join_batches_iter(
+            left_prep,
+            right_prep,
+            self_join,
+            batch_size,
+            precomputed_order,
+            signing_tau,
+            verify_workers,
+        )
+
+    def _join_batches_iter(
+        self,
+        left_prep: PreparedCollection,
+        right_prep: PreparedCollection,
+        self_join: bool,
+        batch_size: int,
+        precomputed_order: Optional[GlobalOrder],
+        signing_tau: Optional[int],
+        verify_workers: int,
+    ) -> Iterator[JoinBatch]:
         _, left_signed, right_signed = self._order_and_sign(
             left_prep, right_prep, precomputed_order, signing_tau
         )
@@ -654,14 +732,7 @@ class PebbleJoin:
             left_signed, right_signed
         )
 
-        pool = None
-        executor = None
-        if verify_workers > 0:
-            from concurrent.futures import ThreadPoolExecutor
-
-            executor = ThreadPoolExecutor(max_workers=verify_workers)
-            pool = executor
-        try:
+        with _verification_pool(verify_workers) as pool:
             for chunk_start in range(0, len(probe_records), batch_size):
                 chunk = probe_records[chunk_start : chunk_start + batch_size]
                 candidates, processed, _ = _probe_candidates(
@@ -672,16 +743,21 @@ class PebbleJoin:
                     exclude_self_pairs=self_join,
                     postings_ascending=ascending,
                 )
-                pairs = self._verify_candidates(candidates, left_prep, right_prep, pool)
+                snapshot = self._stats_snapshot()
+                pairs = self._verify_candidates(
+                    candidates,
+                    left_prep,
+                    right_prep,
+                    pool=pool,
+                    probe_side="left" if probe_is_left else "right",
+                )
                 yield JoinBatch(
                     pairs=pairs,
                     candidate_count=len(candidates),
                     processed_pairs=processed,
                     probe_range=(chunk_start, chunk_start + len(chunk)),
+                    verification=self._stats_delta(snapshot),
                 )
-        finally:
-            if executor is not None:
-                executor.shutdown(wait=True)
 
     def self_join(self, collection: Joinable) -> JoinResult:
         """Self-join convenience wrapper (pairs reported once, left < right)."""

@@ -16,14 +16,21 @@ Prepared reuse
 --------------
 :meth:`UnifiedJoin.prepare` returns a
 :class:`~repro.join.prepared.PreparedCollection` whose pebbles, global
-orders, and per-(θ, τ, method) signatures are cached; pass prepared
-collections to :meth:`join` / :meth:`join_batches` to amortize signing
+orders, per-(θ, τ, method) signatures, *and per-record verification state*
+(cached conflict-graph sides) are cached; pass prepared collections to
+:meth:`join` / :meth:`join_batches` to amortize signing and verification
 across repeated joins.  With ``tau="auto"`` the facade prepares both sides
 itself, shares one global order between the recommendation and the final
 join, and signs the full collections exactly once: the recommender signs at
 ``max(tau_universe)`` and the final join reuses those signatures while
 filtering at the recommended τ (lossless, since a τ'-signature guarantees
 τ' ≥ τ overlaps for any θ-similar pair).
+
+Verification runs through the prepared engine
+(:meth:`~repro.join.verification.UnifiedVerifier.verify_batch`): candidates
+are grouped per probe record and pass a tiered bound cascade before the
+full Algorithm 1; the resulting prune/accept counters are reported in
+``result.statistics.verification``.
 """
 
 from __future__ import annotations
@@ -180,13 +187,15 @@ class UnifiedJoin:
     # joining
     # ------------------------------------------------------------------ #
     def join(
-        self, left, right=None
+        self, left, right=None, *, verify_workers: int = 0
     ) -> JoinResult:
         """Join two collections (or self-join one) under the configuration.
 
         Both sides accept raw record collections or collections prepared
         with :meth:`prepare`.  With ``tau="auto"``, the recommendation and
         the final join share one preparation, order, and full signing.
+        ``verify_workers > 0`` verifies candidates through a thread pool
+        with race-free per-worker statistics aggregation.
         """
         engine, left_prep, right_prep, order, signing_tau, suggestion_seconds = self._resolve(
             left, right
@@ -196,6 +205,7 @@ class UnifiedJoin:
             right_prep,
             precomputed_order=order,
             signing_tau=signing_tau,
+            verify_workers=verify_workers,
         )
         result.statistics.suggestion_seconds = suggestion_seconds
         return result

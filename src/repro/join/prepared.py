@@ -25,8 +25,9 @@ binding by identity before reusing it.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..core.graph import GraphSide
 from ..core.measures import MeasureConfig
 from ..core.segments import Segment
 from ..records import Record, RecordCollection
@@ -39,9 +40,16 @@ __all__ = ["PreparedCollection", "PreparedRecord", "build_shared_order"]
 
 
 class PreparedRecord:
-    """One record's cached signing inputs (pebbles are θ/τ-independent)."""
+    """One record's cached signing inputs (pebbles are θ/τ-independent).
 
-    __slots__ = ("record", "segments", "pebbles", "min_partitions")
+    ``graph_side`` holds the record's lazily built verification state (the
+    one-sided conflict-graph material of
+    :class:`~repro.core.graph.GraphSide`); it reuses the already enumerated
+    segments, so verifying the record against many candidates re-derives
+    nothing per pair.
+    """
+
+    __slots__ = ("record", "segments", "pebbles", "min_partitions", "graph_side")
 
     def __init__(
         self,
@@ -54,6 +62,7 @@ class PreparedRecord:
         self.segments = segments
         self.pebbles = pebbles
         self.min_partitions = min_partitions
+        self.graph_side: Optional[GraphSide] = None
 
 
 #: Cache key for one signing: order identity and version plus (θ, τ, method).
@@ -115,6 +124,22 @@ class PreparedCollection:
     def prepared_records(self) -> Sequence[PreparedRecord]:
         """The cached per-record pebble artifacts, in record-id order."""
         return self._prepared
+
+    def graph_side(self, record_id: int) -> GraphSide:
+        """The record's cached verification state, built on first request.
+
+        The side reuses the record's already enumerated segments, so a
+        record probed against ``k`` candidates pays its segment, gram-set,
+        and overlap bookkeeping once instead of ``k`` times.
+        """
+        prepared = self._prepared[record_id]
+        side = prepared.graph_side
+        if side is None:
+            side = GraphSide(
+                prepared.record.tokens, self.config, segments=prepared.segments
+            )
+            prepared.graph_side = side
+        return side
 
     # ------------------------------------------------------------------ #
     # orders

@@ -5,21 +5,56 @@ candidate pair and keeps those meeting the join threshold.  The verifier is
 deliberately pluggable: the unified join uses the approximate USIM of
 Algorithm 1, while baselines reuse the same machinery with their own
 similarity callables.
+
+Prepared verification engine
+----------------------------
+:meth:`UnifiedVerifier.verify_batch` is the hot path of the join: it groups
+candidates by probe record, reuses per-record cached
+:class:`~repro.core.graph.GraphSide` state (segments, gram sets, overlap
+sets) from :class:`~repro.join.prepared.PreparedCollection`, and runs a
+tiered bound cascade before committing to the full Algorithm 1:
+
+1. *Lower-bound tier* — a greedy matching of the all-singletons partitions
+   lower-bounds the exact USIM; when it already clears the threshold the
+   upper-bound tier is skipped (it provably cannot prune this pair).
+2. *Upper-bound tier* — per-segment msim upper bounds from cached pebble
+   material fed to a matching bound reject pairs whose unified similarity
+   cannot reach the threshold, without building the pair graph.
+3. *Full verification* — the pair graph is assembled from the two cached
+   sides and Algorithm 1 runs with its value-ceiling short circuit (the
+   improvement loop is skipped once no swap can gain ``1/t``).
+
+The cascade is lossless: the surviving pair set and every reported
+similarity are bit-identical to verifying each candidate with
+:meth:`Verifier.verify` (the pre-engine path), which the randomized
+equivalence tests enforce.  All counters are aggregated per worker chunk,
+so thread-pooled verification reports exact statistics (no racy
+``verified_count`` increments).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from itertools import groupby
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.approximation import approximate_usim
+from ..core.approximation import approximate_usim, approximate_usim_on_graph
+from ..core.graph import (
+    GraphSide,
+    build_conflict_graph_from_sides,
+    singleton_greedy_lower_bound,
+    usim_upper_bound,
+)
 from ..core.measures import MeasureConfig
 from ..records import Record
 
-__all__ = ["VerifiedPair", "Verifier", "UnifiedVerifier"]
+__all__ = ["VerificationStats", "VerifiedPair", "Verifier", "UnifiedVerifier"]
 
 #: A similarity callable over two token sequences.
 SimilarityFunction = Callable[[Sequence[str], Sequence[str]], float]
+
+#: Maximum number of ad-hoc (non-prepared) graph sides memoised per verifier.
+_SIDE_CACHE_LIMIT = 100_000
 
 
 @dataclass(frozen=True)
@@ -29,6 +64,101 @@ class VerifiedPair:
     left_id: int
     right_id: int
     similarity: float
+
+
+@dataclass
+class VerificationStats:
+    """Counters of the tiered verification cascade (cumulative per verifier).
+
+    ``candidates`` is the number of pairs examined; of those,
+    ``upper_bound_prunes`` were rejected without building a pair graph and
+    ``graphs_built`` went through Algorithm 1 (``ceiling_stops`` of them
+    skipped the improvement loop via the value ceiling, ``full_runs`` ran
+    it).  ``lower_bound_skips`` counts pairs whose cheap lower bound already
+    cleared the threshold, letting the cascade skip the upper-bound tier.
+    """
+
+    candidates: int = 0
+    lower_bound_skips: int = 0
+    upper_bound_prunes: int = 0
+    graphs_built: int = 0
+    ceiling_stops: int = 0
+    full_runs: int = 0
+    results: int = 0
+
+    def merge(self, other: "VerificationStats") -> None:
+        """Add another stats block into this one (per-worker aggregation)."""
+        self.candidates += other.candidates
+        self.lower_bound_skips += other.lower_bound_skips
+        self.upper_bound_prunes += other.upper_bound_prunes
+        self.graphs_built += other.graphs_built
+        self.ceiling_stops += other.ceiling_stops
+        self.full_runs += other.full_runs
+        self.results += other.results
+
+    def snapshot(self) -> "VerificationStats":
+        """A copy of the current counters (for before/after deltas)."""
+        return replace(self)
+
+    def diff(self, earlier: "VerificationStats") -> "VerificationStats":
+        """The counters accumulated since ``earlier`` was snapshotted."""
+        return VerificationStats(
+            candidates=self.candidates - earlier.candidates,
+            lower_bound_skips=self.lower_bound_skips - earlier.lower_bound_skips,
+            upper_bound_prunes=self.upper_bound_prunes - earlier.upper_bound_prunes,
+            graphs_built=self.graphs_built - earlier.graphs_built,
+            ceiling_stops=self.ceiling_stops - earlier.ceiling_stops,
+            full_runs=self.full_runs - earlier.full_runs,
+            results=self.results - earlier.results,
+        )
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of candidates rejected without building a pair graph."""
+        if self.candidates == 0:
+            return 0.0
+        return self.upper_bound_prunes / self.candidates
+
+    @property
+    def ceiling_stop_rate(self) -> float:
+        """Fraction of built graphs whose improvement loop was skipped."""
+        if self.graphs_built == 0:
+            return 0.0
+        return self.ceiling_stops / self.graphs_built
+
+
+def _group_candidates(
+    candidates: Sequence[Tuple[int, int]], probe_side: str
+) -> List[List[Tuple[int, int]]]:
+    """Split candidates into consecutive runs sharing the probe record.
+
+    The probe-based filter emits every candidate of one probe record before
+    moving to the next, so consecutive grouping recovers the per-probe
+    batches without sorting; each group then reuses the probe side's cached
+    state across all of its partners.
+    """
+    position = 0 if probe_side == "left" else 1
+    return [list(group) for _, group in groupby(candidates, key=lambda pair: pair[position])]
+
+
+def _chunk_groups(
+    groups: Sequence[List[Tuple[int, int]]], target_pairs: int
+) -> List[List[Tuple[int, int]]]:
+    """Pack probe groups into worker chunks of roughly ``target_pairs`` pairs.
+
+    Groups are never split, so one probe record's candidates always land on
+    one worker (maximising its cache locality).
+    """
+    chunks: List[List[Tuple[int, int]]] = []
+    current: List[Tuple[int, int]] = []
+    for group in groups:
+        current.extend(group)
+        if len(current) >= target_pairs:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 class Verifier:
@@ -41,13 +171,23 @@ class Verifier:
         self.threshold = threshold
         self.verified_count = 0
 
-    def verify(self, left: Record, right: Record) -> Optional[VerifiedPair]:
-        """Return a :class:`VerifiedPair` when the pair passes the threshold."""
-        self.verified_count += 1
+    def _verify_one(self, left: Record, right: Record) -> Optional[VerifiedPair]:
+        """Verify one pair without touching shared counters (thread-safe).
+
+        This is the extension hook for custom pair semantics: every path —
+        :meth:`verify`, :meth:`verify_all`, and :meth:`verify_batch` serial
+        or pooled — routes through it, so subclasses overriding it behave
+        identically regardless of worker count.
+        """
         value = self.similarity(left.tokens, right.tokens)
         if value >= self.threshold:
             return VerifiedPair(left.record_id, right.record_id, value)
         return None
+
+    def verify(self, left: Record, right: Record) -> Optional[VerifiedPair]:
+        """Return a :class:`VerifiedPair` when the pair passes the threshold."""
+        self.verified_count += 1
+        return self._verify_one(left, right)
 
     def verify_all(
         self, pairs: Iterable[Tuple[Record, Record]]
@@ -60,15 +200,217 @@ class Verifier:
                 results.append(verified)
         return results
 
+    def verify_batch(
+        self,
+        candidates: Iterable[Tuple[int, int]],
+        left,
+        right,
+        *,
+        pool=None,
+        probe_side: str = "left",
+        chunk_pairs: int = 64,
+    ) -> List[VerifiedPair]:
+        """Verify ``(left_id, right_id)`` candidates against two collections.
+
+        ``left``/``right`` may be raw record collections or prepared ones
+        (anything id-addressable).  The serial path goes through
+        :meth:`verify`; the pooled path verifies through the counter-free
+        :meth:`_verify_one` (the per-pair extension hook) and aggregates
+        each worker chunk's count afterwards, so ``verified_count`` stays
+        exact under concurrency.  A legacy subclass that overrides
+        :meth:`verify` without overriding :meth:`_verify_one` keeps its
+        semantics on every path: the pool is bypassed for it (its override
+        and counting cannot safely run concurrently), so the pair set never
+        depends on the worker count.  Result order matches the candidate
+        order.
+        """
+        candidate_list = list(candidates)
+        if not candidate_list:
+            return []
+        legacy_verify_override = (
+            type(self).verify is not Verifier.verify
+            and type(self)._verify_one is Verifier._verify_one
+        )
+        if pool is None or legacy_verify_override:
+            pairs: List[VerifiedPair] = []
+            for left_id, right_id in candidate_list:
+                verified = self.verify(left[left_id], right[right_id])
+                if verified is not None:
+                    pairs.append(verified)
+            return pairs
+
+        def run_chunk(chunk: List[Tuple[int, int]]) -> Tuple[List[VerifiedPair], int]:
+            found: List[VerifiedPair] = []
+            for left_id, right_id in chunk:
+                verified = self._verify_one(left[left_id], right[right_id])
+                if verified is not None:
+                    found.append(verified)
+            return found, len(chunk)
+
+        groups = _group_candidates(candidate_list, probe_side)
+        chunks = _chunk_groups(groups, chunk_pairs)
+        pairs = []
+        for found, count in pool.map(run_chunk, chunks):
+            self.verified_count += count
+            pairs.extend(found)
+        return pairs
+
 
 class UnifiedVerifier(Verifier):
-    """Verifier backed by the approximate unified similarity (Algorithm 1)."""
+    """Verifier backed by the approximate unified similarity (Algorithm 1).
 
-    def __init__(self, config: MeasureConfig, threshold: float, *, t: float = 4.0) -> None:
+    :meth:`verify` computes each pair from scratch (the reference path);
+    :meth:`verify_batch` runs the prepared engine with per-record cached
+    graph sides and the tiered bound cascade.  Both report bit-identical
+    pairs and similarity values; ``prune=False`` disables the bound tiers
+    (cached assembly only), which the equivalence tests and benchmarks use.
+    """
+
+    def __init__(
+        self,
+        config: MeasureConfig,
+        threshold: float,
+        *,
+        t: float = 4.0,
+        prune: bool = True,
+    ) -> None:
         self.config = config
         self.t = t
+        self.prune = prune
+        self.stats = VerificationStats()
+        self._side_cache: dict = {}
 
         def similarity(left_tokens: Sequence[str], right_tokens: Sequence[str]) -> float:
             return approximate_usim(left_tokens, right_tokens, config, t=t).value
 
         super().__init__(similarity, threshold)
+
+    # ------------------------------------------------------------------ #
+    # cached graph sides
+    # ------------------------------------------------------------------ #
+    def _side_getter(self, collection) -> Callable[[int], GraphSide]:
+        """Resolve the per-record :class:`GraphSide` source for a collection.
+
+        Prepared collections bound to this verifier's config serve their own
+        cached sides; anything else falls back to a verifier-local memo
+        keyed by token tuple (so repeated records still hit the cache).
+        """
+        graph_side = getattr(collection, "graph_side", None)
+        if graph_side is not None and getattr(collection, "config", None) is self.config:
+            return graph_side
+
+        cache = self._side_cache
+        config = self.config
+
+        def fallback(record_id: int) -> GraphSide:
+            tokens = collection[record_id].tokens
+            side = cache.get(tokens)
+            if side is None:
+                side = GraphSide(tokens, config)
+                if len(cache) < _SIDE_CACHE_LIMIT:
+                    cache[tokens] = side
+            return side
+
+        return fallback
+
+    # ------------------------------------------------------------------ #
+    # the tiered cascade
+    # ------------------------------------------------------------------ #
+    def _verify_prepared(
+        self,
+        left_record: Record,
+        right_record: Record,
+        left_side: GraphSide,
+        right_side: GraphSide,
+        stats: VerificationStats,
+    ) -> Optional[VerifiedPair]:
+        stats.candidates += 1
+        threshold = self.threshold
+        config = self.config
+
+        # Empty-token records need no special case: both bounds are 0.0 and
+        # the empty pair graph realises 0.0, matching approximate_usim's
+        # empty-input result, so the cascade handles them like any pair (and
+        # the tier counters keep partitioning the candidates).
+        if self.prune and threshold > 0.0:
+            lower = singleton_greedy_lower_bound(left_side, right_side, config)
+            if lower >= threshold:
+                # The exact USIM is ≥ lower ≥ θ, so the upper bound (≥ exact)
+                # cannot fall below θ: skip computing it.
+                stats.lower_bound_skips += 1
+            else:
+                upper = usim_upper_bound(left_side, right_side, config)
+                if upper < threshold:
+                    # Algorithm 1 realises ≤ exact USIM ≤ upper < θ: the
+                    # unpruned path would reject this pair too.
+                    stats.upper_bound_prunes += 1
+                    return None
+
+        stats.graphs_built += 1
+        graph = build_conflict_graph_from_sides(left_side, right_side, config)
+        result = approximate_usim_on_graph(graph, config, t=self.t)
+        if result.ceiling_stopped:
+            stats.ceiling_stops += 1
+        else:
+            stats.full_runs += 1
+        value = result.value
+        if value >= threshold:
+            stats.results += 1
+            return VerifiedPair(left_record.record_id, right_record.record_id, value)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # batch verification
+    # ------------------------------------------------------------------ #
+    def verify_batch(
+        self,
+        candidates: Iterable[Tuple[int, int]],
+        left,
+        right,
+        *,
+        pool=None,
+        probe_side: str = "left",
+        chunk_pairs: int = 64,
+    ) -> List[VerifiedPair]:
+        """Verify candidates through the prepared engine (see class docs).
+
+        Candidates are grouped by probe record (consecutive runs on the
+        ``probe_side`` id, matching the filter's emission order) so one
+        probe's cached side is fetched once per group; under a thread pool,
+        whole groups are assigned to workers and each worker's statistics
+        are merged after the fact.
+        """
+        candidate_list = list(candidates)
+        if not candidate_list:
+            return []
+        get_left = self._side_getter(left)
+        get_right = self._side_getter(right)
+        groups = _group_candidates(candidate_list, probe_side)
+
+        def run_group_chunk(
+            chunk: List[Tuple[int, int]]
+        ) -> Tuple[List[VerifiedPair], VerificationStats]:
+            local = VerificationStats()
+            found: List[VerifiedPair] = []
+            for left_id, right_id in chunk:
+                verified = self._verify_prepared(
+                    left[left_id],
+                    right[right_id],
+                    get_left(left_id),
+                    get_right(right_id),
+                    local,
+                )
+                if verified is not None:
+                    found.append(verified)
+            return found, local
+
+        pairs: List[VerifiedPair] = []
+        if pool is None:
+            outcomes = map(run_group_chunk, groups)
+        else:
+            outcomes = pool.map(run_group_chunk, _chunk_groups(groups, chunk_pairs))
+        for found, local in outcomes:
+            self.stats.merge(local)
+            self.verified_count += local.candidates
+            pairs.extend(found)
+        return pairs

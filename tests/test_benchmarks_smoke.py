@@ -21,6 +21,7 @@ if str(BENCHMARKS_DIR) not in sys.path:
 
 import bench_fig4_join_time  # noqa: E402
 import bench_fig7_scalability  # noqa: E402
+import bench_table10_breakdown  # noqa: E402
 
 pytestmark = pytest.mark.benchmarks
 
@@ -52,6 +53,35 @@ def test_fig4_selfjoin_filter_harness_smoke(smoke_dataset):
     assert outcome["candidates_match"]
     assert outcome["processed_match"]
     assert outcome["candidates"] > 0
+
+
+def test_verification_breakdown_harness_smoke(smoke_dataset, tmp_path):
+    out_path = tmp_path / "BENCH_verification.json"
+    suite = bench_table10_breakdown.run_verification_breakdown_suite(
+        smoke_dataset, side=40, thetas=(0.85, 0.7), tau=2, out_path=out_path
+    )
+    assert len(suite["runs"]) == 2
+    for outcome in suite["runs"]:
+        # The engine must be a pure optimization at any scale; the ≥2x
+        # speedup assertion runs at full size in benchmarks/.
+        assert outcome["results_match"]
+        assert outcome["candidates"] > 0
+        # Every candidate is either pruned by the bound or graph-verified.
+        rates = outcome["bound_hit_rates"]
+        assert abs(rates["upper_bound_prunes"] + rates["graphs_built"] - 1.0) < 1e-9
+    import json
+
+    recorded = json.loads(out_path.read_text())
+    assert [run["candidates"] for run in recorded["runs"]] == [
+        run["candidates"] for run in suite["runs"]
+    ]
+    assert set(recorded["runs"][0]["bound_hit_rates"]) == {
+        "lower_bound_skips",
+        "upper_bound_prunes",
+        "graphs_built",
+        "ceiling_stops",
+        "full_runs",
+    }
 
 
 def test_fig7_harness_smoke(smoke_dataset):

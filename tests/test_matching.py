@@ -5,7 +5,12 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.matching import greedy_matching, hungarian_matching, maximum_weight_matching
+from repro.core.matching import (
+    greedy_matching,
+    hungarian_matching,
+    matching_weight_upper_bound,
+    maximum_weight_matching,
+)
 
 
 def brute_force_matching(weights):
@@ -129,3 +134,30 @@ class TestGreedyMatching:
         cols = [j for _, j in pairs]
         assert len(rows) == len(set(rows))
         assert len(cols) == len(set(cols))
+
+
+class TestMatchingWeightUpperBound:
+    @settings(max_examples=60, deadline=None)
+    @given(WEIGHT_MATRICES)
+    def test_dominates_optimum_small(self, weights):
+        bound = matching_weight_upper_bound(weights)
+        optimal_total, _ = maximum_weight_matching(weights)
+        assert bound >= optimal_total - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(WEIGHT_MATRICES)
+    def test_dominates_optimum_on_fallback_path(self, weights):
+        # exact_limit=0 forces the row/column/greedy fallback bounds even on
+        # small matrices, so the fallback's soundness is exercised directly.
+        bound = matching_weight_upper_bound(weights, exact_limit=0)
+        optimal_total, _ = maximum_weight_matching(weights)
+        assert bound >= optimal_total - 1e-9
+
+    def test_small_matrices_are_tight(self):
+        weights = [[0.9, 0.2], [0.3, 0.8]]
+        optimal_total, _ = maximum_weight_matching(weights)
+        assert matching_weight_upper_bound(weights) == pytest.approx(optimal_total)
+
+    def test_empty_matrix(self):
+        assert matching_weight_upper_bound([]) == 0.0
+        assert matching_weight_upper_bound([[]]) == 0.0

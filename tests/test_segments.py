@@ -99,3 +99,39 @@ class TestEnumeratePartitions:
     def test_singleton_partition(self):
         partition = singleton_partition(("a", "b"))
         assert [seg.tokens for seg in partition] == [("a",), ("b",)]
+
+
+class TestCachedEnumerationAgreement:
+    def test_prepared_segments_match_fresh_enumeration(
+        self, figure1_config, poi_collections
+    ):
+        """Cached (prepared/graph-side) and uncached enumeration agree."""
+        from repro.core.graph import GraphSide
+        from repro.join import PebbleJoin
+
+        left, right = poi_collections
+        prepared = PebbleJoin(figure1_config, 0.8).prepare(left)
+        for record in left:
+            fresh = enumerate_segments(
+                record.tokens,
+                rules=figure1_config.rules,
+                taxonomy=figure1_config.taxonomy,
+            )
+            assert list(prepared.prepared_records[record.record_id].segments) == fresh
+            side = prepared.graph_side(record.record_id)
+            assert list(side.segments) == fresh
+            ad_hoc = GraphSide(record.tokens, figure1_config)
+            assert list(ad_hoc.segments) == fresh
+
+    def test_singleton_flags_survive_rule_matches(self, figure1_rules):
+        """A single token matching a rule side keeps its measure flags.
+
+        Guards the simplified singleton ``setdefault`` in
+        ``enumerate_segments``: condition (iii) must never overwrite the
+        synonym/taxonomy flags recorded for a single-token span.
+        """
+        segments = enumerate_segments(("ny", "pizza"), rules=figure1_rules)
+        ny = [s for s in segments if s.tokens == ("ny",)]
+        assert len(ny) == 1 and ny[0].from_synonym
+        pizza = [s for s in segments if s.tokens == ("pizza",)]
+        assert len(pizza) == 1 and not pizza[0].from_synonym

@@ -1,0 +1,366 @@
+"""Equivalence and soundness tests for the prepared verification engine.
+
+The engine's contract is strict: for any candidate set, the pairs surviving
+:meth:`UnifiedVerifier.verify_batch` and their similarity values must be
+*bit-identical* to verifying each candidate with the seed per-pair path
+(:meth:`Verifier.verify`, i.e. a fresh ``approximate_usim`` per pair).  The
+tests here enforce that over randomized candidate sets across measure
+configurations, self-joins, pruning toggles, and the thread-pool path, and
+separately check the soundness of each tier of the bound cascade.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.approximation import approximate_usim
+from repro.core.exact import ExactBudgetExceeded, exact_usim
+from repro.core.graph import (
+    GraphSide,
+    build_conflict_graph,
+    build_conflict_graph_from_sides,
+    singleton_greedy_lower_bound,
+    usim_upper_bound,
+)
+from repro.core.measures import MeasureConfig
+from repro.datasets import TINY_PROFILE, generate_dataset
+from repro.join import PebbleJoin, SignatureMethod, UnifiedJoin
+from repro.join.verification import UnifiedVerifier, VerificationStats, Verifier
+from repro.records import RecordCollection
+
+MEASURE_CODES = ("J", "S", "T", "TJS")
+
+
+@pytest.fixture(scope="module")
+def engine_dataset():
+    """A small synthetic corpus with synonym rules and a taxonomy."""
+    return generate_dataset(TINY_PROFILE, seed=29)
+
+
+def _config(dataset, codes: str) -> MeasureConfig:
+    return MeasureConfig.from_codes(
+        codes, rules=dataset.rules, taxonomy=dataset.taxonomy, q=3
+    )
+
+
+def _random_candidates(rng, count, left_size, right_size, *, self_join=False):
+    """A randomized candidate list grouped probe-major like the filter's."""
+    candidates = []
+    for _ in range(count):
+        if self_join:
+            right_id = rng.randrange(1, right_size)
+            left_id = rng.randrange(0, right_id)
+        else:
+            left_id = rng.randrange(left_size)
+            right_id = rng.randrange(right_size)
+        candidates.append((left_id, right_id))
+    # Group by the probe (left) id without losing duplicates, mirroring the
+    # probe-major emission order of the filter.
+    candidates.sort(key=lambda pair: pair[0])
+    return candidates
+
+
+def _reference_results(config, threshold, candidates, left, right):
+    """The seed path: one per-pair verifier, fresh graph per candidate."""
+    verifier = UnifiedVerifier(config, threshold)
+    results = []
+    for left_id, right_id in candidates:
+        verified = verifier.verify(left[left_id], right[right_id])
+        if verified is not None:
+            results.append((verified.left_id, verified.right_id, verified.similarity))
+    return results
+
+
+def _as_triples(pairs):
+    return [(pair.left_id, pair.right_id, pair.similarity) for pair in pairs]
+
+
+class TestVerifyBatchEquivalence:
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    def test_randomized_equivalence_per_measure(self, engine_dataset, codes):
+        config = _config(engine_dataset, codes)
+        collection = engine_dataset.records.head(40)
+        left = collection.subset(range(0, 20))
+        right = collection.subset(range(20, 40))
+        rng = random.Random(hash(codes) & 0xFFFF)
+        candidates = _random_candidates(rng, 120, len(left), len(right))
+        for threshold in (0.0, 0.4, 0.8):
+            reference = _reference_results(config, threshold, candidates, left, right)
+            engine = UnifiedVerifier(config, threshold)
+            prepared_left = PebbleJoin(config, threshold).prepare(left)
+            prepared_right = PebbleJoin(config, threshold).prepare(right)
+            got = engine.verify_batch(candidates, prepared_left, prepared_right)
+            assert _as_triples(got) == reference
+            assert engine.verified_count == len(candidates)
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_self_join_equivalence(self, engine_dataset, prune):
+        config = _config(engine_dataset, "TJS")
+        collection = engine_dataset.records.head(30)
+        rng = random.Random(91)
+        candidates = _random_candidates(
+            rng, 150, len(collection), len(collection), self_join=True
+        )
+        threshold = 0.5
+        reference = _reference_results(config, threshold, candidates, collection, collection)
+        engine = UnifiedVerifier(config, threshold, prune=prune)
+        prepared = PebbleJoin(config, threshold).prepare(collection)
+        got = engine.verify_batch(candidates, prepared, prepared)
+        assert _as_triples(got) == reference
+        if not prune:
+            assert engine.stats.upper_bound_prunes == 0
+            assert engine.stats.graphs_built == len(candidates)
+
+    def test_raw_collections_fall_back_to_local_cache(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        collection = engine_dataset.records.head(20)
+        rng = random.Random(7)
+        candidates = _random_candidates(rng, 60, len(collection), len(collection))
+        threshold = 0.3
+        reference = _reference_results(config, threshold, candidates, collection, collection)
+        engine = UnifiedVerifier(config, threshold)
+        got = engine.verify_batch(candidates, collection, collection)
+        assert _as_triples(got) == reference
+        assert engine._side_cache  # the fallback memo was exercised
+
+    def test_thread_pool_equivalence_and_exact_counts(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        collection = engine_dataset.records.head(30)
+        rng = random.Random(13)
+        candidates = _random_candidates(
+            rng, 200, len(collection), len(collection), self_join=True
+        )
+        threshold = 0.4
+        reference = _reference_results(config, threshold, candidates, collection, collection)
+        engine = UnifiedVerifier(config, threshold)
+        prepared = PebbleJoin(config, threshold).prepare(collection)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            got = engine.verify_batch(
+                candidates, prepared, prepared, pool=pool, chunk_pairs=16
+            )
+        assert _as_triples(got) == reference
+        # The historical bug: workers incremented verified_count racily.
+        # Per-worker aggregation must account for every candidate exactly.
+        assert engine.verified_count == len(candidates)
+        assert engine.stats.candidates == len(candidates)
+        assert engine.stats.results == len(reference)
+
+    def test_base_verifier_thread_pool_counts(self, engine_dataset):
+        collection = engine_dataset.records.head(20)
+        verifier = Verifier(lambda left, right: 1.0 if left == right else 0.0, 0.5)
+        candidates = [(i, j) for i in range(len(collection)) for j in range(10)]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            got = verifier.verify_batch(
+                candidates, collection, collection, pool=pool, chunk_pairs=8
+            )
+        assert verifier.verified_count == len(candidates)
+        assert _as_triples(got) == [
+            (i, i, 1.0) for i, j in candidates if i == j
+        ]
+
+    def test_legacy_verify_override_honored_on_every_path(self, engine_dataset):
+        """Subclasses overriding verify() keep their semantics under a pool."""
+
+        class RejectEverything(Verifier):
+            def verify(self, left, right):
+                self.verified_count += 1
+                return None
+
+        collection = engine_dataset.records.head(10)
+        verifier = RejectEverything(lambda left, right: 1.0, 0.0)
+        candidates = [(i, j) for i in range(5) for j in range(5)]
+        assert verifier.verify_batch(candidates, collection, collection) == []
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert (
+                verifier.verify_batch(candidates, collection, collection, pool=pool)
+                == []
+            )
+        assert verifier.verified_count == 2 * len(candidates)
+
+    def test_duck_typed_verifier_without_verify_batch(self, engine_dataset):
+        """PebbleJoin still accepts verifiers exposing only verify()."""
+
+        class MinimalVerifier:
+            threshold = 0.0
+            verified_count = 0
+
+            def verify(self, left, right):
+                self.verified_count += 1
+                from repro.join.verification import VerifiedPair
+
+                return VerifiedPair(left.record_id, right.record_id, 1.0)
+
+        config = _config(engine_dataset, "J")
+        collection = engine_dataset.records.head(15)
+        engine = PebbleJoin(config, 0.0, tau=1, method=SignatureMethod.U_FILTER,
+                            verifier=MinimalVerifier())
+        result = engine.join(collection)
+        assert len(result) == result.statistics.candidate_count
+        assert result.statistics.verification is None
+
+    def test_join_reports_verification_stats(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        collection = engine_dataset.records.head(40)
+        engine = PebbleJoin(config, 0.7, tau=2, method=SignatureMethod.AU_DP)
+        result = engine.join(collection)
+        stats = result.statistics.verification
+        assert isinstance(stats, VerificationStats)
+        assert stats.candidates == result.statistics.candidate_count
+        assert stats.results == result.statistics.result_count
+        assert (
+            stats.upper_bound_prunes + stats.graphs_built == stats.candidates
+        )
+        assert stats.ceiling_stops + stats.full_runs == stats.graphs_built
+
+    def test_join_batches_match_join_with_workers(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        collection = engine_dataset.records.head(40)
+        engine = PebbleJoin(config, 0.6, tau=2, method=SignatureMethod.AU_DP)
+        expected = engine.join(collection)
+        streamed = PebbleJoin(config, 0.6, tau=2, method=SignatureMethod.AU_DP)
+        batches = list(
+            streamed.join_batches(collection, batch_size=8, verify_workers=3)
+        )
+        streamed_pairs = {
+            (pair.left_id, pair.right_id, pair.similarity)
+            for batch in batches
+            for pair in batch.pairs
+        }
+        assert streamed_pairs == set(_as_triples(expected.pairs))
+        total_candidates = sum(batch.candidate_count for batch in batches)
+        assert streamed.verifier.verified_count == total_candidates
+        assert sum(
+            batch.verification.candidates for batch in batches
+        ) == total_candidates
+
+    def test_unified_join_verify_workers_passthrough(self, engine_dataset):
+        collection = engine_dataset.records.head(30)
+        join = UnifiedJoin(
+            rules=engine_dataset.rules,
+            taxonomy=engine_dataset.taxonomy,
+            theta=0.7,
+            tau=2,
+        )
+        serial = join.join(collection)
+        threaded = UnifiedJoin(
+            rules=engine_dataset.rules,
+            taxonomy=engine_dataset.taxonomy,
+            theta=0.7,
+            tau=2,
+        ).join(collection, verify_workers=2)
+        assert serial.pair_ids() == threaded.pair_ids()
+
+
+class TestBoundSoundness:
+    def _random_pairs(self, dataset, count, seed):
+        rng = random.Random(seed)
+        records = list(dataset.records)
+        return [(rng.choice(records), rng.choice(records)) for _ in range(count)]
+
+    def test_upper_bound_dominates_approximation(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        for left, right in self._random_pairs(engine_dataset, 60, 3):
+            left_side = GraphSide(left.tokens, config)
+            right_side = GraphSide(right.tokens, config)
+            upper = usim_upper_bound(left_side, right_side, config)
+            approx = approximate_usim(left.tokens, right.tokens, config).value
+            assert approx <= upper + 1e-9
+
+    def test_bounds_bracket_exact_usim(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        checked = 0
+        for left, right in self._random_pairs(engine_dataset, 60, 5):
+            left_side = GraphSide(left.tokens, config)
+            right_side = GraphSide(right.tokens, config)
+            try:
+                exact = exact_usim(
+                    left.tokens, right.tokens, config, partition_limit=2000
+                ).value
+            except ExactBudgetExceeded:
+                continue
+            checked += 1
+            lower = singleton_greedy_lower_bound(left_side, right_side, config)
+            upper = usim_upper_bound(left_side, right_side, config)
+            assert lower <= exact + 1e-9
+            assert exact <= upper + 1e-9
+        assert checked > 10
+
+    def test_identical_strings_bound_tight(self, figure1_config):
+        tokens = ("coffee", "shop", "latte")
+        side = GraphSide(tokens, figure1_config)
+        other = GraphSide(tokens, figure1_config)
+        assert singleton_greedy_lower_bound(side, other, figure1_config) == 1.0
+        assert usim_upper_bound(side, other, figure1_config) == 1.0
+
+
+class TestCeilingBreak:
+    def test_early_ceiling_values_identical(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        rng = random.Random(17)
+        records = list(engine_dataset.records)
+        for _ in range(40):
+            left, right = rng.choice(records), rng.choice(records)
+            fast = approximate_usim(left.tokens, right.tokens, config, t=4.0)
+            slow = approximate_usim(
+                left.tokens, right.tokens, config, t=4.0, early_ceiling=False
+            )
+            assert fast.value == slow.value
+
+    def test_ceiling_stop_reported_for_identical_strings(self, figure1_config):
+        result = approximate_usim(
+            ("coffee", "shop", "latte"), ("coffee", "shop", "latte"), figure1_config
+        )
+        assert result.value == 1.0
+        assert result.ceiling_stopped
+
+
+class TestGraphSideAssembly:
+    def test_side_based_graph_matches_ad_hoc(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        rng = random.Random(23)
+        records = list(engine_dataset.records)
+        for _ in range(25):
+            left, right = rng.choice(records), rng.choice(records)
+            ad_hoc = build_conflict_graph(left.tokens, right.tokens, config)
+            from_sides = build_conflict_graph_from_sides(
+                GraphSide(left.tokens, config), GraphSide(right.tokens, config), config
+            )
+            assert len(ad_hoc) == len(from_sides)
+            for a, b in zip(ad_hoc.vertices, from_sides.vertices):
+                assert (a.left, a.right, a.weight, a.measure) == (
+                    b.left,
+                    b.right,
+                    b.weight,
+                    b.measure,
+                )
+            for index in range(len(ad_hoc)):
+                assert ad_hoc.neighbors(index) == from_sides.neighbors(index)
+
+    def test_prepared_collection_caches_graph_sides(self, engine_dataset):
+        config = _config(engine_dataset, "TJS")
+        collection = engine_dataset.records.head(5)
+        prepared = PebbleJoin(config, 0.8).prepare(collection)
+        first = prepared.graph_side(0)
+        assert prepared.graph_side(0) is first
+        # The cached side reuses the pebble-generation segments verbatim.
+        assert list(first.segments) == list(prepared.prepared_records[0].segments)
+
+    def test_mixed_config_sides_rejected(self, engine_dataset):
+        config_a = _config(engine_dataset, "TJS")
+        config_b = _config(engine_dataset, "TJS")
+        side = GraphSide(("a",), config_a)
+        other = GraphSide(("a",), config_b)
+        with pytest.raises(ValueError):
+            build_conflict_graph_from_sides(side, other, config_a)
+        with pytest.raises(ValueError):
+            usim_upper_bound(side, other, config_a)
+
+    def test_min_partition_size_is_exact_minimum(self, figure1_config):
+        # "coffee shop latte": {"coffee shop", "latte"} is the smallest cover.
+        side = GraphSide(("coffee", "shop", "latte"), figure1_config)
+        assert side.min_partition_size == 2
+        singleton_only = GraphSide(("grand", "hotel", "paris"), figure1_config)
+        assert singleton_only.min_partition_size == 3
