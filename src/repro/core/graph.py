@@ -448,12 +448,17 @@ def _check_side_configs(
 
     A side's cached segments and bound material are derived from its own
     config; mixing them with another config's gating/weights would build a
-    silently inconsistent graph, so identity is required.
+    silently inconsistent graph.  Configs compare by content (see
+    :class:`~repro.core.measures.MeasureConfig`), so equal-but-distinct
+    configs — e.g. sides that crossed a process boundary via pickle — are
+    accepted; the identity test is just the fast path.
     """
-    if left_side.config is not config or right_side.config is not config:
+    if left_side.config is config and right_side.config is config:
+        return
+    if left_side.config != config or right_side.config != config:
         raise ValueError(
             "graph sides are bound to a different MeasureConfig; prepare them "
-            "under the config used for assembly (or share one config object)"
+            "under a config equal to the one used for assembly"
         )
 
 

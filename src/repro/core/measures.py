@@ -24,6 +24,9 @@ from ..taxonomy.tree import Taxonomy
 
 __all__ = ["Measure", "MeasureConfig", "segment_similarity"]
 
+#: Maximum partner configs memoised per config by ``MeasureConfig.__eq__``.
+_EQ_MEMO_LIMIT = 64
+
 
 class Measure(str, enum.Enum):
     """The three similarity measure families of the paper."""
@@ -51,7 +54,7 @@ def _parse_measure_codes(codes: str) -> FrozenSet[Measure]:
     return frozenset(Measure.from_code(code) for code in codes)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MeasureConfig:
     """Knowledge sources plus the subset of enabled similarity measures.
 
@@ -68,6 +71,13 @@ class MeasureConfig:
     enabled:
         The measures participating in ``msim``.  Defaults to all three,
         i.e. the paper's TJS configuration.
+
+    Equality is by *content* (q, enabled set, and the rule-set/taxonomy
+    contents), not identity: two configs built from equal knowledge sources
+    are interchangeable, which is what lets prepared collections and cached
+    graph sides survive a pickle round-trip into worker processes.  The
+    per-instance msim memo is excluded from equality and from pickles (each
+    process rebuilds its own).
     """
 
     rules: Optional[SynonymRuleSet] = None
@@ -86,6 +96,63 @@ class MeasureConfig:
         # approximation's improvement loop and across join verification.
         # The dataclass is frozen, so the cache is attached via object.__setattr__.
         object.__setattr__(self, "_msim_cache", {})
+        # Memo for __eq__ against other config objects: the graph assembly
+        # path checks config agreement per candidate pair, and a content
+        # comparison walks the full rule set / taxonomy — pay it once per
+        # distinct partner object, then answer by identity.
+        object.__setattr__(self, "_eq_memo", {})
+
+    # ------------------------------------------------------------------ #
+    # equality and pickling
+    # ------------------------------------------------------------------ #
+    def _knowledge_versions(self) -> Tuple[Optional[int], Optional[int]]:
+        """Mutation counters of the knowledge sources (None when absent)."""
+        return (
+            getattr(self.rules, "_version", None),
+            getattr(self.taxonomy, "_version", None),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, MeasureConfig):
+            return NotImplemented
+        memo: dict = self._eq_memo  # type: ignore[attr-defined]
+        versions = (self._knowledge_versions(), other._knowledge_versions())
+        entry = memo.get(id(other))
+        if entry is not None and entry[0] is other and entry[2] == versions:
+            return entry[1]
+        result = (
+            self.q == other.q
+            and self.enabled == other.enabled
+            and self.rules == other.rules
+            and self.taxonomy == other.taxonomy
+        )
+        # The strong reference keeps the partner's id from being recycled by
+        # a different config, the version stamps invalidate the verdict when
+        # either side's knowledge sources are mutated afterwards, and the
+        # size cap keeps a long-lived config compared against an endless
+        # stream of per-request partners from pinning them all.
+        if len(memo) >= _EQ_MEMO_LIMIT:
+            memo.clear()
+        memo[id(other)] = (other, result, versions)
+        return result
+
+    def __hash__(self) -> int:
+        return hash((self.q, self.enabled, self.rules, self.taxonomy))
+
+    def __getstate__(self) -> dict:
+        # The msim and equality memos are per-process caches: dropping them
+        # keeps pickles small and every process rebuilds its own.
+        state = dict(self.__dict__)
+        state.pop("_msim_cache", None)
+        state.pop("_eq_memo", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        object.__setattr__(self, "_msim_cache", {})
+        object.__setattr__(self, "_eq_memo", {})
 
     # ------------------------------------------------------------------ #
     # constructors

@@ -12,6 +12,7 @@ from .aufilter import (
 from .framework import UnifiedJoin
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
+from .parallel import ShardPlan, ShardResult, process_join, process_join_batches
 from .partition_bound import greedy_cover_size, min_partition_size
 from .pebbles import Pebble, PebbleKey, generate_pebbles
 from .prepared import PreparedCollection, PreparedRecord, build_shared_order
@@ -32,6 +33,8 @@ __all__ = [
     "PebbleJoin",
     "PreparedCollection",
     "PreparedRecord",
+    "ShardPlan",
+    "ShardResult",
     "SignatureMethod",
     "SignedRecord",
     "UFilterJoin",
@@ -45,6 +48,8 @@ __all__ = [
     "generate_pebbles",
     "greedy_cover_size",
     "min_partition_size",
+    "process_join",
+    "process_join_batches",
     "select_signature_prefix",
     "sign_record",
 ]

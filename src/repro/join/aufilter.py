@@ -38,6 +38,7 @@ list.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -119,6 +120,9 @@ class JoinBatch:
 
     ``verification`` carries the chunk's tiered-cascade counters (pruned vs
     fully verified pairs) when the engine's verifier reports them.
+    ``suggestion_seconds`` is non-zero only on the *first* batch of a
+    ``tau="auto"`` run: the τ-recommendation happens once before streaming
+    starts, so its cost is attributed to the batch that paid the wait.
     """
 
     pairs: List[VerifiedPair]
@@ -126,6 +130,7 @@ class JoinBatch:
     processed_pairs: int
     probe_range: Tuple[int, int]
     verification: Optional[VerificationStats] = None
+    suggestion_seconds: float = 0.0
 
 
 @dataclass
@@ -184,6 +189,40 @@ def _average_signature_length(signed: Sequence[SignedRecord]) -> float:
     if not signed:
         return 0.0
     return sum(record.signature_length for record in signed) / len(signed)
+
+
+#: Valid values of the ``executor`` knob on ``join`` / ``join_batches``.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _resolve_executor(
+    executor: Optional[str], workers: Optional[int], verify_workers: int
+) -> Tuple[str, int]:
+    """Normalise the (executor, workers, verify_workers) knobs.
+
+    ``executor=None`` preserves the historical ``verify_workers`` contract:
+    0 means serial, > 0 means a thread pool of that size.  An explicit
+    executor takes precedence; ``workers=None`` then falls back to a
+    positive ``verify_workers`` (so legacy callers adding ``executor=``
+    keep their pool size), and only then to the machine's CPU count.
+    """
+    if verify_workers < 0:
+        raise ValueError("verify_workers must be >= 0")
+    if executor is None:
+        if workers is not None:
+            raise ValueError("workers requires an explicit executor")
+        return ("thread", verify_workers) if verify_workers > 0 else ("serial", 0)
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if executor == "serial":
+        if workers not in (None, 0):
+            raise ValueError("the serial executor takes no workers")
+        return "serial", 0
+    if workers is None:
+        workers = verify_workers if verify_workers > 0 else (os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError("pooled executors need workers >= 1")
+    return executor, workers
 
 
 @contextmanager
@@ -324,6 +363,28 @@ def _ids_ascending(signed_records: Sequence[SignedRecord]) -> bool:
     return True
 
 
+def _pick_index_side(
+    left_signed: Sequence[SignedRecord],
+    right_signed: Sequence[SignedRecord],
+) -> Tuple[Sequence[SignedRecord], Sequence[SignedRecord], bool]:
+    """Pick the indexed and probed sides without building the index.
+
+    The index goes on the side with the smaller signature footprint; the
+    other side streams through it.  A self-join (``left_signed is
+    right_signed``) indexes the collection once and probes it with itself.
+    Exposed separately so the process-pool driver (which builds the index
+    inside each worker) shares the side-selection decision with the
+    in-process paths.
+    """
+    if left_signed is right_signed:
+        return left_signed, left_signed, False
+    left_footprint = sum(s.signature_length for s in left_signed)
+    right_footprint = sum(s.signature_length for s in right_signed)
+    if left_footprint <= right_footprint:
+        return left_signed, right_signed, False
+    return right_signed, left_signed, True
+
+
 def _choose_index_side(
     left_signed: Sequence[SignedRecord],
     right_signed: Sequence[SignedRecord],
@@ -331,20 +392,10 @@ def _choose_index_side(
     """Build the index on the smaller-footprint side; stream the other.
 
     Returns ``(index, probe_records, probe_is_left, postings_ascending)``.
-    A self-join (``left_signed is right_signed``) builds one index and
-    probes it with itself.
     """
-    if left_signed is right_signed:
-        index_records: Sequence[SignedRecord] = left_signed
-        probe_records: Sequence[SignedRecord] = left_signed
-        probe_is_left = False
-    else:
-        left_footprint = sum(s.signature_length for s in left_signed)
-        right_footprint = sum(s.signature_length for s in right_signed)
-        if left_footprint <= right_footprint:
-            index_records, probe_records, probe_is_left = left_signed, right_signed, False
-        else:
-            index_records, probe_records, probe_is_left = right_signed, left_signed, True
+    index_records, probe_records, probe_is_left = _pick_index_side(
+        left_signed, right_signed
+    )
     return (
         InvertedIndex.build(index_records),
         probe_records,
@@ -373,6 +424,12 @@ class PebbleJoin:
         Global pebble ordering strategy (``"frequency"`` or ``"weight"``).
     verifier:
         Custom verifier; defaults to the approximate unified similarity.
+    adaptive_verification:
+        Enable the adaptive tier controller of the default verifier: a
+        bound tier whose observed hit rate drops below its cost is skipped
+        and periodically re-probed (pairs stay identical; see
+        :class:`~repro.join.verification.UnifiedVerifier`).  Ignored when a
+        custom ``verifier`` is supplied.
     """
 
     def __init__(
@@ -385,6 +442,7 @@ class PebbleJoin:
         order_strategy: str = "frequency",
         verifier: Optional[Verifier] = None,
         approximation_t: float = 4.0,
+        adaptive_verification: bool = False,
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must be in [0, 1]")
@@ -401,7 +459,9 @@ class PebbleJoin:
         self.tau = tau
         self.method = method
         self.order_strategy = order_strategy
-        self.verifier = verifier or UnifiedVerifier(config, theta, t=approximation_t)
+        self.verifier = verifier or UnifiedVerifier(
+            config, theta, t=approximation_t, adaptive=adaptive_verification
+        )
         self.approximation_t = approximation_t
 
     # ------------------------------------------------------------------ #
@@ -412,12 +472,17 @@ class PebbleJoin:
         return PreparedCollection.prepare(collection, self.config)
 
     def as_prepared(self, collection: Joinable) -> PreparedCollection:
-        """Coerce to a :class:`PreparedCollection` bound to this config."""
+        """Coerce to a :class:`PreparedCollection` bound to this config.
+
+        Prepared collections bound to an *equal* config are accepted
+        (configs compare by content), so collections that crossed a process
+        boundary keep working without re-preparation.
+        """
         if isinstance(collection, PreparedCollection):
-            if collection.config is not self.config:
+            if collection.config is not self.config and collection.config != self.config:
                 raise ValueError(
                     "the prepared collection is bound to a different MeasureConfig; "
-                    "prepare it with this engine (or share one config object)"
+                    "prepare it with this engine (or use an equal config)"
                 )
             return collection
         return self.prepare(collection)
@@ -593,6 +658,8 @@ class PebbleJoin:
         precomputed_order: Optional[GlobalOrder] = None,
         signing_tau: Optional[int] = None,
         verify_workers: int = 0,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> JoinResult:
         """Join two collections (or self-join one) and verify candidates.
 
@@ -600,9 +667,36 @@ class PebbleJoin:
         (still lossless, since a τ'-signature guarantees τ' ≥ τ overlaps for
         any θ-similar pair).  ``UnifiedJoin(tau="auto")`` uses this to share
         one full signing between the recommendation and the final join.
-        ``verify_workers > 0`` verifies candidates through a thread pool
-        (whole probe groups per worker, statistics aggregated race-free).
+
+        ``executor`` selects how candidates are filtered and verified:
+        ``"serial"`` (default), ``"thread"`` (a GIL-bound pool — whole probe
+        groups per worker, statistics aggregated race-free; mostly useful
+        when a custom verifier releases the GIL), or ``"process"`` (the
+        sharded multi-core driver of :mod:`repro.join.parallel`, which also
+        runs the *filtering* of each shard in the workers).  ``workers``
+        sizes the pool; when omitted, a positive ``verify_workers`` seeds
+        it, else it defaults to the CPU count.  The legacy
+        ``verify_workers`` knob alone is a shorthand for
+        ``executor="thread"``.  Every
+        executor returns bit-identical pairs, similarities, and statistics
+        counters at every worker count (with the default non-adaptive
+        verifier).
         """
+        resolved_executor, pool_workers = _resolve_executor(
+            executor, workers, verify_workers
+        )
+        if resolved_executor == "process":
+            from .parallel import process_join
+
+            return process_join(
+                self,
+                left,
+                right,
+                workers=pool_workers,
+                precomputed_order=precomputed_order,
+                signing_tau=signing_tau,
+            )
+        verify_workers = pool_workers
         start = time.perf_counter()
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
 
@@ -666,7 +760,11 @@ class PebbleJoin:
     ) -> List[VerifiedPair]:
         verify_batch = getattr(self.verifier, "verify_batch", None)
         if verify_batch is None:
-            # Duck-typed verifiers exposing only verify() keep working.
+            # Duck-typed verifiers exposing only verify() keep working —
+            # serially even when a pool is available: an arbitrary verify()
+            # is not assumed thread-safe, so the pool is deliberately not
+            # used for it (subclass Verifier and override _verify_one to
+            # opt in to pooled execution).
             pairs: List[VerifiedPair] = []
             for left_id, right_id in candidates:
                 verified = self.verifier.verify(left[left_id], right[right_id])
@@ -684,6 +782,9 @@ class PebbleJoin:
         precomputed_order: Optional[GlobalOrder] = None,
         signing_tau: Optional[int] = None,
         verify_workers: int = 0,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        suggestion_seconds: float = 0.0,
     ) -> Iterator[JoinBatch]:
         """Stream the join: filter and verify one probe chunk at a time.
 
@@ -691,19 +792,35 @@ class PebbleJoin:
         self-join) is processed in chunks of ``batch_size`` records; each
         chunk's candidates are verified immediately and yielded as a
         :class:`JoinBatch`, so the full candidate list is never
-        materialized.  ``verify_workers > 0`` verifies each chunk through a
-        thread pool: candidates are grouped per probe record, whole groups
-        are handed to workers, and per-worker verification counts are
-        aggregated afterwards (no racy shared-counter increments).  The
-        union of all batch pairs equals :meth:`join`'s result.
+        materialized.  ``executor`` / ``workers`` behave as in :meth:`join`:
+        ``"thread"`` verifies each chunk through a thread pool,
+        ``"process"`` hands whole probe chunks (filtering included) to the
+        sharded multi-core driver, which streams batches back in probe
+        order.  ``suggestion_seconds`` (set by ``UnifiedJoin(tau="auto")``)
+        is reported on the first yielded batch.  The union of all batch
+        pairs equals :meth:`join`'s result, in identical order.
         """
         # Validate at call time: the streaming body below lives in an inner
         # generator, so raising here (not on first iteration) needs this
         # wrapper to be a plain function.
         if batch_size < 1:
             raise ValueError("batch_size must be a positive integer")
-        if verify_workers < 0:
-            raise ValueError("verify_workers must be >= 0")
+        resolved_executor, pool_workers = _resolve_executor(
+            executor, workers, verify_workers
+        )
+        if resolved_executor == "process":
+            from .parallel import process_join_batches
+
+            return process_join_batches(
+                self,
+                left,
+                right,
+                workers=pool_workers,
+                batch_size=batch_size,
+                precomputed_order=precomputed_order,
+                signing_tau=signing_tau,
+                suggestion_seconds=suggestion_seconds,
+            )
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
         return self._join_batches_iter(
             left_prep,
@@ -712,7 +829,8 @@ class PebbleJoin:
             batch_size,
             precomputed_order,
             signing_tau,
-            verify_workers,
+            pool_workers,
+            suggestion_seconds,
         )
 
     def _join_batches_iter(
@@ -724,6 +842,7 @@ class PebbleJoin:
         precomputed_order: Optional[GlobalOrder],
         signing_tau: Optional[int],
         verify_workers: int,
+        suggestion_seconds: float = 0.0,
     ) -> Iterator[JoinBatch]:
         _, left_signed, right_signed = self._order_and_sign(
             left_prep, right_prep, precomputed_order, signing_tau
@@ -732,6 +851,7 @@ class PebbleJoin:
             left_signed, right_signed
         )
 
+        first = True
         with _verification_pool(verify_workers) as pool:
             for chunk_start in range(0, len(probe_records), batch_size):
                 chunk = probe_records[chunk_start : chunk_start + batch_size]
@@ -757,7 +877,9 @@ class PebbleJoin:
                     processed_pairs=processed,
                     probe_range=(chunk_start, chunk_start + len(chunk)),
                     verification=self._stats_delta(snapshot),
+                    suggestion_seconds=suggestion_seconds if first else 0.0,
                 )
+                first = False
 
     def self_join(self, collection: Joinable) -> JoinResult:
         """Self-join convenience wrapper (pairs reported once, left < right)."""

@@ -19,18 +19,28 @@ Prepared reuse
 orders, per-(θ, τ, method) signatures, *and per-record verification state*
 (cached conflict-graph sides) are cached; pass prepared collections to
 :meth:`join` / :meth:`join_batches` to amortize signing and verification
-across repeated joins.  With ``tau="auto"`` the facade prepares both sides
-itself, shares one global order between the recommendation and the final
-join, and signs the full collections exactly once: the recommender signs at
+across repeated joins.  Prepared collections are picklable and configs
+compare by content, so prepared state survives a trip into worker
+processes.  With ``tau="auto"`` the facade prepares both sides itself,
+shares one global order between the recommendation and the final join, and
+signs the full collections exactly once: the recommender signs at
 ``max(tau_universe)`` and the final join reuses those signatures while
 filtering at the recommended τ (lossless, since a τ'-signature guarantees
 τ' ≥ τ overlaps for any θ-similar pair).
 
+Execution
+---------
 Verification runs through the prepared engine
 (:meth:`~repro.join.verification.UnifiedVerifier.verify_batch`): candidates
 are grouped per probe record and pass a tiered bound cascade before the
 full Algorithm 1; the resulting prune/accept counters are reported in
-``result.statistics.verification``.
+``result.statistics.verification``.  The ``executor`` knob on :meth:`join`
+/ :meth:`join_batches` picks where that work runs: ``"serial"`` (default),
+``"thread"`` (GIL-bound pool), or ``"process"`` — the sharded multi-core
+driver of :mod:`repro.join.parallel`, which runs each probe shard's
+filtering *and* verification in worker processes and merges results
+losslessly.  All executors return bit-identical pairs, similarities, and
+statistics counters at every worker count.
 """
 
 from __future__ import annotations
@@ -74,6 +84,10 @@ class UnifiedJoin:
         Gram length for Jaccard pebbles and verification.
     sample_probability, tau_universe:
         Parameters forwarded to the recommender when ``tau="auto"``.
+    adaptive_verification:
+        Enable the verifier's adaptive tier controller (bound tiers whose
+        observed hit rate drops below their cost are skipped and
+        periodically re-probed; the result pairs are unaffected).
     """
 
     def __init__(
@@ -90,11 +104,13 @@ class UnifiedJoin:
         sample_probability: float = 0.05,
         tau_universe: Sequence[int] = (1, 2, 3, 4, 5, 6),
         recommendation_seed: Optional[int] = None,
+        adaptive_verification: bool = False,
     ) -> None:
         self.config = MeasureConfig.from_codes(measures, rules=rules, taxonomy=taxonomy, q=q)
         self.theta = theta
         self.method = SignatureMethod.validate(method)
         self.approximation_t = approximation_t
+        self.adaptive_verification = adaptive_verification
         self.sample_probability = sample_probability
         self.tau_universe = tuple(tau_universe)
         self.recommendation_seed = recommendation_seed
@@ -136,6 +152,7 @@ class UnifiedJoin:
             tau=tau,
             method=self.method,
             approximation_t=self.approximation_t,
+            adaptive_verification=self.adaptive_verification,
         )
 
     def _resolve(
@@ -187,15 +204,22 @@ class UnifiedJoin:
     # joining
     # ------------------------------------------------------------------ #
     def join(
-        self, left, right=None, *, verify_workers: int = 0
+        self,
+        left,
+        right=None,
+        *,
+        verify_workers: int = 0,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> JoinResult:
         """Join two collections (or self-join one) under the configuration.
 
         Both sides accept raw record collections or collections prepared
         with :meth:`prepare`.  With ``tau="auto"``, the recommendation and
         the final join share one preparation, order, and full signing.
-        ``verify_workers > 0`` verifies candidates through a thread pool
-        with race-free per-worker statistics aggregation.
+        ``executor`` / ``workers`` select serial, thread-pool, or sharded
+        process-pool execution (see :meth:`PebbleJoin.join`); the legacy
+        ``verify_workers`` shorthand keeps meaning a thread pool.
         """
         engine, left_prep, right_prep, order, signing_tau, suggestion_seconds = self._resolve(
             left, right
@@ -206,6 +230,8 @@ class UnifiedJoin:
             precomputed_order=order,
             signing_tau=signing_tau,
             verify_workers=verify_workers,
+            executor=executor,
+            workers=workers,
         )
         result.statistics.suggestion_seconds = suggestion_seconds
         return result
@@ -217,9 +243,20 @@ class UnifiedJoin:
         *,
         batch_size: int = 1024,
         verify_workers: int = 0,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> Iterator[JoinBatch]:
-        """Stream the join in verified chunks (see ``PebbleJoin.join_batches``)."""
-        engine, left_prep, right_prep, order, signing_tau, _ = self._resolve(left, right)
+        """Stream the join in verified chunks (see ``PebbleJoin.join_batches``).
+
+        With ``tau="auto"`` the τ-recommendation runs before streaming
+        starts; its cost is reported as ``suggestion_seconds`` on the first
+        yielded batch (it used to be silently discarded here), so streaming
+        consumers can account for the full end-to-end time just like
+        :meth:`join` does through ``JoinStatistics``.
+        """
+        engine, left_prep, right_prep, order, signing_tau, suggestion_seconds = self._resolve(
+            left, right
+        )
         return engine.join_batches(
             left_prep,
             right_prep,
@@ -227,6 +264,9 @@ class UnifiedJoin:
             precomputed_order=order,
             signing_tau=signing_tau,
             verify_workers=verify_workers,
+            executor=executor,
+            workers=workers,
+            suggestion_seconds=suggestion_seconds,
         )
 
     def self_join(self, collection) -> JoinResult:

@@ -1,0 +1,477 @@
+"""Process-pool sharded join driver: true multi-core filter + verify.
+
+The thread-pool paths of :mod:`repro.join.aufilter` are GIL-bound, so
+``verify_workers`` buys almost nothing on CPU-heavy Algorithm-1 workloads.
+This module shards the *probe side* of a prepared join across a
+``concurrent.futures.ProcessPoolExecutor``:
+
+1. The parent resolves the prepared sides, builds (or receives) the shared
+   global order, and signs both sides once — all cache-backed, exactly as
+   the in-process paths do.
+2. One :class:`ShardPlan` — the measure config, the signed index side, the
+   signed probe side, both prepared collections, and the shared order — is
+   pickled *once* and shipped to every worker through the pool initializer.
+   Everything in the plan is picklable by construction (see
+   ``PreparedCollection.__getstate__`` and ``MeasureConfig.__getstate__``);
+   the pickle memo preserves object identity inside the payload, so a
+   self-join arrives in the worker still sharing one collection and the
+   prepared records still share their config.
+3. Each task is one contiguous shard ``[start, stop)`` of probe records.
+   The worker probes its shard through the locally built inverted index
+   (the same ``_probe_candidates`` hot loop as the serial path), verifies
+   the surviving candidates through its own
+   :class:`~repro.join.verification.UnifiedVerifier` with the full tiered
+   bound cascade, and returns the shard's pairs plus its
+   :class:`~repro.join.verification.VerificationStats`.
+4. The parent concatenates shard results in probe order and merges every
+   counter by summation.
+
+Because per-probe filtering is independent across probe records and every
+statistic is a plain sum, the merged result — pairs, similarities, and all
+statistics counters — is **bit-identical** to the serial path at every
+worker count (with the default non-adaptive verifier; the randomized
+executor-equivalence tests enforce this).  Timing fields stay wall-clock:
+the parent measures the pooled stage end to end (pool startup and payload
+pickling included) and splits it between filtering and verification by the
+workers' observed stage proportions, so ``JoinStatistics.total_seconds``
+remains comparable across executors.
+
+Use it through the ``executor="process"`` knob::
+
+    engine.join(left, right, executor="process", workers=4)
+    engine.join_batches(left, executor="process", batch_size=2048)
+
+or call :func:`process_join` / :func:`process_join_batches` directly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from itertools import islice
+from math import ceil
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .aufilter import (
+    JoinBatch,
+    JoinResult,
+    JoinStatistics,
+    Joinable,
+    PebbleJoin,
+    _average_signature_length,
+    _ids_ascending,
+    _pick_index_side,
+    _probe_candidates,
+)
+from .global_order import GlobalOrder
+from .inverted_index import InvertedIndex
+from .prepared import PreparedCollection
+from .signatures import SignedRecord
+from .verification import UnifiedVerifier, VerificationStats, VerifiedPair
+
+__all__ = ["ShardPlan", "ShardResult", "process_join", "process_join_batches"]
+
+#: Default shards per worker for :func:`process_join` — several shards per
+#: process keep the pool busy when shard costs are skewed, while staying
+#: coarse enough that per-task pickling stays negligible.
+SHARDS_PER_WORKER = 4
+
+
+@dataclass
+class ShardPlan:
+    """Everything a worker process needs, shipped once per worker.
+
+    The plan is a pure-value object: pickling it (the pool initializer
+    payload) must round-trip every field, which the pickle round-trip tests
+    enforce for the non-trivial members.
+    """
+
+    config: object
+    threshold: float
+    requirement: int
+    verifier_kwargs: dict
+    left_prep: PreparedCollection
+    right_prep: PreparedCollection
+    index_signed: Sequence[SignedRecord]
+    probe_signed: Sequence[SignedRecord]
+    probe_is_left: bool
+    exclude_self_pairs: bool
+    postings_ascending: bool
+    #: The shared global order.  Workers do not read it today (they receive
+    #: already-signed records); it rides along — at ~zero marginal cost,
+    #: since the pickle memo shares it with the prepared collections'
+    #: signature cache — as the contract for the ROADMAP's worker-side
+    #: signing follow-on, where workers sign unsigned shards themselves.
+    order: Optional[GlobalOrder]
+
+    @property
+    def probe_side(self) -> str:
+        """Which side of each candidate tuple is the probe record."""
+        return "left" if self.probe_is_left else "right"
+
+
+@dataclass
+class ShardResult:
+    """One shard's contribution, merged losslessly on the parent."""
+
+    start: int
+    stop: int
+    pairs: List[VerifiedPair]
+    candidate_count: int
+    processed_pairs: int
+    verification: VerificationStats
+    filter_seconds: float
+    verify_seconds: float
+
+
+class _WorkerRuntime:
+    """Per-process state: the plan, the built index, and a local verifier."""
+
+    def __init__(self, plan: ShardPlan) -> None:
+        self.plan = plan
+        self.index = InvertedIndex.build(plan.index_signed)
+        self.verifier = UnifiedVerifier(
+            plan.config, plan.threshold, **plan.verifier_kwargs
+        )
+
+
+#: The per-process runtime, installed by the pool initializer.
+_RUNTIME: Optional[_WorkerRuntime] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle the shard plan and build per-process state.
+
+    The payload is explicitly ``pickle.dumps``-ed by the parent (rather than
+    passed as live objects) so the serialization path is identical under
+    every multiprocessing start method, fork included.
+    """
+    global _RUNTIME
+    _RUNTIME = _WorkerRuntime(pickle.loads(payload))
+
+
+def _run_shard(span: Tuple[int, int]) -> ShardResult:
+    """Filter and verify one probe shard inside a worker process."""
+    runtime = _RUNTIME
+    if runtime is None:  # pragma: no cover - defensive; initializer always ran
+        raise RuntimeError("worker used before initialization")
+    plan = runtime.plan
+    start, stop = span
+
+    began = time.perf_counter()
+    candidates, processed, _ = _probe_candidates(
+        runtime.index.raw_postings,
+        plan.probe_signed[start:stop],
+        plan.requirement,
+        probe_is_left=plan.probe_is_left,
+        exclude_self_pairs=plan.exclude_self_pairs,
+        postings_ascending=plan.postings_ascending,
+    )
+    filter_seconds = time.perf_counter() - began
+
+    began = time.perf_counter()
+    snapshot = runtime.verifier.stats.snapshot()
+    pairs = runtime.verifier.verify_batch(
+        candidates,
+        plan.left_prep,
+        plan.right_prep,
+        probe_side=plan.probe_side,
+    )
+    verify_seconds = time.perf_counter() - began
+
+    return ShardResult(
+        start=start,
+        stop=stop,
+        pairs=pairs,
+        candidate_count=len(candidates),
+        processed_pairs=processed,
+        verification=runtime.verifier.stats.diff(snapshot),
+        filter_seconds=filter_seconds,
+        verify_seconds=verify_seconds,
+    )
+
+
+def _verifier_kwargs(verifier: UnifiedVerifier) -> dict:
+    """Reconstruction parameters for per-process verifiers.
+
+    The verifier itself is not picklable (its similarity callable is a
+    closure); workers rebuild an equivalent one from these parameters.
+    """
+    kwargs = {"t": verifier.t, "prune": verifier.prune, "adaptive": verifier.adaptive}
+    lower_gate = verifier._lower_gate
+    upper_gate = verifier._upper_gate
+    if lower_gate is not None and upper_gate is not None:
+        kwargs.update(
+            adaptive_window=lower_gate.window,
+            adaptive_probe_windows=lower_gate.probe_windows,
+            lower_tier_cost=lower_gate.min_hit_rate,
+            upper_tier_cost=upper_gate.min_hit_rate,
+        )
+    return kwargs
+
+
+def _transfer_copy(
+    prepared: PreparedCollection,
+    keep_signed: Sequence[Sequence[SignedRecord]],
+) -> PreparedCollection:
+    """A shallow payload view of a prepared collection.
+
+    Shares the records, per-record pebble artifacts, and cached graph sides
+    with the original (workers need those), but carries only the signature
+    cache entries whose signed lists ride in the plan anyway (identity
+    match, so they cost no extra pickle bytes) — a long-lived collection
+    joined earlier under other (θ, τ, method) combinations must not ship
+    every historical signing to every worker.  Cached orders and shared
+    orders are dropped likewise.  The caller's collection is not mutated.
+    """
+    clone = PreparedCollection.__new__(PreparedCollection)
+    clone.collection = prepared.collection
+    clone.config = prepared.config
+    clone._prepared = prepared._prepared
+    clone._orders = {}
+    clone._signatures = {
+        key: value
+        for key, value in prepared._signatures.items()
+        if any(value[1] is signed for signed in keep_signed)
+    }
+    clone._shared_orders = {}
+    return clone
+
+
+def _build_plan(
+    engine: PebbleJoin,
+    left_prep: PreparedCollection,
+    right_prep: PreparedCollection,
+    left_signed: Sequence[SignedRecord],
+    right_signed: Sequence[SignedRecord],
+    self_join: bool,
+    order: Optional[GlobalOrder],
+) -> ShardPlan:
+    """Assemble the worker payload for one join run."""
+    verifier = engine.verifier
+    if type(verifier) is not UnifiedVerifier:
+        raise ValueError(
+            "executor='process' requires the default UnifiedVerifier: custom "
+            "verifiers cannot be reconstructed in worker processes — use the "
+            "serial or thread executor instead"
+        )
+    index_signed, probe_signed, probe_is_left = _pick_index_side(
+        left_signed, right_signed
+    )
+    keep_signed = (left_signed, right_signed)
+    left_transfer = _transfer_copy(left_prep, keep_signed)
+    right_transfer = (
+        left_transfer
+        if right_prep is left_prep
+        else _transfer_copy(right_prep, keep_signed)
+    )
+    return ShardPlan(
+        # Workers rebuild the *verifier*, so they must see its own config
+        # and threshold — a caller may legitimately verify at a different
+        # threshold than the engine filters at (verifier=UnifiedVerifier(
+        # config, other_theta)), and serial/process must agree on it.
+        config=verifier.config,
+        threshold=verifier.threshold,
+        requirement=engine.tau,
+        verifier_kwargs=_verifier_kwargs(verifier),
+        left_prep=left_transfer,
+        right_prep=right_transfer,
+        index_signed=index_signed,
+        probe_signed=probe_signed,
+        probe_is_left=probe_is_left,
+        exclude_self_pairs=self_join,
+        postings_ascending=_ids_ascending(index_signed),
+        order=order,
+    )
+
+
+@contextmanager
+def _shard_pool(plan: ShardPlan, workers: int):
+    """Yield a process pool whose workers hold the unpickled ``plan``."""
+    if workers < 1:
+        raise ValueError("process execution needs workers >= 1")
+    payload = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(payload,)
+    ) as pool:
+        yield pool
+
+
+def _shard_spans(total: int, shard_size: int) -> List[Tuple[int, int]]:
+    return [
+        (start, min(start + shard_size, total))
+        for start in range(0, total, shard_size)
+    ]
+
+
+def _merge_shard(
+    engine: PebbleJoin,
+    statistics: JoinStatistics,
+    merged: VerificationStats,
+    pairs: List[VerifiedPair],
+    shard: ShardResult,
+) -> None:
+    """Fold one shard into the run totals and the engine's verifier.
+
+    Mirrors the serial path's accumulation: the parent engine's verifier
+    keeps cumulative ``stats`` / ``verified_count`` across joins, so code
+    that inspects the verifier after a process join sees the same counters
+    it would after a serial one.  Timing is handled by the caller (wall
+    clock, not worker sums — see :func:`process_join`).
+    """
+    pairs.extend(shard.pairs)
+    merged.merge(shard.verification)
+    statistics.processed_pairs += shard.processed_pairs
+    statistics.candidate_count += shard.candidate_count
+    engine.verifier.stats.merge(shard.verification)
+    engine.verifier.verified_count += shard.candidate_count
+
+
+def process_join(
+    engine: PebbleJoin,
+    left: Joinable,
+    right: Optional[Joinable] = None,
+    *,
+    workers: Optional[int] = None,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+    precomputed_order: Optional[GlobalOrder] = None,
+    signing_tau: Optional[int] = None,
+) -> JoinResult:
+    """Run one join with filtering and verification sharded across processes.
+
+    Signing happens (cache-backed) in the parent; filtering and the tiered
+    verification cascade run in the workers.  The result — pairs,
+    similarities, and every statistics counter — is bit-identical to
+    ``engine.join(left, right)`` at any ``workers`` /
+    ``shards_per_worker``.  ``filtering_seconds`` / ``verification_seconds``
+    split the *parent-measured wall clock* of the pooled stage (pool
+    startup and payload pickling included) proportionally to the summed
+    worker-side stage seconds, so ``JoinStatistics.total_seconds`` stays an
+    honest end-to-end elapsed time and actually shrinks when the pool
+    delivers a speedup.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    start = time.perf_counter()
+    left_prep, right_prep, self_join = engine._resolve_sides(left, right)
+    statistics = JoinStatistics(
+        tau=engine.tau,
+        theta=engine.theta,
+        method=engine.method,
+        left_records=len(left_prep),
+        right_records=len(right_prep),
+    )
+    order, left_signed, right_signed = engine._order_and_sign(
+        left_prep, right_prep, precomputed_order, signing_tau
+    )
+    statistics.signing_seconds = time.perf_counter() - start
+    statistics.avg_signature_length_left = _average_signature_length(left_signed)
+    statistics.avg_signature_length_right = _average_signature_length(right_signed)
+
+    plan = _build_plan(
+        engine, left_prep, right_prep, left_signed, right_signed, self_join, order
+    )
+    total = len(plan.probe_signed)
+    pairs: List[VerifiedPair] = []
+    merged = VerificationStats()
+    if total:
+        shard_size = max(1, ceil(total / max(workers * shards_per_worker, 1)))
+        spans = _shard_spans(total, shard_size)
+        stage_start = time.perf_counter()
+        worker_filter = worker_verify = 0.0
+        with _shard_pool(plan, min(workers, len(spans))) as pool:
+            for shard in pool.map(_run_shard, spans):
+                _merge_shard(engine, statistics, merged, pairs, shard)
+                worker_filter += shard.filter_seconds
+                worker_verify += shard.verify_seconds
+        wall = time.perf_counter() - stage_start
+        busy = worker_filter + worker_verify
+        # Wall clock, split by the workers' observed stage proportions (all
+        # attributed to verification when no work was measured at all).
+        filter_share = worker_filter / busy if busy > 0.0 else 0.0
+        statistics.filtering_seconds = wall * filter_share
+        statistics.verification_seconds = wall * (1.0 - filter_share)
+    statistics.verification = merged
+    statistics.result_count = len(pairs)
+    return JoinResult(pairs=pairs, statistics=statistics)
+
+
+def process_join_batches(
+    engine: PebbleJoin,
+    left: Joinable,
+    right: Optional[Joinable] = None,
+    *,
+    workers: Optional[int] = None,
+    batch_size: int = 1024,
+    precomputed_order: Optional[GlobalOrder] = None,
+    signing_tau: Optional[int] = None,
+    suggestion_seconds: float = 0.0,
+) -> Iterator[JoinBatch]:
+    """Stream the join as :class:`JoinBatch` chunks computed by the pool.
+
+    Each batch covers ``batch_size`` probe records — the same chunking as
+    the in-process ``join_batches`` — and batches are yielded in probe
+    order while later shards are still being computed, so the stream
+    overlaps verification with consumption.  The concatenated batches equal
+    the serial stream exactly (pairs, order, and per-batch counters).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be a positive integer")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    left_prep, right_prep, self_join = engine._resolve_sides(left, right)
+    order, left_signed, right_signed = engine._order_and_sign(
+        left_prep, right_prep, precomputed_order, signing_tau
+    )
+    plan = _build_plan(
+        engine, left_prep, right_prep, left_signed, right_signed, self_join, order
+    )
+    return _process_batches_iter(
+        engine, plan, workers, batch_size, suggestion_seconds
+    )
+
+
+def _process_batches_iter(
+    engine: PebbleJoin,
+    plan: ShardPlan,
+    workers: int,
+    batch_size: int,
+    suggestion_seconds: float,
+) -> Iterator[JoinBatch]:
+    total = len(plan.probe_signed)
+    if not total:
+        return
+    spans = _shard_spans(total, batch_size)
+    first = True
+    with _shard_pool(plan, min(workers, len(spans))) as pool:
+        # Bounded submission window: keep every worker busy plus one batch
+        # of lookahead, but never schedule the whole probe side up front —
+        # a slow consumer must apply backpressure to the pool instead of
+        # accumulating all completed shard results in parent memory (the
+        # unbounded materialization join_batches exists to avoid).
+        window = min(workers + 1, len(spans))
+        span_iter = iter(spans)
+        pending = deque(
+            pool.submit(_run_shard, span) for span in islice(span_iter, window)
+        )
+        while pending:
+            shard = pending.popleft().result()
+            next_span = next(span_iter, None)
+            if next_span is not None:
+                pending.append(pool.submit(_run_shard, next_span))
+            engine.verifier.stats.merge(shard.verification)
+            engine.verifier.verified_count += shard.candidate_count
+            yield JoinBatch(
+                pairs=shard.pairs,
+                candidate_count=shard.candidate_count,
+                processed_pairs=shard.processed_pairs,
+                probe_range=(shard.start, shard.stop),
+                verification=shard.verification,
+                suggestion_seconds=suggestion_seconds if first else 0.0,
+            )
+            first = False

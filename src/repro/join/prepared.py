@@ -19,7 +19,14 @@ layers explicitly:
 
 A prepared collection is bound to one :class:`~repro.core.measures.MeasureConfig`
 (pebbles depend on the knowledge sources and gram length); engines check the
-binding by identity before reusing it.
+binding by *equality* (configs compare by content) before reusing it, so a
+collection that crossed a process boundary keeps working.
+
+Prepared collections are picklable by construction — records, segments,
+pebbles, global orders, signatures, and cached verification sides all ship
+by value (see :meth:`PreparedCollection.__getstate__`) — which is what lets
+the process-pool join driver of :mod:`repro.join.parallel` send shards of
+prepared state to worker processes.
 """
 
 from __future__ import annotations
@@ -102,6 +109,38 @@ class PreparedCollection:
     def prepare(cls, collection: RecordCollection, config: MeasureConfig) -> "PreparedCollection":
         """Prepare a collection (generates every record's pebbles once)."""
         return cls(collection, config)
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-pool workers receive prepared state by value)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Make the collection picklable for process-pool join workers.
+
+        Two caches need translation: ``_shared_orders`` holds weakrefs (and
+        its partners are not part of this pickle anyway), so it is dropped;
+        ``_signatures`` is keyed by ``id(order)``, which is not stable across
+        processes, so entries are stored positionally and re-keyed against
+        the unpickled order objects in :meth:`__setstate__`.  Everything
+        else — records, pebbles, cached orders, and any already-built graph
+        sides — ships by value, so a worker starts with a warm cache.
+        """
+        state = dict(self.__dict__)
+        state["_shared_orders"] = {}
+        state["_signatures"] = [
+            # (stale-safe) keep the mutation count recorded at signing time:
+            # an entry that was already stale must stay stale after the trip.
+            (key[1], key[2], key[3], key[4], order, signed)
+            for key, (order, signed) in self._signatures.items()
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        signatures = state.pop("_signatures")
+        self.__dict__.update(state)
+        self._signatures = {
+            (id(order), mutation_count, theta, tau, method): (order, signed)
+            for mutation_count, theta, tau, method, order, signed in signatures
+        }
 
     def _prepare_record(self, record: Record) -> PreparedRecord:
         segments, pebbles = generate_pebbles(record.tokens, self.config)

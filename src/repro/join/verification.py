@@ -28,15 +28,27 @@ The cascade is lossless: the surviving pair set and every reported
 similarity are bit-identical to verifying each candidate with
 :meth:`Verifier.verify` (the pre-engine path), which the randomized
 equivalence tests enforce.  All counters are aggregated per worker chunk,
-so thread-pooled verification reports exact statistics (no racy
-``verified_count`` increments).
+so pooled verification reports exact statistics (no racy
+``verified_count`` increments); oversized probe groups are split past a
+cap before chunking, so one hot probe record cannot serialize a pool.
+
+Execution backends
+------------------
+``verify_batch`` accepts an in-process ``pool`` (thread executor) directly;
+true multi-core execution goes through :mod:`repro.join.parallel`, where
+each worker process rebuilds a :class:`UnifiedVerifier` from picklable
+parameters and runs this same cascade on its shard.  With ``adaptive=True``
+the verifier additionally *gates* each bound tier on its observed hit rate
+(see :class:`UnifiedVerifier`), skipping tiers that stopped paying for
+themselves — without ever changing the surviving pairs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import threading
+from dataclasses import dataclass, fields, replace
 from itertools import groupby
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.approximation import approximate_usim, approximate_usim_on_graph
 from ..core.graph import (
@@ -76,6 +88,10 @@ class VerificationStats:
     skipped the improvement loop via the value ceiling, ``full_runs`` ran
     it).  ``lower_bound_skips`` counts pairs whose cheap lower bound already
     cleared the threshold, letting the cascade skip the upper-bound tier.
+    ``adaptive_lower_skips`` / ``adaptive_upper_skips`` count candidates for
+    which the adaptive controller (see :class:`UnifiedVerifier`) bypassed a
+    bound tier because its observed hit rate had dropped below its cost;
+    both stay 0 when adaptivity is off.
     """
 
     candidates: int = 0
@@ -85,16 +101,23 @@ class VerificationStats:
     ceiling_stops: int = 0
     full_runs: int = 0
     results: int = 0
+    adaptive_lower_skips: int = 0
+    adaptive_upper_skips: int = 0
+
+    #: Every dataclass field is a counter; derived below (after the class
+    #: body) so a newly added field can never be silently dropped by
+    #: merge()/diff().
+    _COUNTERS: ClassVar[Tuple[str, ...]] = ()
 
     def merge(self, other: "VerificationStats") -> None:
-        """Add another stats block into this one (per-worker aggregation)."""
-        self.candidates += other.candidates
-        self.lower_bound_skips += other.lower_bound_skips
-        self.upper_bound_prunes += other.upper_bound_prunes
-        self.graphs_built += other.graphs_built
-        self.ceiling_stops += other.ceiling_stops
-        self.full_runs += other.full_runs
-        self.results += other.results
+        """Add another stats block into this one (per-worker aggregation).
+
+        Every field is a plain sum, which is what makes merging lossless:
+        any partition of one candidate stream into worker chunks or process
+        shards merges back to exactly the serial counters.
+        """
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def snapshot(self) -> "VerificationStats":
         """A copy of the current counters (for before/after deltas)."""
@@ -103,13 +126,10 @@ class VerificationStats:
     def diff(self, earlier: "VerificationStats") -> "VerificationStats":
         """The counters accumulated since ``earlier`` was snapshotted."""
         return VerificationStats(
-            candidates=self.candidates - earlier.candidates,
-            lower_bound_skips=self.lower_bound_skips - earlier.lower_bound_skips,
-            upper_bound_prunes=self.upper_bound_prunes - earlier.upper_bound_prunes,
-            graphs_built=self.graphs_built - earlier.graphs_built,
-            ceiling_stops=self.ceiling_stops - earlier.ceiling_stops,
-            full_runs=self.full_runs - earlier.full_runs,
-            results=self.results - earlier.results,
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self._COUNTERS
+            }
         )
 
     @property
@@ -127,6 +147,11 @@ class VerificationStats:
         return self.ceiling_stops / self.graphs_built
 
 
+VerificationStats._COUNTERS = tuple(
+    field.name for field in fields(VerificationStats)
+)
+
+
 def _group_candidates(
     candidates: Sequence[Tuple[int, int]], probe_side: str
 ) -> List[List[Tuple[int, int]]]:
@@ -142,17 +167,37 @@ def _group_candidates(
 
 
 def _chunk_groups(
-    groups: Sequence[List[Tuple[int, int]]], target_pairs: int
+    groups: Sequence[List[Tuple[int, int]]],
+    target_pairs: int,
+    max_chunk_pairs: Optional[int] = None,
 ) -> List[List[Tuple[int, int]]]:
     """Pack probe groups into worker chunks of roughly ``target_pairs`` pairs.
 
-    Groups are never split, so one probe record's candidates always land on
-    one worker (maximising its cache locality).
+    Small groups are packed whole (one probe record's candidates stay on one
+    worker, maximising its cache locality), but a group larger than
+    ``max_chunk_pairs`` (default ``4 * target_pairs``) is *split* into
+    capped slices: a single hot probe record with a huge candidate fan-out
+    would otherwise serialize the entire pool behind one worker.  Splitting
+    is free for correctness — chunks are mapped in order and every counter
+    is merged per chunk, so results and statistics are exactly those of the
+    unsplit packing.
     """
+    if max_chunk_pairs is None:
+        max_chunk_pairs = 4 * target_pairs
+    cap = max(max_chunk_pairs, target_pairs, 1)
     chunks: List[List[Tuple[int, int]]] = []
     current: List[Tuple[int, int]] = []
     for group in groups:
-        current.extend(group)
+        start = 0
+        while len(group) - start > cap:
+            # Flush what was packed so far, then emit full capped slices of
+            # the oversized group (order preserved end to end).
+            if current:
+                chunks.append(current)
+                current = []
+            chunks.append(group[start : start + cap])
+            start += cap
+        current.extend(group[start:] if start else group)
         if len(current) >= target_pairs:
             chunks.append(current)
             current = []
@@ -256,6 +301,70 @@ class Verifier:
         return pairs
 
 
+class _AdaptiveTierGate:
+    """Windowed hit-rate controller for one bound tier.
+
+    The tier runs normally while ``active``; after each measurement window
+    of ``window`` outcomes, the tier is disabled when its hit rate fell
+    below ``min_hit_rate`` (the tier's cost expressed as the break-even
+    fraction of candidates it must serve to pay for itself).  A disabled
+    tier is re-probed after ``window * probe_windows`` bypassed candidates,
+    so a workload whose regime shifts mid-run gets the tier back.  The
+    controller is a pure function of the candidate sequence, hence
+    deterministic on the serial path; a lock keeps its counters exact when
+    thread-pool workers share one verifier (the *sequence* of outcomes then
+    depends on chunk interleaving, but no update is ever lost).
+    """
+
+    __slots__ = (
+        "min_hit_rate",
+        "window",
+        "probe_windows",
+        "active",
+        "seen",
+        "hits",
+        "bypassed",
+        "_lock",
+    )
+
+    def __init__(self, min_hit_rate: float, window: int, probe_windows: int) -> None:
+        self.min_hit_rate = min_hit_rate
+        self.window = window
+        self.probe_windows = probe_windows
+        self.active = True
+        self.seen = 0
+        self.hits = 0
+        self.bypassed = 0
+        self._lock = threading.Lock()
+
+    def should_run(self) -> bool:
+        """Decide whether the tier runs for the next candidate."""
+        with self._lock:
+            if self.active:
+                return True
+            self.bypassed += 1
+            if self.bypassed >= self.window * self.probe_windows:
+                self.active = True
+                self.bypassed = 0
+                self.seen = 0
+                self.hits = 0
+                return True
+            return False
+
+    def record(self, hit: bool) -> None:
+        """Record one tier outcome; close the window when it fills up."""
+        with self._lock:
+            self.seen += 1
+            if hit:
+                self.hits += 1
+            if self.seen >= self.window:
+                if self.hits < self.min_hit_rate * self.seen:
+                    self.active = False
+                    self.bypassed = 0
+                self.seen = 0
+                self.hits = 0
+
+
 class UnifiedVerifier(Verifier):
     """Verifier backed by the approximate unified similarity (Algorithm 1).
 
@@ -264,6 +373,29 @@ class UnifiedVerifier(Verifier):
     graph sides and the tiered bound cascade.  Both report bit-identical
     pairs and similarity values; ``prune=False`` disables the bound tiers
     (cached assembly only), which the equivalence tests and benchmarks use.
+
+    Adaptive tier selection
+    -----------------------
+    With ``adaptive=True`` each bound tier is wrapped in an
+    :class:`_AdaptiveTierGate`: when a tier's observed hit rate over a
+    window of candidates drops below its cost (``lower_tier_cost`` /
+    ``upper_tier_cost``, the break-even hit rate of computing the bound),
+    the tier is skipped for subsequent candidates and periodically re-probed.
+    This matters most for the lower-bound tier: at high join thresholds it
+    almost never clears θ (``BENCH_verification.json`` records 0% at
+    θ ≥ 0.7), so with adaptivity off every candidate pays its greedy
+    matching for nothing — ``adaptive=True`` sheds that cost after the
+    first window while keeping the tier available for the low-θ,
+    similarity-dense workloads it exists for.
+    Because both tiers are lossless, the surviving pairs and similarities
+    are *identical* with adaptivity on or off — only the per-tier counters
+    (and runtime) change, with bypasses reported as
+    ``adaptive_lower_skips`` / ``adaptive_upper_skips``.  The gates are
+    driven by the candidate stream, so the decision sequence is
+    deterministic on the serial path; under pooled execution each worker's
+    chunk boundaries influence it, which is why the executor-equivalence
+    guarantee on *statistics* is stated for ``adaptive=False`` (the
+    default), while the pair-set guarantee holds always.
     """
 
     def __init__(
@@ -273,12 +405,28 @@ class UnifiedVerifier(Verifier):
         *,
         t: float = 4.0,
         prune: bool = True,
+        adaptive: bool = False,
+        adaptive_window: int = 256,
+        adaptive_probe_windows: int = 4,
+        lower_tier_cost: float = 0.05,
+        upper_tier_cost: float = 0.05,
     ) -> None:
         self.config = config
         self.t = t
         self.prune = prune
+        self.adaptive = adaptive
         self.stats = VerificationStats()
         self._side_cache: dict = {}
+        self._lower_gate = (
+            _AdaptiveTierGate(lower_tier_cost, adaptive_window, adaptive_probe_windows)
+            if adaptive
+            else None
+        )
+        self._upper_gate = (
+            _AdaptiveTierGate(upper_tier_cost, adaptive_window, adaptive_probe_windows)
+            if adaptive
+            else None
+        )
 
         def similarity(left_tokens: Sequence[str], right_tokens: Sequence[str]) -> float:
             return approximate_usim(left_tokens, right_tokens, config, t=t).value
@@ -291,13 +439,17 @@ class UnifiedVerifier(Verifier):
     def _side_getter(self, collection) -> Callable[[int], GraphSide]:
         """Resolve the per-record :class:`GraphSide` source for a collection.
 
-        Prepared collections bound to this verifier's config serve their own
+        Prepared collections bound to a config *equal* to this verifier's
+        (configs compare by content, so an equal-but-distinct config — e.g.
+        one that crossed a process boundary — qualifies) serve their own
         cached sides; anything else falls back to a verifier-local memo
         keyed by token tuple (so repeated records still hit the cache).
         """
         graph_side = getattr(collection, "graph_side", None)
-        if graph_side is not None and getattr(collection, "config", None) is self.config:
-            return graph_side
+        if graph_side is not None:
+            bound_config = getattr(collection, "config", None)
+            if bound_config is self.config or bound_config == self.config:
+                return graph_side
 
         cache = self._side_cache
         config = self.config
@@ -333,18 +485,32 @@ class UnifiedVerifier(Verifier):
         # empty-input result, so the cascade handles them like any pair (and
         # the tier counters keep partitioning the candidates).
         if self.prune and threshold > 0.0:
-            lower = singleton_greedy_lower_bound(left_side, right_side, config)
-            if lower >= threshold:
+            lower_gate = self._lower_gate
+            upper_gate = self._upper_gate
+            lower_cleared = False
+            if lower_gate is None or lower_gate.should_run():
+                lower = singleton_greedy_lower_bound(left_side, right_side, config)
+                lower_cleared = lower >= threshold
+                if lower_gate is not None:
+                    lower_gate.record(lower_cleared)
+            else:
+                stats.adaptive_lower_skips += 1
+            if lower_cleared:
                 # The exact USIM is ≥ lower ≥ θ, so the upper bound (≥ exact)
                 # cannot fall below θ: skip computing it.
                 stats.lower_bound_skips += 1
-            else:
+            elif upper_gate is None or upper_gate.should_run():
                 upper = usim_upper_bound(left_side, right_side, config)
-                if upper < threshold:
+                pruned = upper < threshold
+                if upper_gate is not None:
+                    upper_gate.record(pruned)
+                if pruned:
                     # Algorithm 1 realises ≤ exact USIM ≤ upper < θ: the
                     # unpruned path would reject this pair too.
                     stats.upper_bound_prunes += 1
                     return None
+            else:
+                stats.adaptive_upper_skips += 1
 
         stats.graphs_built += 1
         graph = build_conflict_graph_from_sides(left_side, right_side, config)
@@ -379,7 +545,30 @@ class UnifiedVerifier(Verifier):
         probe's cached side is fetched once per group; under a thread pool,
         whole groups are assigned to workers and each worker's statistics
         are merged after the fact.
+
+        A subclass that overrides :meth:`verify` or the :meth:`_verify_one`
+        extension hook without overriding :meth:`_verify_prepared` keeps
+        its per-pair semantics: the batch engine would silently bypass such
+        an override, so those verifiers are routed through the base class's
+        per-pair path instead (which honors both hooks, pooled or serial).
         """
+        per_pair_override = (
+            type(self).verify is not Verifier.verify
+            or type(self)._verify_one is not Verifier._verify_one
+        )
+        if (
+            per_pair_override
+            and type(self)._verify_prepared is UnifiedVerifier._verify_prepared
+        ):
+            return Verifier.verify_batch(
+                self,
+                candidates,
+                left,
+                right,
+                pool=pool,
+                probe_side=probe_side,
+                chunk_pairs=chunk_pairs,
+            )
         candidate_list = list(candidates)
         if not candidate_list:
             return []

@@ -15,7 +15,7 @@ The rule set also powers two join-side needs:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -80,6 +80,9 @@ class SynonymRuleSet:
         self._by_lhs: Dict[Tuple[str, ...], List[SynonymRule]] = defaultdict(list)
         self._by_rhs: Dict[Tuple[str, ...], List[SynonymRule]] = defaultdict(list)
         self._side_lengths: Set[int] = set()
+        # Monotonic mutation counter: lets equality memos (MeasureConfig)
+        # detect that a compared rule set changed since the cached verdict.
+        self._version = 0
         for rule in rules:
             self.add(rule)
 
@@ -93,6 +96,7 @@ class SynonymRuleSet:
         self._by_rhs[rule.rhs].append(rule)
         self._side_lengths.add(len(rule.lhs))
         self._side_lengths.add(len(rule.rhs))
+        self._version += 1
 
     def add_text_rule(self, lhs: str, rhs: str, closeness: float = 1.0) -> SynonymRule:
         """Tokenise ``lhs``/``rhs`` and add the resulting rule."""
@@ -121,6 +125,39 @@ class SynonymRuleSet:
     # ------------------------------------------------------------------ #
     # basic container protocol
     # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        """Content equality: two sets holding the same rule multiset.
+
+        Insertion order is irrelevant to every lookup (similarity and pebble
+        queries aggregate over all matching rules), so equality compares the
+        rules as a multiset.  This is what makes an equal-but-distinct
+        :class:`~repro.core.measures.MeasureConfig` — e.g. one rebuilt by a
+        pickle round-trip into a worker process — interchangeable with the
+        original.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, SynonymRuleSet):
+            return NotImplemented
+        if len(self._rules) != len(other._rules):
+            return False
+        return Counter(self._rules) == Counter(other._rules)
+
+    def __hash__(self) -> int:
+        """Hash of the rule multiset (treat sets as frozen once shared).
+
+        Content hashing of a mutable container carries the standard caveat:
+        mutating the set after using it as a dict/set key orphans the entry.
+        The value is cached per ``_version`` so repeated hashing is O(1)
+        between mutations.
+        """
+        cached = getattr(self, "_hash_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        value = hash(frozenset(Counter(self._rules).items()))
+        self._hash_cache = (self._version, value)
+        return value
+
     def __len__(self) -> int:
         return len(self._rules)
 

@@ -56,6 +56,9 @@ class Taxonomy:
         self._nodes: List[TaxonomyNode] = []
         self._by_label_tokens: Dict[Tuple[str, ...], int] = {}
         self._label_lengths: Set[int] = set()
+        # Monotonic mutation counter: lets equality memos (MeasureConfig)
+        # detect that a compared taxonomy changed since the cached verdict.
+        self._version = 0
         self._root_id = self._add_node(root_label, parent_id=None)
 
     # ------------------------------------------------------------------ #
@@ -83,6 +86,7 @@ class Taxonomy:
         # First registration wins: keeps shallowest node for duplicate labels.
         self._by_label_tokens.setdefault(tokens, node_id)
         self._label_lengths.add(len(tokens))
+        self._version += 1
         return node_id
 
     def add_node(self, label: str, parent: "int | str | TaxonomyNode") -> TaxonomyNode:
@@ -130,6 +134,39 @@ class Taxonomy:
     # ------------------------------------------------------------------ #
     # basic queries
     # ------------------------------------------------------------------ #
+    def _shape(self) -> Tuple[Tuple[Tuple[str, ...], Optional[int]], ...]:
+        """The structural identity of the tree: per node (tokens, parent).
+
+        Node ids are assigned densely in insertion order, so this tuple
+        determines every similarity, LCA, and pebble query the taxonomy can
+        answer (depths derive from the parent chain).  Cached per
+        ``_version`` so repeated equality/hash probes are O(1) between
+        mutations.
+        """
+        cached = getattr(self, "_shape_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        shape = tuple((node.tokens, node.parent_id) for node in self._nodes)
+        self._shape_cache = (self._version, shape)
+        return shape
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality: same node labels under the same parent structure.
+
+        Two taxonomies built identically — or one rebuilt by a pickle
+        round-trip into a worker process — compare equal, which keeps
+        :class:`~repro.core.measures.MeasureConfig` equality meaningful.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, Taxonomy):
+            return NotImplemented
+        return self._shape() == other._shape()
+
+    def __hash__(self) -> int:
+        """Hash of the tree shape (treat taxonomies as frozen once shared)."""
+        return hash(self._shape())
+
     @property
     def root(self) -> TaxonomyNode:
         """The root node."""

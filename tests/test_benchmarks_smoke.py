@@ -21,6 +21,7 @@ if str(BENCHMARKS_DIR) not in sys.path:
 
 import bench_fig4_join_time  # noqa: E402
 import bench_fig7_scalability  # noqa: E402
+import bench_parallel_scaling  # noqa: E402
 import bench_table10_breakdown  # noqa: E402
 
 pytestmark = pytest.mark.benchmarks
@@ -82,6 +83,23 @@ def test_verification_breakdown_harness_smoke(smoke_dataset, tmp_path):
         "ceiling_stops",
         "full_runs",
     }
+
+
+def test_parallel_scaling_harness_smoke(smoke_dataset, tmp_path):
+    out_path = tmp_path / "BENCH_parallel.json"
+    payload = bench_parallel_scaling.run_parallel_scaling(
+        smoke_dataset, side=40, worker_counts=(1, 2), out_path=out_path
+    )
+    # At smoke scale only the equivalence contract is asserted; the ≥2x
+    # speedup bar runs at full size in benchmarks/ (and needs real cores).
+    assert payload["candidates"] > 0
+    assert {run["executor"] for run in payload["runs"]} == {"thread", "process"}
+    assert all(run["results_match"] for run in payload["runs"])
+    import json
+
+    recorded = json.loads(out_path.read_text())
+    assert recorded["cpu_count"] >= 1
+    assert [run["workers"] for run in recorded["runs"]] == [1, 2, 1, 2]
 
 
 def test_fig7_harness_smoke(smoke_dataset):

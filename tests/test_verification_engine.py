@@ -349,14 +349,38 @@ class TestGraphSideAssembly:
         assert list(first.segments) == list(prepared.prepared_records[0].segments)
 
     def test_mixed_config_sides_rejected(self, engine_dataset):
+        # Genuinely different configs (different enabled measures) must be
+        # rejected; equal-but-distinct ones are accepted (see below).
         config_a = _config(engine_dataset, "TJS")
-        config_b = _config(engine_dataset, "TJS")
+        config_b = _config(engine_dataset, "TJ")
         side = GraphSide(("a",), config_a)
         other = GraphSide(("a",), config_b)
         with pytest.raises(ValueError):
             build_conflict_graph_from_sides(side, other, config_a)
         with pytest.raises(ValueError):
             usim_upper_bound(side, other, config_a)
+
+    def test_equal_but_distinct_config_sides_accepted(self, engine_dataset):
+        """Configs compare by content: distinct-but-equal objects mix freely."""
+        config_a = _config(engine_dataset, "TJS")
+        config_b = _config(engine_dataset, "TJS")
+        assert config_a == config_b and config_a is not config_b
+        side = GraphSide(("coffee", "shop"), config_a)
+        other = GraphSide(("cafe",), config_b)
+        graph = build_conflict_graph_from_sides(side, other, config_a)
+        reference = build_conflict_graph_from_sides(
+            GraphSide(("coffee", "shop"), config_a),
+            GraphSide(("cafe",), config_a),
+            config_a,
+        )
+        assert [v.weight for v in graph.vertices] == [
+            v.weight for v in reference.vertices
+        ]
+        assert usim_upper_bound(side, other, config_a) == usim_upper_bound(
+            GraphSide(("coffee", "shop"), config_b),
+            GraphSide(("cafe",), config_b),
+            config_b,
+        )
 
     def test_min_partition_size_is_exact_minimum(self, figure1_config):
         # "coffee shop latte": {"coffee shop", "latte"} is the smallest cover.
