@@ -14,6 +14,12 @@ is ~1x or below (IPC overhead with nothing to parallelize against), while
 the ≥2x verification speedup at 4 workers materializes on machines with
 ≥ 4 cores.  The thread rows document the GIL baseline the process driver
 exists to beat.
+
+The ``payload`` block measures the worker transfer itself: the pickled
+bytes of the historical full :class:`~repro.join.parallel.ShardPlan`
+versus the slim prefix-view plan actually shipped (and the unsigned
+worker-side-signing plan), so the transfer win of the join-artifact layer
+is a recorded number, not an assertion.
 """
 
 from __future__ import annotations
@@ -24,7 +30,9 @@ import time
 from pathlib import Path
 
 from repro.core.measures import MeasureConfig
+from repro.join.artifacts import plan_payload_bytes
 from repro.join.aufilter import PebbleJoin
+from repro.join.parallel import build_shard_plan
 from repro.join.signatures import SignatureMethod
 
 THETA = 0.7
@@ -51,7 +59,7 @@ def run_parallel_scaling(
     theta=THETA,
     tau=TAU,
     worker_counts=WORKER_COUNTS,
-    executors=("thread", "process"),
+    executors=("thread", "process", "process-worker-signed"),
     out_path=None,
 ):
     """Time one self-join per executor/worker-count on a shared preparation.
@@ -82,10 +90,10 @@ def run_parallel_scaling(
     runs = []
     for executor in executors:
         for workers in worker_counts:
+            sign_in_workers = executor == "process-worker-signed"
+            join_kwargs = dict(executor="process", sign_in_workers=True) if sign_in_workers else dict(executor=executor)
             start = time.perf_counter()
-            result = engine().join(
-                prepared, executor=executor, workers=workers
-            )
+            result = engine().join(prepared, workers=workers, **join_kwargs)
             seconds = time.perf_counter() - start
             matches = (
                 _triples(result.pairs) == reference_triples
@@ -104,6 +112,19 @@ def run_parallel_scaling(
                 }
             )
 
+    # Transfer payload: what one worker actually receives, full vs slim.
+    full_bytes = plan_payload_bytes(build_shard_plan(engine(), prepared, slim=False))
+    slim_bytes = plan_payload_bytes(build_shard_plan(engine(), prepared, slim=True))
+    unsigned_bytes = plan_payload_bytes(
+        build_shard_plan(engine(), prepared, sign_in_workers=True)
+    )
+    plan_payload = {
+        "full_bytes": full_bytes,
+        "slim_bytes": slim_bytes,
+        "worker_signed_bytes": unsigned_bytes,
+        "slim_reduction": 1.0 - slim_bytes / max(full_bytes, 1),
+    }
+
     payload = {
         "dataset": dataset.profile.name,
         "records": len(collection),
@@ -117,6 +138,7 @@ def run_parallel_scaling(
             "candidates_per_second": serial.statistics.candidate_count
             / max(serial_seconds, 1e-12),
         },
+        "payload": plan_payload,
         "runs": runs,
     }
     if out_path is not None:
@@ -144,8 +166,18 @@ def test_parallel_scaling(benchmark, med_dataset):
             f"(written to {DEFAULT_PARALLEL_JSON.name})"
         )
 
+    sizes = payload["payload"]
+    print(
+        f"  plan payload: full {sizes['full_bytes']:,}B, slim "
+        f"{sizes['slim_bytes']:,}B ({sizes['slim_reduction']:.0%} smaller), "
+        f"worker-signed {sizes['worker_signed_bytes']:,}B"
+    )
+
     # Bit-identity is unconditional; it is the contract the driver ships with.
     assert all(run["results_match"] for run in payload["runs"])
+    # The slim transfer view must cut the worker payload substantially; 40%
+    # is the floor the artifact layer ships with on the bench corpus.
+    assert sizes["slim_reduction"] >= 0.40
     # The ≥2x speedup bar needs physical cores to parallelize across and a
     # serial baseline long enough to trust the measurement; a single-core
     # container cannot express multi-core speedup, so the bar is asserted

@@ -1,0 +1,126 @@
+"""Cold-vs-warm runs through the on-disk prepared-collection store.
+
+``run_store_reuse`` times the same self-join three ways on one corpus:
+
+* **cold** — an empty store: full preparation (pebbles, bounds) plus the
+  join's own signing and graph-side construction, with the enriched
+  artifact persisted afterwards (``UnifiedJoin(store=...)`` does that
+  automatically once the join adds a signing);
+* **warm** — a fresh store instance over the same directory, simulating a
+  new process: preparation is one artifact load, and the join's signing is
+  a cache hit against the persisted signatures (``signing_seconds ≈ 0``);
+* **unstored** — the no-store baseline, re-preparing from scratch, to show
+  what the warm run avoids.
+
+Every run's pairs are checked for bit-identity against the cold reference
+before its time is recorded.  The machine-readable summary is written to
+``BENCH_store.json`` (artifact size included — the store trades disk for
+preparation time, and both sides of that trade belong in the record).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.join import UnifiedJoin
+from repro.store import PreparedStore
+
+THETA = 0.7
+TAU = 2
+
+#: Default output location: the repository root (the recorded numbers are
+#: committed alongside the code they measure).
+DEFAULT_STORE_JSON = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def _triples(pairs):
+    return [(pair.left_id, pair.right_id, pair.similarity) for pair in pairs]
+
+
+def _timed_join(dataset, collection, store):
+    join = UnifiedJoin(
+        rules=dataset.rules, taxonomy=dataset.taxonomy, theta=THETA, tau=TAU, store=store
+    )
+    start = time.perf_counter()
+    result = join.join(collection)
+    return result, time.perf_counter() - start
+
+
+def run_store_reuse(dataset, *, side=120, store_root=None, out_path=None):
+    """Time cold / warm / unstored self-joins; return (and write) the summary."""
+    collection = dataset.records.head(side)
+    cleanup = None
+    if store_root is None:
+        cleanup = tempfile.TemporaryDirectory()
+        store_root = cleanup.name
+    try:
+        cold_store = PreparedStore(store_root)
+        cold, cold_seconds = _timed_join(dataset, collection, cold_store)
+        reference = _triples(cold.pairs)
+
+        # A fresh store instance over the same directory = a new run/process.
+        warm_store = PreparedStore(store_root)
+        warm, warm_seconds = _timed_join(dataset, collection, warm_store)
+
+        unstored, unstored_seconds = _timed_join(dataset, collection, None)
+
+        artifact_bytes = warm_store.last_outcome.path.stat().st_size
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    payload = {
+        "dataset": dataset.profile.name,
+        "records": len(collection),
+        "theta": THETA,
+        "tau": TAU,
+        "results": len(cold.pairs),
+        "artifact_bytes": artifact_bytes,
+        "cold": {
+            "seconds": cold_seconds,
+            "store_hit": False,
+            "signing_seconds": cold.statistics.signing_seconds,
+        },
+        "warm": {
+            "seconds": warm_seconds,
+            "store_hit": warm_store.last_outcome.hit,
+            "prepare_seconds": warm_store.last_outcome.seconds,
+            "signing_seconds": warm.statistics.signing_seconds,
+        },
+        "unstored": {
+            "seconds": unstored_seconds,
+            "signing_seconds": unstored.statistics.signing_seconds,
+        },
+        "speedup_warm_vs_unstored": unstored_seconds / max(warm_seconds, 1e-12),
+        "results_match": _triples(warm.pairs) == reference
+        and _triples(unstored.pairs) == reference,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_store_reuse(benchmark, med_dataset):
+    payload = benchmark.pedantic(
+        lambda: run_store_reuse(med_dataset, out_path=DEFAULT_STORE_JSON),
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\n[MED subset] store reuse ({payload['records']} records, "
+        f"θ = {payload['theta']}, τ = {payload['tau']}): "
+        f"cold {payload['cold']['seconds']:.2f}s, warm {payload['warm']['seconds']:.2f}s "
+        f"({payload['speedup_warm_vs_unstored']:.1f}x vs unstored), "
+        f"artifact {payload['artifact_bytes']:,}B "
+        f"(written to {DEFAULT_STORE_JSON.name})"
+    )
+    assert payload["results_match"]
+    assert payload["warm"]["store_hit"]
+    # The warm contract: preparation came from disk and the persisted
+    # signatures made the join's signing a cache hit (≈ 0, i.e. vanishing
+    # next to the cold run's signing stage).
+    assert payload["warm"]["signing_seconds"] <= max(
+        payload["cold"]["signing_seconds"] / 10, 1e-3
+    )

@@ -3,7 +3,10 @@
 Shows the trade-off behind Figure 3 — larger τ means longer signatures but
 fewer candidates — and then runs the sampling-based recommender of
 Algorithm 7 to pick τ automatically, comparing its choice against an
-exhaustive sweep.
+exhaustive sweep.  Preparation is store-backed: a parameter sweep is
+exactly the repeated-runs-over-a-stable-corpus workload the on-disk
+prepared-collection store exists for, so the script reports the cold
+preparation cost once and the warm (artifact-hit) cost a re-run would pay.
 
 Run with::
 
@@ -12,12 +15,14 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
 import time
 
 from repro.datasets import MED_PROFILE, generate_dataset
 from repro.estimator import TauRecommender
 from repro.evaluation.experiments import config_for, split_dataset
 from repro.join import PebbleJoin, SignatureMethod, build_shared_order
+from repro.store import PreparedStore
 
 RECORDS = 240
 THETA = 0.85
@@ -29,11 +34,27 @@ def main() -> None:
     left, right = split_dataset(dataset, RECORDS // 2, RECORDS // 2)
     config = config_for(dataset)
 
-    # Prepare both sides once: the sweep's four joins and the recommender all
-    # reuse the cached pebbles and the shared global order.
+    # Prepare both sides once through an on-disk store: the sweep's four
+    # joins and the recommender reuse the cached pebbles and the shared
+    # global order in-process, and a *re-run* of this script against a
+    # persistent store directory would skip preparation entirely (shown
+    # below with a second store instance over the same directory).
     probe_engine = PebbleJoin(config, THETA, tau=1, method=SignatureMethod.AU_DP)
-    left_prep = probe_engine.prepare(left)
-    right_prep = probe_engine.prepare(right)
+    with tempfile.TemporaryDirectory() as store_root:
+        store = PreparedStore(store_root)
+        start = time.perf_counter()
+        left_prep = store.prepare(left, config)
+        right_prep = store.prepare(right, config)
+        cold_prepare = time.perf_counter() - start
+        warm_store = PreparedStore(store_root)
+        start = time.perf_counter()
+        warm_store.prepare(left, config)
+        warm_store.prepare(right, config)
+        warm_prepare = time.perf_counter() - start
+    # The loaded preparations live in memory; the store directory itself is
+    # only needed for the next run (a persistent path would keep it warm).
+    print(f"Store-backed preparation: cold {cold_prepare:.2f}s, "
+          f"warm {warm_prepare:.2f}s (artifact hit: {warm_store.last_outcome.hit})\n")
     order = build_shared_order([left_prep, right_prep])
 
     # --- exhaustive sweep over τ (what the recommender tries to avoid) -----

@@ -146,19 +146,26 @@ class _SegmentMatchState:
 
 
 class _SegmentBoundState:
-    """Per-segment material for the msim upper bound (pruning cascade)."""
+    """Per-segment material for the msim upper bound (pruning cascade).
 
-    __slots__ = ("grams", "syn_closeness", "tax_ancestors", "tax_depth")
+    ``self_tokens`` is the segment's own token tuple: a directional rule
+    connecting two segments must have one of them as its lhs, so the
+    synonym bound only consults those two keys of the closeness maps.
+    """
+
+    __slots__ = ("grams", "syn_closeness", "self_tokens", "tax_ancestors", "tax_depth")
 
     def __init__(
         self,
         grams: FrozenSet[str],
         syn_closeness: Optional[Dict[Tuple[str, ...], float]],
+        self_tokens: Tuple[str, ...],
         tax_ancestors: Optional[Dict[int, int]],
         tax_depth: int,
     ) -> None:
         self.grams = grams
         self.syn_closeness = syn_closeness
+        self.self_tokens = self_tokens
         self.tax_ancestors = tax_ancestors
         self.tax_depth = tax_depth
 
@@ -255,7 +262,9 @@ class GraphSide:
                         for ancestor in taxonomy.ancestors(node)
                     }
             states.append(
-                _SegmentBoundState(grams, syn_closeness, tax_ancestors, tax_depth)
+                _SegmentBoundState(
+                    grams, syn_closeness, segment.tokens, tax_ancestors, tax_depth
+                )
             )
         return tuple(states)
 
@@ -473,9 +482,17 @@ def _segment_pair_upper_bound(
     """An upper bound on ``msim`` of one segment pair from cached state.
 
     Jaccard and taxonomy contributions are exact (gram-set arithmetic and
-    shared-ancestor LCA depth); the synonym contribution is an upper bound —
-    a shared lhs key caps the closeness of any connecting rule, but two
-    segments may share a key without a directional rule between them.
+    shared-ancestor LCA depth); the synonym contribution is an upper bound.
+    Rules are directional, so a rule connecting the two segments must have
+    one of *them* as its lhs — only those two keys of the shared-lhs
+    closeness maps can witness an actual rule, and each map value (the max
+    closeness over rules depositing that lhs on that segment) caps the
+    connecting rule's closeness from above.  Keys deposited transitively —
+    both segments being the rhs of rules sharing some third lhs — can never
+    realise a similarity and are no longer consulted (they made the
+    historical full-intersection bound loose under rule transitivity).
+    The bound stays an upper bound because two segments may carry each
+    other's lhs keys without a rule mapping one to the *other*.
     """
     bound = 0.0
     if use_jaccard and left.grams and right.grams:
@@ -486,15 +503,21 @@ def _segment_pair_upper_bound(
             if value > bound:
                 bound = value
     if left.syn_closeness is not None and right.syn_closeness is not None:
-        smaller, larger = left.syn_closeness, right.syn_closeness
-        if len(larger) < len(smaller):
-            smaller, larger = larger, smaller
-        for key, closeness in smaller.items():
-            other = larger.get(key)
-            if other is not None:
-                value = closeness if closeness < other else other
-                if value > bound:
-                    bound = value
+        keys = (
+            (left.self_tokens,)
+            if left.self_tokens == right.self_tokens
+            else (left.self_tokens, right.self_tokens)
+        )
+        for key in keys:
+            closeness = left.syn_closeness.get(key)
+            if closeness is None:
+                continue
+            other = right.syn_closeness.get(key)
+            if other is None:
+                continue
+            value = closeness if closeness < other else other
+            if value > bound:
+                bound = value
     if left.tax_ancestors is not None and right.tax_ancestors is not None:
         smaller_anc, larger_anc = left.tax_ancestors, right.tax_ancestors
         if len(larger_anc) < len(smaller_anc):

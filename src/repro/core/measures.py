@@ -141,6 +141,22 @@ class MeasureConfig:
     def __hash__(self) -> int:
         return hash((self.q, self.enabled, self.rules, self.taxonomy))
 
+    def content_key(self) -> Tuple:
+        """A canonical, process-independent identity of this configuration.
+
+        Mirrors :meth:`__eq__` (q, enabled measures, rule multiset,
+        taxonomy shape) but uses deterministically ordered plain values, so
+        the on-disk prepared-collection store can digest its ``repr`` into
+        a fingerprint that is stable across processes and Python runs —
+        ``hash()`` is not, under string hash randomization.
+        """
+        return (
+            self.q,
+            tuple(sorted(measure.value for measure in self.enabled)),
+            None if self.rules is None else self.rules.content_key(),
+            None if self.taxonomy is None else self.taxonomy.content_key(),
+        )
+
     def __getstate__(self) -> dict:
         # The msim and equality memos are per-process caches: dropping them
         # keeps pickles small and every process rebuilds its own.

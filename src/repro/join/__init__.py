@@ -1,5 +1,6 @@
 """Pebble-based filter-and-verify join framework (Section 3 of the paper)."""
 
+from .artifacts import SignedRecordView, plan_payload_bytes, slim_signed_views
 from .aufilter import (
     FilterOutcome,
     JoinBatch,
@@ -12,7 +13,13 @@ from .aufilter import (
 from .framework import UnifiedJoin
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
-from .parallel import ShardPlan, ShardResult, process_join, process_join_batches
+from .parallel import (
+    ShardPlan,
+    ShardResult,
+    build_shard_plan,
+    process_join,
+    process_join_batches,
+)
 from .partition_bound import greedy_cover_size, min_partition_size
 from .pebbles import Pebble, PebbleKey, generate_pebbles
 from .prepared import PreparedCollection, PreparedRecord, build_shared_order
@@ -37,19 +44,23 @@ __all__ = [
     "ShardResult",
     "SignatureMethod",
     "SignedRecord",
+    "SignedRecordView",
     "UFilterJoin",
     "UnifiedJoin",
     "UnifiedVerifier",
     "VerificationStats",
     "VerifiedPair",
     "Verifier",
+    "build_shard_plan",
     "build_shared_order",
     "dual_index_filter_candidates",
     "generate_pebbles",
     "greedy_cover_size",
     "min_partition_size",
+    "plan_payload_bytes",
     "process_join",
     "process_join_batches",
     "select_signature_prefix",
     "sign_record",
+    "slim_signed_views",
 ]

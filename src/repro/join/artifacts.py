@@ -1,0 +1,122 @@
+"""Join artifacts: slim transfer views of signed records.
+
+The process-pool driver of :mod:`repro.join.parallel` ships one
+:class:`~repro.join.parallel.ShardPlan` to every worker.  In the original
+formulation that plan carried full :class:`~repro.join.signatures.SignedRecord`
+objects — each holding the record's *entire* sorted pebble list — although
+workers only ever read the signature prefix: the suffix exists so the parent
+can re-sign under a different (θ, τ, method) cheaply, and workers never
+re-sign.  At corpus scale the untouched suffix pebbles dominate the payload.
+
+:class:`SignedRecordView` is the transfer representation: the signature
+prefix *keys*, the two lengths (prefix and total pebble count), and the
+``MP(S)`` partition bound — everything downstream filtering consumers read
+— with the suffix dropped entirely and the prefix reduced to what the
+inverted index and the overlap counter actually consume.  Filtering never
+reads a signature pebble's weight, segment, or measure (those exist for
+signature *selection*, which already happened), so the view ships bare
+:data:`~repro.join.pebbles.PebbleKey` tuples instead of
+:class:`~repro.join.pebbles.Pebble` objects.  The view quacks like a signed
+record for the shared hot paths (``record``, ``signature_key_sequence``,
+``signature_length``), so :func:`~repro.join.aufilter._probe_candidates`,
+:class:`~repro.join.inverted_index.InvertedIndex`, and the side-selection
+helpers consume either representation unchanged.
+
+:func:`plan_payload_bytes` measures what a plan actually costs on the wire
+(the exact bytes the pool initializer ships), which is how the scaling
+benchmark reports the full-vs-slim transfer win as a number instead of an
+assertion.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple, Union
+
+from .pebbles import PebbleKey
+from .signatures import SignedRecord
+from ..records import Record
+
+__all__ = [
+    "SignedRecordView",
+    "SignedLike",
+    "slim_signed_views",
+    "plan_payload_bytes",
+]
+
+
+@dataclass(frozen=True)
+class SignedRecordView:
+    """A prefix-only transfer view of a :class:`SignedRecord`.
+
+    Attributes
+    ----------
+    record:
+        The underlying record (shared by reference with the prepared
+        collection riding in the same payload, so it costs one pickle memo
+        backreference, not a copy).
+    signature_key_sequence:
+        The retained signature prefix as bare pebble keys, in prefix order
+        with per-occurrence duplicates kept — exactly the sequence the
+        inverted index posts and the probe loop counts.
+    signature_length:
+        ``len(signature_key_sequence)``, kept explicit so view consumers
+        and full-record consumers share one attribute protocol.
+    pebble_count:
+        Length of the full sorted pebble list the view was taken from (the
+        dropped suffix is ``pebble_count - signature_length`` pebbles).
+    min_partition_size:
+        The ``MP(S)`` lower bound used during selection.
+    """
+
+    record: Record
+    signature_key_sequence: Tuple[PebbleKey, ...]
+    signature_length: int
+    pebble_count: int
+    min_partition_size: int
+
+    @classmethod
+    def from_signed(cls, signed: SignedRecord) -> "SignedRecordView":
+        """Take the prefix-only view of one signed record."""
+        return cls(
+            record=signed.record,
+            signature_key_sequence=signed.signature_key_sequence,
+            signature_length=signed.signature_length,
+            pebble_count=len(signed.pebbles),
+            min_partition_size=signed.min_partition_size,
+        )
+
+    @property
+    def signature_keys(self) -> Set[PebbleKey]:
+        """Distinct keys of the signature pebbles (what the index stores)."""
+        return set(self.signature_key_sequence)
+
+
+#: Anything the filtering stage accepts: a full signed record or its view.
+SignedLike = Union[SignedRecord, SignedRecordView]
+
+
+def slim_signed_views(signed: Sequence[SignedLike]) -> List[SignedRecordView]:
+    """Prefix-only views of a signed list (views pass through unchanged).
+
+    Idempotence matters to the plan builder: a self-join plan builds its
+    views once and reuses the same list for the index and probe sides, and
+    re-slimming an already-slim list must not allocate a diverged copy.
+    """
+    return [
+        record
+        if isinstance(record, SignedRecordView)
+        else SignedRecordView.from_signed(record)
+        for record in signed
+    ]
+
+
+def plan_payload_bytes(plan: object) -> int:
+    """The exact wire size of a shard plan (or any payload object).
+
+    Uses the same protocol as the pool initializer's explicit
+    ``pickle.dumps``, so the reported number is the number of bytes every
+    worker actually receives.
+    """
+    return len(pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL))

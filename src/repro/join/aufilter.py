@@ -225,6 +225,21 @@ def _resolve_executor(
     return executor, workers
 
 
+def _check_sign_in_workers(sign_in_workers: bool, resolved_executor: str) -> None:
+    """Reject ``sign_in_workers`` outside the process executor.
+
+    Worker-side signing is a payload/placement decision for process pools;
+    on the serial and thread executors there is no other process to sign
+    in, so a True flag there is a configuration error, not a no-op.
+    """
+    if sign_in_workers and resolved_executor != "process":
+        raise ValueError(
+            "sign_in_workers requires executor='process': the serial and "
+            f"thread executors sign in the calling process (got "
+            f"executor={resolved_executor!r})"
+        )
+
+
 @contextmanager
 def _verification_pool(workers: int):
     """Yield a thread pool for verification, or None for the serial path."""
@@ -311,8 +326,8 @@ def _probe_candidates(
         probe_id = signed.record.record_id
         counts: Dict[int, int] = {}
         counts_get = counts.get
-        for pebble in signed.signature:
-            postings = get_postings(pebble.key)
+        for key in signed.signature_key_sequence:
+            postings = get_postings(key)
             if postings is None:
                 continue
             for other in postings:
@@ -627,6 +642,19 @@ class PebbleJoin:
             )
         return signing_tau
 
+    def _resolve_order(
+        self,
+        left_prep: PreparedCollection,
+        right_prep: PreparedCollection,
+        precomputed_order: Optional[GlobalOrder],
+    ) -> GlobalOrder:
+        """Resolve the corpus-wide order for a prepared pair (cache-backed)."""
+        if precomputed_order is not None:
+            return precomputed_order
+        if right_prep is left_prep:
+            return left_prep.build_order(self.order_strategy)
+        return left_prep.shared_order_with(right_prep, self.order_strategy)
+
     def _order_and_sign(
         self,
         left_prep: PreparedCollection,
@@ -636,12 +664,7 @@ class PebbleJoin:
     ) -> Tuple[GlobalOrder, List[SignedRecord], List[SignedRecord]]:
         """Resolve the global order and sign both sides (cache-backed)."""
         sign_tau = self._signing_tau(signing_tau)
-        if precomputed_order is not None:
-            order = precomputed_order
-        elif right_prep is left_prep:
-            order = left_prep.build_order(self.order_strategy)
-        else:
-            order = left_prep.shared_order_with(right_prep, self.order_strategy)
+        order = self._resolve_order(left_prep, right_prep, precomputed_order)
         left_signed = left_prep.signed(order, self.theta, sign_tau, self.method)
         right_signed = (
             left_signed
@@ -660,6 +683,7 @@ class PebbleJoin:
         verify_workers: int = 0,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        sign_in_workers: bool = False,
     ) -> JoinResult:
         """Join two collections (or self-join one) and verify candidates.
 
@@ -677,14 +701,17 @@ class PebbleJoin:
         sizes the pool; when omitted, a positive ``verify_workers`` seeds
         it, else it defaults to the CPU count.  The legacy
         ``verify_workers`` knob alone is a shorthand for
-        ``executor="thread"``.  Every
-        executor returns bit-identical pairs, similarities, and statistics
-        counters at every worker count (with the default non-adaptive
-        verifier).
+        ``executor="thread"``.  ``sign_in_workers`` (process executor only)
+        ships unsigned shards plus the shared global order and lets each
+        worker sign locally, so huge corpora never sign in the parent.
+        Every executor returns bit-identical pairs, similarities, and
+        statistics counters at every worker count (with the default
+        non-adaptive verifier).
         """
         resolved_executor, pool_workers = _resolve_executor(
             executor, workers, verify_workers
         )
+        _check_sign_in_workers(sign_in_workers, resolved_executor)
         if resolved_executor == "process":
             from .parallel import process_join
 
@@ -695,6 +722,7 @@ class PebbleJoin:
                 workers=pool_workers,
                 precomputed_order=precomputed_order,
                 signing_tau=signing_tau,
+                sign_in_workers=sign_in_workers,
             )
         verify_workers = pool_workers
         start = time.perf_counter()
@@ -784,6 +812,7 @@ class PebbleJoin:
         verify_workers: int = 0,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        sign_in_workers: bool = False,
         suggestion_seconds: float = 0.0,
     ) -> Iterator[JoinBatch]:
         """Stream the join: filter and verify one probe chunk at a time.
@@ -792,13 +821,14 @@ class PebbleJoin:
         self-join) is processed in chunks of ``batch_size`` records; each
         chunk's candidates are verified immediately and yielded as a
         :class:`JoinBatch`, so the full candidate list is never
-        materialized.  ``executor`` / ``workers`` behave as in :meth:`join`:
-        ``"thread"`` verifies each chunk through a thread pool,
-        ``"process"`` hands whole probe chunks (filtering included) to the
-        sharded multi-core driver, which streams batches back in probe
-        order.  ``suggestion_seconds`` (set by ``UnifiedJoin(tau="auto")``)
-        is reported on the first yielded batch.  The union of all batch
-        pairs equals :meth:`join`'s result, in identical order.
+        materialized.  ``executor`` / ``workers`` / ``sign_in_workers``
+        behave as in :meth:`join`: ``"thread"`` verifies each chunk through
+        a thread pool, ``"process"`` hands whole probe chunks (filtering
+        included) to the sharded multi-core driver, which streams batches
+        back in probe order.  ``suggestion_seconds`` (set by
+        ``UnifiedJoin(tau="auto")``) is reported on the first yielded batch.
+        The union of all batch pairs equals :meth:`join`'s result, in
+        identical order.
         """
         # Validate at call time: the streaming body below lives in an inner
         # generator, so raising here (not on first iteration) needs this
@@ -808,6 +838,7 @@ class PebbleJoin:
         resolved_executor, pool_workers = _resolve_executor(
             executor, workers, verify_workers
         )
+        _check_sign_in_workers(sign_in_workers, resolved_executor)
         if resolved_executor == "process":
             from .parallel import process_join_batches
 
@@ -819,6 +850,7 @@ class PebbleJoin:
                 batch_size=batch_size,
                 precomputed_order=precomputed_order,
                 signing_tau=signing_tau,
+                sign_in_workers=sign_in_workers,
                 suggestion_seconds=suggestion_seconds,
             )
         left_prep, right_prep, self_join = self._resolve_sides(left, right)

@@ -47,7 +47,10 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Iterator, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store import PreparedStore
 
 from ..core.grams import DEFAULT_Q
 from ..core.measures import MeasureConfig
@@ -88,6 +91,13 @@ class UnifiedJoin:
         Enable the verifier's adaptive tier controller (bound tiers whose
         observed hit rate drops below their cost are skipped and
         periodically re-probed; the result pairs are unaffected).
+    store:
+        An optional :class:`~repro.store.PreparedStore`.  When set, raw
+        collections passed to :meth:`join` / :meth:`join_batches` /
+        :meth:`prepare` are resolved through the on-disk store (a warm
+        artifact skips preparation entirely), and after a join that added
+        new signings the updated preparation — signatures, graph sides —
+        is persisted back, so the *next* run's signing is a cache hit too.
     """
 
     def __init__(
@@ -105,6 +115,7 @@ class UnifiedJoin:
         tau_universe: Sequence[int] = (1, 2, 3, 4, 5, 6),
         recommendation_seed: Optional[int] = None,
         adaptive_verification: bool = False,
+        store: Optional["PreparedStore"] = None,
     ) -> None:
         self.config = MeasureConfig.from_codes(measures, rules=rules, taxonomy=taxonomy, q=q)
         self.theta = theta
@@ -137,12 +148,20 @@ class UnifiedJoin:
                 )
             self.tau = int(tau)
         self.last_recommendation = None
+        self.store = store
 
     # ------------------------------------------------------------------ #
     # preparation
     # ------------------------------------------------------------------ #
     def prepare(self, collection: RecordCollection) -> PreparedCollection:
-        """Prepare a collection for repeated joins under this configuration."""
+        """Prepare a collection for repeated joins under this configuration.
+
+        With a :attr:`store`, preparation is store-backed: a matching
+        on-disk artifact is loaded instead of rebuilt, and a fresh build is
+        persisted for the next run.
+        """
+        if self.store is not None:
+            return self.store.prepare(collection, self.config)
         return PreparedCollection.prepare(collection, self.config)
 
     def _engine(self, tau: int) -> PebbleJoin:
@@ -155,18 +174,27 @@ class UnifiedJoin:
             adaptive_verification=self.adaptive_verification,
         )
 
+    def _as_prepared(self, collection, engine: PebbleJoin) -> PreparedCollection:
+        """Coerce one side, routing raw collections through the store."""
+        if self.store is not None and not isinstance(collection, PreparedCollection):
+            return self.store.prepare(collection, self.config)
+        return engine.as_prepared(collection)
+
     def _resolve(
         self, left, right
-    ) -> Tuple[PebbleJoin, PreparedCollection, Optional[PreparedCollection], object, Optional[int], float]:
+    ) -> Tuple[PebbleJoin, PreparedCollection, Optional[PreparedCollection], object, Optional[int], float, List[Tuple[PreparedCollection, int]]]:
         """Prepare the sides, pick τ, and return the configured engine.
 
         Returns ``(engine, left_prep, right_prep_or_None, order, signing_tau,
-        suggestion_seconds)`` where ``right_prep_or_None`` is ``None`` for a
-        self-join (so the engine takes its dedicated self-join path).
+        suggestion_seconds, store_entries)`` where ``right_prep_or_None`` is
+        ``None`` for a self-join (so the engine takes its dedicated
+        self-join path) and ``store_entries`` holds each store-resolved
+        preparation with its signature-cache size at resolve time — the
+        persist-back hook compares against it after the join.
         """
         probe_engine = self._engine(1 if self.tau == "auto" else int(self.tau))
         self_join = right is None
-        left_prep = probe_engine.as_prepared(left)
+        left_prep = self._as_prepared(left, probe_engine)
         if self_join:
             right_prep = None
             order = left_prep.build_order(probe_engine.order_strategy)
@@ -175,11 +203,28 @@ class UnifiedJoin:
             right_prep = left_prep
             order = left_prep.build_order(probe_engine.order_strategy)
         else:
-            right_prep = probe_engine.as_prepared(right)
+            right_prep = self._as_prepared(right, probe_engine)
             order = left_prep.shared_order_with(right_prep, probe_engine.order_strategy)
 
+        store_entries: List[Tuple[PreparedCollection, int]] = []
+        if self.store is not None:
+            for source, prepared in ((left, left_prep), (right, right_prep)):
+                # Persist-back covers every store-owned side: raw sides the
+                # store just resolved, and prepared sides the caller got
+                # from this store's prepare() earlier.  A preparation the
+                # caller built elsewhere is theirs — never auto-persisted.
+                if (
+                    prepared is not None
+                    and (
+                        not isinstance(source, PreparedCollection)
+                        or self.store.manages(prepared)
+                    )
+                    and all(prepared is not known for known, _ in store_entries)
+                ):
+                    store_entries.append((prepared, prepared.cached_signature_count))
+
         if self.tau != "auto":
-            return probe_engine, left_prep, right_prep, order, None, 0.0
+            return probe_engine, left_prep, right_prep, order, None, 0.0, store_entries
 
         from ..estimator.recommend import recommend_tau
 
@@ -198,7 +243,32 @@ class UnifiedJoin:
         self.last_recommendation = recommendation
         suggestion_seconds = time.perf_counter() - start
         engine = self._engine(recommendation.best_tau)
-        return engine, left_prep, right_prep, order, recommendation.signing_tau, suggestion_seconds
+        return (
+            engine,
+            left_prep,
+            right_prep,
+            order,
+            recommendation.signing_tau,
+            suggestion_seconds,
+            store_entries,
+        )
+
+    def _persist_store_entries(
+        self, entries: List[Tuple[PreparedCollection, int]]
+    ) -> None:
+        """Write store-resolved preparations back when a join enriched them.
+
+        A join that signed under a new (order, θ, τ, method) grows the
+        signature cache; persisting the collection then makes the *next*
+        run's signing a cache hit (graph sides built along the way ride in
+        the same artifact).  A warm run whose signing was already cached
+        changes nothing and writes nothing.
+        """
+        if self.store is None:
+            return
+        for prepared, count_at_resolve in entries:
+            if prepared.cached_signature_count != count_at_resolve:
+                self.store.save(prepared)
 
     # ------------------------------------------------------------------ #
     # joining
@@ -211,18 +281,22 @@ class UnifiedJoin:
         verify_workers: int = 0,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        sign_in_workers: bool = False,
     ) -> JoinResult:
         """Join two collections (or self-join one) under the configuration.
 
         Both sides accept raw record collections or collections prepared
         with :meth:`prepare`.  With ``tau="auto"``, the recommendation and
         the final join share one preparation, order, and full signing.
-        ``executor`` / ``workers`` select serial, thread-pool, or sharded
-        process-pool execution (see :meth:`PebbleJoin.join`); the legacy
-        ``verify_workers`` shorthand keeps meaning a thread pool.
+        ``executor`` / ``workers`` / ``sign_in_workers`` select serial,
+        thread-pool, or sharded process-pool execution — optionally with
+        worker-side signing (see :meth:`PebbleJoin.join`); the legacy
+        ``verify_workers`` shorthand keeps meaning a thread pool.  With a
+        :attr:`store`, raw sides resolve through the on-disk artifact store
+        and enriched preparations are persisted back after the join.
         """
-        engine, left_prep, right_prep, order, signing_tau, suggestion_seconds = self._resolve(
-            left, right
+        engine, left_prep, right_prep, order, signing_tau, suggestion_seconds, entries = (
+            self._resolve(left, right)
         )
         result = engine.join(
             left_prep,
@@ -232,8 +306,10 @@ class UnifiedJoin:
             verify_workers=verify_workers,
             executor=executor,
             workers=workers,
+            sign_in_workers=sign_in_workers,
         )
         result.statistics.suggestion_seconds = suggestion_seconds
+        self._persist_store_entries(entries)
         return result
 
     def join_batches(
@@ -245,6 +321,7 @@ class UnifiedJoin:
         verify_workers: int = 0,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        sign_in_workers: bool = False,
     ) -> Iterator[JoinBatch]:
         """Stream the join in verified chunks (see ``PebbleJoin.join_batches``).
 
@@ -252,12 +329,13 @@ class UnifiedJoin:
         starts; its cost is reported as ``suggestion_seconds`` on the first
         yielded batch (it used to be silently discarded here), so streaming
         consumers can account for the full end-to-end time just like
-        :meth:`join` does through ``JoinStatistics``.
+        :meth:`join` does through ``JoinStatistics``.  Store-resolved
+        preparations are persisted back once the stream is exhausted.
         """
-        engine, left_prep, right_prep, order, signing_tau, suggestion_seconds = self._resolve(
-            left, right
+        engine, left_prep, right_prep, order, signing_tau, suggestion_seconds, entries = (
+            self._resolve(left, right)
         )
-        return engine.join_batches(
+        batches = engine.join_batches(
             left_prep,
             right_prep,
             batch_size=batch_size,
@@ -266,8 +344,21 @@ class UnifiedJoin:
             verify_workers=verify_workers,
             executor=executor,
             workers=workers,
+            sign_in_workers=sign_in_workers,
             suggestion_seconds=suggestion_seconds,
         )
+        if not entries:
+            return batches
+        return self._stream_then_persist(batches, entries)
+
+    def _stream_then_persist(
+        self,
+        batches: Iterator[JoinBatch],
+        entries: List[Tuple[PreparedCollection, int]],
+    ) -> Iterator[JoinBatch]:
+        """Yield every batch, then write back enriched store preparations."""
+        yield from batches
+        self._persist_store_entries(entries)
 
     def self_join(self, collection) -> JoinResult:
         """Self-join convenience wrapper."""

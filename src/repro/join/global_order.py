@@ -70,6 +70,23 @@ class GlobalOrder:
         """
         return self._mutation_count
 
+    def content_equal(self, other: "GlobalOrder") -> bool:
+        """True when ``other`` sorts every pebble list identically.
+
+        The sort key is a pure function of (strategy, frequency table), so
+        content-equal orders are interchangeable for signing.  This is what
+        lets a signature cache serve signings made under an order object
+        that no longer exists — e.g. a shared two-collection order rebuilt
+        on a warm store run (shared orders are weakref-cached and never
+        persist, but their content is deterministic in the corpus).
+        """
+        if other is self:
+            return True
+        return (
+            self.strategy == other.strategy
+            and self._frequencies == other._frequencies
+        )
+
     def sort_pebbles(self, pebbles: Sequence[Pebble]) -> List[Pebble]:
         """Return ``pebbles`` sorted by this global order.
 

@@ -5,17 +5,22 @@ The thread-pool paths of :mod:`repro.join.aufilter` are GIL-bound, so
 This module shards the *probe side* of a prepared join across a
 ``concurrent.futures.ProcessPoolExecutor``:
 
-1. The parent resolves the prepared sides, builds (or receives) the shared
-   global order, and signs both sides once — all cache-backed, exactly as
-   the in-process paths do.
-2. One :class:`ShardPlan` — the measure config, the signed index side, the
-   signed probe side, both prepared collections, and the shared order — is
-   pickled *once* and shipped to every worker through the pool initializer.
-   Everything in the plan is picklable by construction (see
-   ``PreparedCollection.__getstate__`` and ``MeasureConfig.__getstate__``);
-   the pickle memo preserves object identity inside the payload, so a
-   self-join arrives in the worker still sharing one collection and the
-   prepared records still share their config.
+1. The parent resolves the prepared sides and builds (or receives) the
+   shared global order.  By default it also signs both sides once —
+   cache-backed, exactly as the in-process paths do; with
+   ``sign_in_workers=True`` signing moves into the workers (see below).
+2. One :class:`ShardPlan` — the measure config, slim transfer views of the
+   signed index and probe sides, and both prepared collections — is pickled
+   *once* and shipped to every worker through the pool initializer.  The
+   payload is deliberately thin: signed records ship as prefix-only
+   :class:`~repro.join.artifacts.SignedRecordView` objects (workers never
+   read past the signature prefix), and the prepared collections are
+   pebble-free :meth:`~repro.join.prepared.PreparedCollection.transfer_copy`
+   views (workers only verify), so the sorted pebble lists — the dominant
+   payload term — never cross the process boundary.  The pickle memo
+   preserves object identity inside the payload, so a self-join arrives in
+   the worker still sharing one collection and the views still share the
+   records shipped with it.
 3. Each task is one contiguous shard ``[start, stop)`` of probe records.
    The worker probes its shard through the locally built inverted index
    (the same ``_probe_candidates`` hot loop as the serial path), verifies
@@ -26,22 +31,40 @@ This module shards the *probe side* of a prepared join across a
 4. The parent concatenates shard results in probe order and merges every
    counter by summation.
 
+Worker-side signing
+-------------------
+With ``sign_in_workers=True`` the plan ships *unsigned* state: the prepared
+collections keep their pebble lists, the shared global order rides along,
+and no signed records are built in the parent at all.  Every worker signs
+its own copy in its pool initializer (cache-backed and deterministic — the
+same pebbles, order, and (θ, τ, method) produce bit-identical signatures
+everywhere), picks the index side with the same footprint rule as the
+serial path, and proceeds exactly as above.  The parent learns the probe
+side's length and the signature-length statistics from a single
+:func:`_plan_info` round-trip before sharding.  Signing CPU is duplicated
+per worker but runs in parallel during pool startup; the win is that the
+parent never materializes a signing for huge corpora and the payload stays
+free of signed lists.
+
 Because per-probe filtering is independent across probe records and every
 statistic is a plain sum, the merged result — pairs, similarities, and all
 statistics counters — is **bit-identical** to the serial path at every
-worker count (with the default non-adaptive verifier; the randomized
-executor-equivalence tests enforce this).  Timing fields stay wall-clock:
-the parent measures the pooled stage end to end (pool startup and payload
-pickling included) and splits it between filtering and verification by the
-workers' observed stage proportions, so ``JoinStatistics.total_seconds``
-remains comparable across executors.
+worker count and in both signing modes (with the default non-adaptive
+verifier; the randomized executor-equivalence tests enforce this).  Timing
+fields stay wall-clock: the parent measures the pooled stage end to end
+(pool startup and payload pickling included) and splits it between signing,
+filtering, and verification by the workers' observed stage proportions, so
+``JoinStatistics.total_seconds`` remains comparable across executors.
 
 Use it through the ``executor="process"`` knob::
 
     engine.join(left, right, executor="process", workers=4)
+    engine.join(left, right, executor="process", sign_in_workers=True)
     engine.join_batches(left, executor="process", batch_size=2048)
 
 or call :func:`process_join` / :func:`process_join_batches` directly.
+:func:`build_shard_plan` exposes the payload construction on its own, which
+is what the scaling benchmark uses to measure full-vs-slim transfer bytes.
 """
 
 from __future__ import annotations
@@ -57,6 +80,7 @@ from itertools import islice
 from math import ceil
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from .artifacts import SignedLike, slim_signed_views
 from .aufilter import (
     JoinBatch,
     JoinResult,
@@ -71,10 +95,16 @@ from .aufilter import (
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
 from .prepared import PreparedCollection
-from .signatures import SignedRecord
+from .signatures import SignatureMethod, SignedRecord
 from .verification import UnifiedVerifier, VerificationStats, VerifiedPair
 
-__all__ = ["ShardPlan", "ShardResult", "process_join", "process_join_batches"]
+__all__ = [
+    "ShardPlan",
+    "ShardResult",
+    "build_shard_plan",
+    "process_join",
+    "process_join_batches",
+]
 
 #: Default shards per worker for :func:`process_join` — several shards per
 #: process keep the pool busy when shard costs are skewed, while staying
@@ -89,6 +119,16 @@ class ShardPlan:
     The plan is a pure-value object: pickling it (the pool initializer
     payload) must round-trip every field, which the pickle round-trip tests
     enforce for the non-trivial members.
+
+    Two shapes exist.  A *parent-signed* plan (the default) carries slim
+    prefix-only views in ``index_signed`` / ``probe_signed``, pebble-free
+    prepared collections, and no order.  A *worker-signed* plan
+    (``sign_in_workers=True``) carries no signed records at all — the
+    prepared collections keep their pebbles, the shared ``order`` rides
+    along, and the ``signing_*`` fields tell workers how to sign; the
+    side-selection fields (``probe_is_left`` / ``postings_ascending``) are
+    ``None`` because each worker re-derives them from its own signing with
+    the same deterministic rule as the serial path.
     """
 
     config: object
@@ -97,27 +137,37 @@ class ShardPlan:
     verifier_kwargs: dict
     left_prep: PreparedCollection
     right_prep: PreparedCollection
-    index_signed: Sequence[SignedRecord]
-    probe_signed: Sequence[SignedRecord]
-    probe_is_left: bool
+    index_signed: Optional[Sequence[SignedLike]]
+    probe_signed: Optional[Sequence[SignedLike]]
+    probe_is_left: Optional[bool]
     exclude_self_pairs: bool
-    postings_ascending: bool
-    #: The shared global order.  Workers do not read it today (they receive
-    #: already-signed records); it rides along — at ~zero marginal cost,
-    #: since the pickle memo shares it with the prepared collections'
-    #: signature cache — as the contract for the ROADMAP's worker-side
-    #: signing follow-on, where workers sign unsigned shards themselves.
+    postings_ascending: Optional[bool]
+    #: The shared global order; ships only on worker-signed plans (slim
+    #: plans drop it — workers receiving pre-signed views never sort).
     order: Optional[GlobalOrder]
+    sign_in_workers: bool = False
+    signing_theta: float = 0.0
+    signing_tau: int = 1
+    signing_method: str = SignatureMethod.AU_DP
 
     @property
     def probe_side(self) -> str:
-        """Which side of each candidate tuple is the probe record."""
+        """Which side of each candidate tuple is the probe record.
+
+        Only meaningful on parent-signed plans; worker-signed plans decide
+        the orientation inside each worker (see :class:`_WorkerRuntime`).
+        """
         return "left" if self.probe_is_left else "right"
 
 
 @dataclass
 class ShardResult:
-    """One shard's contribution, merged losslessly on the parent."""
+    """One shard's contribution, merged losslessly on the parent.
+
+    ``sign_seconds`` is non-zero on at most one shard per worker process:
+    the process's initializer-time signing cost, reported with its first
+    completed shard (0.0 everywhere in parent-signed mode).
+    """
 
     start: int
     stop: int
@@ -127,17 +177,62 @@ class ShardResult:
     verification: VerificationStats
     filter_seconds: float
     verify_seconds: float
+    sign_seconds: float = 0.0
 
 
 class _WorkerRuntime:
-    """Per-process state: the plan, the built index, and a local verifier."""
+    """Per-process state: the plan, the built index, and a local verifier.
+
+    On worker-signed plans the runtime signs both sides during construction
+    (i.e. in the pool initializer) and derives the index/probe orientation
+    with the same footprint rule as the serial path, so every decision that
+    shapes the output is bit-identical to the parent-signed flow.
+    """
 
     def __init__(self, plan: ShardPlan) -> None:
         self.plan = plan
-        self.index = InvertedIndex.build(plan.index_signed)
+        self.sign_seconds = 0.0
+        self.avg_signature_left = 0.0
+        self.avg_signature_right = 0.0
+        if plan.sign_in_workers:
+            began = time.perf_counter()
+            left_signed = plan.left_prep.signed(
+                plan.order, plan.signing_theta, plan.signing_tau, plan.signing_method
+            )
+            right_signed = (
+                left_signed
+                if plan.right_prep is plan.left_prep
+                else plan.right_prep.signed(
+                    plan.order,
+                    plan.signing_theta,
+                    plan.signing_tau,
+                    plan.signing_method,
+                )
+            )
+            index_signed, probe_signed, probe_is_left = _pick_index_side(
+                left_signed, right_signed
+            )
+            ascending = _ids_ascending(index_signed)
+            self.sign_seconds = time.perf_counter() - began
+            self.avg_signature_left = _average_signature_length(left_signed)
+            self.avg_signature_right = _average_signature_length(right_signed)
+        else:
+            index_signed = plan.index_signed
+            probe_signed = plan.probe_signed
+            probe_is_left = plan.probe_is_left
+            ascending = plan.postings_ascending
+        self.probe_signed = probe_signed
+        self.probe_is_left = probe_is_left
+        self.postings_ascending = ascending
+        self.index = InvertedIndex.build(index_signed)
         self.verifier = UnifiedVerifier(
             plan.config, plan.threshold, **plan.verifier_kwargs
         )
+
+    def consume_sign_seconds(self) -> float:
+        """Report the initializer signing cost once, then zero."""
+        seconds, self.sign_seconds = self.sign_seconds, 0.0
+        return seconds
 
 
 #: The per-process runtime, installed by the pool initializer.
@@ -155,22 +250,48 @@ def _init_worker(payload: bytes) -> None:
     _RUNTIME = _WorkerRuntime(pickle.loads(payload))
 
 
-def _run_shard(span: Tuple[int, int]) -> ShardResult:
-    """Filter and verify one probe shard inside a worker process."""
+def _require_runtime() -> _WorkerRuntime:
     runtime = _RUNTIME
     if runtime is None:  # pragma: no cover - defensive; initializer always ran
         raise RuntimeError("worker used before initialization")
+    return runtime
+
+
+def _plan_info() -> Tuple[int, bool, float, float, float]:
+    """Report probe-side shape and signature statistics from one worker.
+
+    Worker-signed runs need this single round-trip before sharding: only
+    the workers know which side their signing elected to probe and how long
+    the signatures came out, and the parent folds the averages into
+    ``JoinStatistics`` so the reported numbers match the serial run's.
+    This worker's initializer signing cost is consumed and reported here
+    (so it enters the wall-clock split even when no shard follows, e.g. an
+    empty probe side); other workers report theirs with their first shard.
+    """
+    runtime = _require_runtime()
+    return (
+        len(runtime.probe_signed),
+        bool(runtime.probe_is_left),
+        runtime.avg_signature_left,
+        runtime.avg_signature_right,
+        runtime.consume_sign_seconds(),
+    )
+
+
+def _run_shard(span: Tuple[int, int]) -> ShardResult:
+    """Filter and verify one probe shard inside a worker process."""
+    runtime = _require_runtime()
     plan = runtime.plan
     start, stop = span
 
     began = time.perf_counter()
     candidates, processed, _ = _probe_candidates(
         runtime.index.raw_postings,
-        plan.probe_signed[start:stop],
+        runtime.probe_signed[start:stop],
         plan.requirement,
-        probe_is_left=plan.probe_is_left,
+        probe_is_left=runtime.probe_is_left,
         exclude_self_pairs=plan.exclude_self_pairs,
-        postings_ascending=plan.postings_ascending,
+        postings_ascending=runtime.postings_ascending,
     )
     filter_seconds = time.perf_counter() - began
 
@@ -180,7 +301,7 @@ def _run_shard(span: Tuple[int, int]) -> ShardResult:
         candidates,
         plan.left_prep,
         plan.right_prep,
-        probe_side=plan.probe_side,
+        probe_side="left" if runtime.probe_is_left else "right",
     )
     verify_seconds = time.perf_counter() - began
 
@@ -193,6 +314,7 @@ def _run_shard(span: Tuple[int, int]) -> ShardResult:
         verification=runtime.verifier.stats.diff(snapshot),
         filter_seconds=filter_seconds,
         verify_seconds=verify_seconds,
+        sign_seconds=runtime.consume_sign_seconds(),
     )
 
 
@@ -215,32 +337,15 @@ def _verifier_kwargs(verifier: UnifiedVerifier) -> dict:
     return kwargs
 
 
-def _transfer_copy(
-    prepared: PreparedCollection,
-    keep_signed: Sequence[Sequence[SignedRecord]],
-) -> PreparedCollection:
-    """A shallow payload view of a prepared collection.
-
-    Shares the records, per-record pebble artifacts, and cached graph sides
-    with the original (workers need those), but carries only the signature
-    cache entries whose signed lists ride in the plan anyway (identity
-    match, so they cost no extra pickle bytes) — a long-lived collection
-    joined earlier under other (θ, τ, method) combinations must not ship
-    every historical signing to every worker.  Cached orders and shared
-    orders are dropped likewise.  The caller's collection is not mutated.
-    """
-    clone = PreparedCollection.__new__(PreparedCollection)
-    clone.collection = prepared.collection
-    clone.config = prepared.config
-    clone._prepared = prepared._prepared
-    clone._orders = {}
-    clone._signatures = {
-        key: value
-        for key, value in prepared._signatures.items()
-        if any(value[1] is signed for signed in keep_signed)
-    }
-    clone._shared_orders = {}
-    return clone
+def _checked_verifier(engine: PebbleJoin) -> UnifiedVerifier:
+    verifier = engine.verifier
+    if type(verifier) is not UnifiedVerifier:
+        raise ValueError(
+            "executor='process' requires the default UnifiedVerifier: custom "
+            "verifiers cannot be reconstructed in worker processes — use the "
+            "serial or thread executor instead"
+        )
+    return verifier
 
 
 def _build_plan(
@@ -250,25 +355,50 @@ def _build_plan(
     left_signed: Sequence[SignedRecord],
     right_signed: Sequence[SignedRecord],
     self_join: bool,
-    order: Optional[GlobalOrder],
+    *,
+    slim: bool = True,
+    signing_order: Optional[GlobalOrder] = None,
 ) -> ShardPlan:
-    """Assemble the worker payload for one join run."""
-    verifier = engine.verifier
-    if type(verifier) is not UnifiedVerifier:
-        raise ValueError(
-            "executor='process' requires the default UnifiedVerifier: custom "
-            "verifiers cannot be reconstructed in worker processes — use the "
-            "serial or thread executor instead"
-        )
+    """Assemble a parent-signed worker payload for one join run.
+
+    With ``slim=True`` (the default) the signed sides ship as prefix-only
+    views and the prepared collections as pebble-free transfer copies —
+    everything the workers read, nothing they don't.  ``slim=False`` keeps
+    the historical full payload (full signed records, pebbles, the matching
+    signature-cache entries, and ``signing_order`` — the order the signed
+    sides were actually built under, so the shipped signature cache stays
+    keyed to the shipped order); it exists so the scaling benchmark can
+    measure the transfer win and as a reference shape for the payload
+    tests.
+    """
+    verifier = _checked_verifier(engine)
     index_signed, probe_signed, probe_is_left = _pick_index_side(
         left_signed, right_signed
     )
-    keep_signed = (left_signed, right_signed)
-    left_transfer = _transfer_copy(left_prep, keep_signed)
+    order: Optional[GlobalOrder] = None
+    if slim:
+        index_views = slim_signed_views(index_signed)
+        probe_views = (
+            index_views
+            if probe_signed is index_signed
+            else slim_signed_views(probe_signed)
+        )
+        index_signed, probe_signed = index_views, probe_views
+        keep_signed: Tuple[Sequence[SignedRecord], ...] = ()
+        keep_pebbles = False
+    else:
+        keep_signed = (left_signed, right_signed)
+        keep_pebbles = True
+        order = signing_order
+    left_transfer = left_prep.transfer_copy(
+        keep_pebbles=keep_pebbles, keep_signed=keep_signed
+    )
     right_transfer = (
         left_transfer
         if right_prep is left_prep
-        else _transfer_copy(right_prep, keep_signed)
+        else right_prep.transfer_copy(
+            keep_pebbles=keep_pebbles, keep_signed=keep_signed
+        )
     )
     return ShardPlan(
         # Workers rebuild the *verifier*, so they must see its own config
@@ -287,6 +417,81 @@ def _build_plan(
         exclude_self_pairs=self_join,
         postings_ascending=_ids_ascending(index_signed),
         order=order,
+    )
+
+
+def _build_unsigned_plan(
+    engine: PebbleJoin,
+    left_prep: PreparedCollection,
+    right_prep: PreparedCollection,
+    self_join: bool,
+    order: GlobalOrder,
+    signing_tau: Optional[int],
+) -> ShardPlan:
+    """Assemble a worker-signed payload: pebbles and order, no signatures."""
+    verifier = _checked_verifier(engine)
+    left_transfer = left_prep.transfer_copy(keep_pebbles=True)
+    right_transfer = (
+        left_transfer
+        if right_prep is left_prep
+        else right_prep.transfer_copy(keep_pebbles=True)
+    )
+    return ShardPlan(
+        config=verifier.config,
+        threshold=verifier.threshold,
+        requirement=engine.tau,
+        verifier_kwargs=_verifier_kwargs(verifier),
+        left_prep=left_transfer,
+        right_prep=right_transfer,
+        index_signed=None,
+        probe_signed=None,
+        probe_is_left=None,
+        exclude_self_pairs=self_join,
+        postings_ascending=None,
+        order=order,
+        sign_in_workers=True,
+        signing_theta=engine.theta,
+        signing_tau=engine._signing_tau(signing_tau),
+        signing_method=engine.method,
+    )
+
+
+def build_shard_plan(
+    engine: PebbleJoin,
+    left: Joinable,
+    right: Optional[Joinable] = None,
+    *,
+    slim: bool = True,
+    sign_in_workers: bool = False,
+    precomputed_order: Optional[GlobalOrder] = None,
+    signing_tau: Optional[int] = None,
+) -> ShardPlan:
+    """Build the worker payload for a join without running it.
+
+    This is the plan :func:`process_join` would ship (parent-signed slim by
+    default; ``slim=False`` for the historical full payload, or
+    ``sign_in_workers=True`` for the unsigned shape).  Exposed so payload
+    sizes can be measured and plans round-tripped in isolation — see
+    :func:`repro.join.artifacts.plan_payload_bytes`.
+    """
+    left_prep, right_prep, self_join = engine._resolve_sides(left, right)
+    if sign_in_workers:
+        order = engine._resolve_order(left_prep, right_prep, precomputed_order)
+        return _build_unsigned_plan(
+            engine, left_prep, right_prep, self_join, order, signing_tau
+        )
+    order, left_signed, right_signed = engine._order_and_sign(
+        left_prep, right_prep, precomputed_order, signing_tau
+    )
+    return _build_plan(
+        engine,
+        left_prep,
+        right_prep,
+        left_signed,
+        right_signed,
+        self_join,
+        slim=slim,
+        signing_order=order,
     )
 
 
@@ -332,6 +537,33 @@ def _merge_shard(
     engine.verifier.verified_count += shard.candidate_count
 
 
+def _split_pooled_wall(
+    statistics: JoinStatistics,
+    wall: float,
+    worker_sign: float,
+    worker_filter: float,
+    worker_verify: float,
+) -> None:
+    """Split the pooled stage's wall clock by observed worker proportions.
+
+    The parent-measured wall (pool startup and payload pickling included)
+    is distributed across signing / filtering / verification by the summed
+    worker-side stage seconds, so ``JoinStatistics.total_seconds`` stays an
+    honest end-to-end elapsed time (all attributed to verification when no
+    work was measured at all).
+    """
+    busy = worker_sign + worker_filter + worker_verify
+    if busy > 0.0:
+        sign_part = wall * (worker_sign / busy)
+        filter_part = wall * (worker_filter / busy)
+        statistics.signing_seconds += sign_part
+        statistics.filtering_seconds = filter_part
+        # Remainder, so the three parts always sum to the wall exactly.
+        statistics.verification_seconds = wall - sign_part - filter_part
+    else:
+        statistics.verification_seconds = wall
+
+
 def process_join(
     engine: PebbleJoin,
     left: Joinable,
@@ -341,19 +573,19 @@ def process_join(
     shards_per_worker: int = SHARDS_PER_WORKER,
     precomputed_order: Optional[GlobalOrder] = None,
     signing_tau: Optional[int] = None,
+    sign_in_workers: bool = False,
 ) -> JoinResult:
     """Run one join with filtering and verification sharded across processes.
 
-    Signing happens (cache-backed) in the parent; filtering and the tiered
-    verification cascade run in the workers.  The result — pairs,
-    similarities, and every statistics counter — is bit-identical to
-    ``engine.join(left, right)`` at any ``workers`` /
-    ``shards_per_worker``.  ``filtering_seconds`` / ``verification_seconds``
-    split the *parent-measured wall clock* of the pooled stage (pool
-    startup and payload pickling included) proportionally to the summed
-    worker-side stage seconds, so ``JoinStatistics.total_seconds`` stays an
-    honest end-to-end elapsed time and actually shrinks when the pool
-    delivers a speedup.
+    By default, signing happens (cache-backed) in the parent and the slim
+    plan ships prefix views; with ``sign_in_workers=True`` the parent only
+    prepares and builds the order, and each worker signs locally.  Either
+    way the result — pairs, similarities, and every statistics counter — is
+    bit-identical to ``engine.join(left, right)`` at any ``workers`` /
+    ``shards_per_worker``.  ``signing_seconds`` / ``filtering_seconds`` /
+    ``verification_seconds`` split the *parent-measured wall clock* of the
+    pooled stage proportionally to the summed worker-side stage seconds
+    (see :func:`_split_pooled_wall`).
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -366,36 +598,67 @@ def process_join(
         left_records=len(left_prep),
         right_records=len(right_prep),
     )
-    order, left_signed, right_signed = engine._order_and_sign(
-        left_prep, right_prep, precomputed_order, signing_tau
-    )
-    statistics.signing_seconds = time.perf_counter() - start
-    statistics.avg_signature_length_left = _average_signature_length(left_signed)
-    statistics.avg_signature_length_right = _average_signature_length(right_signed)
+    if sign_in_workers:
+        order = engine._resolve_order(left_prep, right_prep, precomputed_order)
+        plan = _build_unsigned_plan(
+            engine, left_prep, right_prep, self_join, order, signing_tau
+        )
+        # Parent-side signing cost is preparation + order only; the workers'
+        # signing seconds are folded into the pooled-stage split below.
+        statistics.signing_seconds = time.perf_counter() - start
+    else:
+        _, left_signed, right_signed = engine._order_and_sign(
+            left_prep, right_prep, precomputed_order, signing_tau
+        )
+        statistics.signing_seconds = time.perf_counter() - start
+        statistics.avg_signature_length_left = _average_signature_length(left_signed)
+        statistics.avg_signature_length_right = _average_signature_length(right_signed)
+        plan = _build_plan(
+            engine, left_prep, right_prep, left_signed, right_signed, self_join
+        )
 
-    plan = _build_plan(
-        engine, left_prep, right_prep, left_signed, right_signed, self_join, order
-    )
-    total = len(plan.probe_signed)
     pairs: List[VerifiedPair] = []
     merged = VerificationStats()
-    if total:
-        shard_size = max(1, ceil(total / max(workers * shards_per_worker, 1)))
-        spans = _shard_spans(total, shard_size)
+
+    def shard_size_for(total: int) -> int:
+        return max(1, ceil(total / max(workers * shards_per_worker, 1)))
+
+    def drain(pool, spans) -> Tuple[float, float, float]:
+        worker_sign = worker_filter = worker_verify = 0.0
+        for shard in pool.map(_run_shard, spans):
+            _merge_shard(engine, statistics, merged, pairs, shard)
+            worker_sign += shard.sign_seconds
+            worker_filter += shard.filter_seconds
+            worker_verify += shard.verify_seconds
+        return worker_sign, worker_filter, worker_verify
+
+    if sign_in_workers:
         stage_start = time.perf_counter()
-        worker_filter = worker_verify = 0.0
-        with _shard_pool(plan, min(workers, len(spans))) as pool:
-            for shard in pool.map(_run_shard, spans):
-                _merge_shard(engine, statistics, merged, pairs, shard)
-                worker_filter += shard.filter_seconds
-                worker_verify += shard.verify_seconds
-        wall = time.perf_counter() - stage_start
-        busy = worker_filter + worker_verify
-        # Wall clock, split by the workers' observed stage proportions (all
-        # attributed to verification when no work was measured at all).
-        filter_share = worker_filter / busy if busy > 0.0 else 0.0
-        statistics.filtering_seconds = wall * filter_share
-        statistics.verification_seconds = wall * (1.0 - filter_share)
+        # The probe side's exact length is only learned from the workers,
+        # but it cannot exceed the larger collection: cap the pool so a
+        # tiny corpus never spawns surplus processes that each pay a full
+        # duplicate signing in their initializer for zero shards.
+        worker_cap = max(1, min(workers, max(len(left_prep), len(right_prep))))
+        with _shard_pool(plan, worker_cap) as pool:
+            total, _, avg_left, avg_right, info_sign = pool.submit(
+                _plan_info
+            ).result()
+            statistics.avg_signature_length_left = avg_left
+            statistics.avg_signature_length_right = avg_right
+            sign, fil, ver = drain(pool, _shard_spans(total, shard_size_for(total)))
+        _split_pooled_wall(
+            statistics, time.perf_counter() - stage_start, sign + info_sign, fil, ver
+        )
+    else:
+        total = len(plan.probe_signed)
+        if total:
+            spans = _shard_spans(total, shard_size_for(total))
+            stage_start = time.perf_counter()
+            with _shard_pool(plan, min(workers, len(spans))) as pool:
+                busy = drain(pool, spans)
+            _split_pooled_wall(
+                statistics, time.perf_counter() - stage_start, *busy
+            )
     statistics.verification = merged
     statistics.result_count = len(pairs)
     return JoinResult(pairs=pairs, statistics=statistics)
@@ -410,6 +673,7 @@ def process_join_batches(
     batch_size: int = 1024,
     precomputed_order: Optional[GlobalOrder] = None,
     signing_tau: Optional[int] = None,
+    sign_in_workers: bool = False,
     suggestion_seconds: float = 0.0,
 ) -> Iterator[JoinBatch]:
     """Stream the join as :class:`JoinBatch` chunks computed by the pool.
@@ -418,19 +682,26 @@ def process_join_batches(
     the in-process ``join_batches`` — and batches are yielded in probe
     order while later shards are still being computed, so the stream
     overlaps verification with consumption.  The concatenated batches equal
-    the serial stream exactly (pairs, order, and per-batch counters).
+    the serial stream exactly (pairs, order, and per-batch counters), with
+    or without ``sign_in_workers``.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be a positive integer")
     if workers is None:
         workers = os.cpu_count() or 1
     left_prep, right_prep, self_join = engine._resolve_sides(left, right)
-    order, left_signed, right_signed = engine._order_and_sign(
-        left_prep, right_prep, precomputed_order, signing_tau
-    )
-    plan = _build_plan(
-        engine, left_prep, right_prep, left_signed, right_signed, self_join, order
-    )
+    if sign_in_workers:
+        order = engine._resolve_order(left_prep, right_prep, precomputed_order)
+        plan = _build_unsigned_plan(
+            engine, left_prep, right_prep, self_join, order, signing_tau
+        )
+    else:
+        _, left_signed, right_signed = engine._order_and_sign(
+            left_prep, right_prep, precomputed_order, signing_tau
+        )
+        plan = _build_plan(
+            engine, left_prep, right_prep, left_signed, right_signed, self_join
+        )
     return _process_batches_iter(
         engine, plan, workers, batch_size, suggestion_seconds
     )
@@ -443,35 +714,58 @@ def _process_batches_iter(
     batch_size: int,
     suggestion_seconds: float,
 ) -> Iterator[JoinBatch]:
+    if plan.sign_in_workers:
+        # Span count is bounded by the larger collection (the probe side is
+        # one of the two) before the workers report its exact length: cap
+        # the pool so surplus processes never sign for zero batches.
+        upper_bound = max(len(plan.left_prep), len(plan.right_prep))
+        worker_cap = max(1, min(workers, ceil(upper_bound / batch_size)))
+        with _shard_pool(plan, worker_cap) as pool:
+            total = pool.submit(_plan_info).result()[0]
+            spans = _shard_spans(total, batch_size)
+            yield from _stream_spans(
+                engine, pool, spans, workers, suggestion_seconds
+            )
+        return
     total = len(plan.probe_signed)
     if not total:
         return
     spans = _shard_spans(total, batch_size)
-    first = True
     with _shard_pool(plan, min(workers, len(spans))) as pool:
-        # Bounded submission window: keep every worker busy plus one batch
-        # of lookahead, but never schedule the whole probe side up front —
-        # a slow consumer must apply backpressure to the pool instead of
-        # accumulating all completed shard results in parent memory (the
-        # unbounded materialization join_batches exists to avoid).
-        window = min(workers + 1, len(spans))
-        span_iter = iter(spans)
-        pending = deque(
-            pool.submit(_run_shard, span) for span in islice(span_iter, window)
+        yield from _stream_spans(engine, pool, spans, workers, suggestion_seconds)
+
+
+def _stream_spans(
+    engine: PebbleJoin,
+    pool,
+    spans: Sequence[Tuple[int, int]],
+    workers: int,
+    suggestion_seconds: float,
+) -> Iterator[JoinBatch]:
+    # Bounded submission window: keep every worker busy plus one batch of
+    # lookahead, but never schedule the whole probe side up front — a slow
+    # consumer must apply backpressure to the pool instead of accumulating
+    # all completed shard results in parent memory (the unbounded
+    # materialization join_batches exists to avoid).
+    window = min(workers + 1, len(spans))
+    span_iter = iter(spans)
+    pending = deque(
+        pool.submit(_run_shard, span) for span in islice(span_iter, window)
+    )
+    first = True
+    while pending:
+        shard = pending.popleft().result()
+        next_span = next(span_iter, None)
+        if next_span is not None:
+            pending.append(pool.submit(_run_shard, next_span))
+        engine.verifier.stats.merge(shard.verification)
+        engine.verifier.verified_count += shard.candidate_count
+        yield JoinBatch(
+            pairs=shard.pairs,
+            candidate_count=shard.candidate_count,
+            processed_pairs=shard.processed_pairs,
+            probe_range=(shard.start, shard.stop),
+            verification=shard.verification,
+            suggestion_seconds=suggestion_seconds if first else 0.0,
         )
-        while pending:
-            shard = pending.popleft().result()
-            next_span = next(span_iter, None)
-            if next_span is not None:
-                pending.append(pool.submit(_run_shard, next_span))
-            engine.verifier.stats.merge(shard.verification)
-            engine.verifier.verified_count += shard.candidate_count
-            yield JoinBatch(
-                pairs=shard.pairs,
-                candidate_count=shard.candidate_count,
-                processed_pairs=shard.processed_pairs,
-                probe_range=(shard.start, shard.stop),
-                verification=shard.verification,
-                suggestion_seconds=suggestion_seconds if first else 0.0,
-            )
-            first = False
+        first = False

@@ -45,6 +45,13 @@ from .signatures import SignedRecord, sign_record
 
 __all__ = ["PreparedCollection", "PreparedRecord", "build_shared_order"]
 
+#: Maximum content-equality fallback hits memoised by ``signed()``.  Each
+#: alias pins its querying order (a corpus-wide frequency table), so the
+#: memo is cleared wholesale at the cap — a long-lived collection joined
+#: against an endless stream of rebuilt-but-equal orders must not pin one
+#: order per run (re-priming after a clear is one linear scan).
+_ALIAS_MEMO_LIMIT = 16
+
 
 class PreparedRecord:
     """One record's cached signing inputs (pebbles are θ/τ-independent).
@@ -54,6 +61,11 @@ class PreparedRecord:
     :class:`~repro.core.graph.GraphSide`); it reuses the already enumerated
     segments, so verifying the record against many candidates re-derives
     nothing per pair.
+
+    ``pebbles`` is ``None`` on a pebble-free transfer copy (see
+    :meth:`PreparedCollection.transfer_copy`): such records can still serve
+    verification (segments and graph sides survive) but can never be signed
+    or contributed to an order.
     """
 
     __slots__ = ("record", "segments", "pebbles", "min_partitions", "graph_side")
@@ -62,7 +74,7 @@ class PreparedRecord:
         self,
         record: Record,
         segments: Sequence[Segment],
-        pebbles: Sequence[Pebble],
+        pebbles: Optional[Sequence[Pebble]],
         min_partitions: int,
     ) -> None:
         self.record = record
@@ -97,6 +109,14 @@ class PreparedCollection:
         # uses id(order), and without the reference a dead order's id could
         # be reused by a new order, silently returning stale signatures.
         self._signatures: Dict[_SignatureKey, Tuple[GlobalOrder, List[SignedRecord]]] = {}
+        # Identity-keyed memo of content-equality fallback hits (see
+        # signed()): serves repeat queries under a rebuilt order in O(1)
+        # without growing the real cache — it is bookkeeping, not state, so
+        # it does not count toward cached_signature_count and never ships
+        # in pickles or transfer copies.
+        self._signature_aliases: Dict[
+            _SignatureKey, Tuple[GlobalOrder, List[SignedRecord]]
+        ] = {}
         # Partner collections are held weakly so a long-lived collection
         # joined against many short-lived partners does not pin them (their
         # shared orders die with them; our own signatures under those orders
@@ -104,11 +124,73 @@ class PreparedCollection:
         self._shared_orders: Dict[
             Tuple[int, str], Tuple["weakref.ref[PreparedCollection]", GlobalOrder]
         ] = {}
+        # True only on pebble-free transfer copies (see transfer_copy()).
+        self._pebble_free = False
 
     @classmethod
     def prepare(cls, collection: RecordCollection, config: MeasureConfig) -> "PreparedCollection":
         """Prepare a collection (generates every record's pebbles once)."""
         return cls(collection, config)
+
+    # ------------------------------------------------------------------ #
+    # transfer copies (worker payloads)
+    # ------------------------------------------------------------------ #
+    def transfer_copy(
+        self,
+        *,
+        keep_pebbles: bool,
+        keep_signed: Sequence[Sequence[SignedRecord]] = (),
+    ) -> "PreparedCollection":
+        """A shallow payload view of this collection for process shipping.
+
+        The copy shares the records, segments, and any already-built graph
+        sides with the original (workers need those for verification) and
+        drops everything a worker does not read: cached orders, shared
+        orders, and every signature-cache entry except those whose signed
+        lists are in ``keep_signed`` (identity match — such entries ride in
+        the plan anyway, so keeping them costs no extra pickle bytes).
+
+        With ``keep_pebbles=False`` the per-record pebble lists are dropped
+        too: slim plans ship prefix-only signature views, so the sorted
+        pebble lists — the dominant payload term — never cross the process
+        boundary at all.  A pebble-free copy refuses to sign or contribute
+        to an order (loudly, via :meth:`_require_pebbles`); worker-side
+        signing ships a ``keep_pebbles=True`` copy instead.  The caller's
+        collection is never mutated.
+        """
+        clone = PreparedCollection.__new__(PreparedCollection)
+        clone.collection = self.collection
+        clone.config = self.config
+        if keep_pebbles:
+            clone._prepared = self._prepared
+        else:
+            slim: List[PreparedRecord] = []
+            for prepared in self._prepared:
+                record = PreparedRecord(
+                    prepared.record, prepared.segments, None, prepared.min_partitions
+                )
+                record.graph_side = prepared.graph_side
+                slim.append(record)
+            clone._prepared = slim
+        clone._orders = {}
+        clone._signatures = {
+            key: value
+            for key, value in self._signatures.items()
+            if any(value[1] is signed for signed in keep_signed)
+        }
+        clone._signature_aliases = {}
+        clone._shared_orders = {}
+        clone._pebble_free = not keep_pebbles
+        return clone
+
+    def _require_pebbles(self, operation: str) -> None:
+        if self._pebble_free:
+            raise RuntimeError(
+                f"cannot {operation} on a pebble-free transfer copy: slim "
+                "worker payloads drop the per-record pebble lists (workers "
+                "only verify); use transfer_copy(keep_pebbles=True) for "
+                "worker-side signing"
+            )
 
     # ------------------------------------------------------------------ #
     # pickling (process-pool workers receive prepared state by value)
@@ -126,6 +208,7 @@ class PreparedCollection:
         """
         state = dict(self.__dict__)
         state["_shared_orders"] = {}
+        state["_signature_aliases"] = {}
         state["_signatures"] = [
             # (stale-safe) keep the mutation count recorded at signing time:
             # an entry that was already stale must stay stale after the trip.
@@ -185,6 +268,7 @@ class PreparedCollection:
     # ------------------------------------------------------------------ #
     def contribute_to_order(self, order: GlobalOrder) -> GlobalOrder:
         """Register this collection's cached pebbles with ``order``."""
+        self._require_pebbles("build an order")
         for prepared in self._prepared:
             order.add_record_pebbles(prepared.pebbles)
         return order
@@ -256,6 +340,7 @@ class PreparedCollection:
         """
         self._orders.clear()
         self._signatures.clear()
+        self._signature_aliases.clear()
         self._shared_orders.clear()
 
     # ------------------------------------------------------------------ #
@@ -272,12 +357,35 @@ class PreparedCollection:
 
         The cache key includes the order's :attr:`~GlobalOrder.mutation_count`
         so signatures computed against an order that was extended afterwards
-        are never returned stale.
+        are never returned stale.  On an identity miss, a signing cached
+        under a *content-equal* order (same strategy and frequency table —
+        the sort key is a pure function of both) is served without
+        re-signing and without growing the cache: this is what makes a warm
+        store run's signing a hit even for shared two-collection orders,
+        which are weakref-cached, never persist, and are therefore rebuilt
+        as new-but-identical objects on every run.
         """
         key = (id(order), order.mutation_count, theta, tau, method)
         entry = self._signatures.get(key)
         if entry is not None and entry[0] is order:
             return entry[1]
+        entry = self._signature_aliases.get(key)
+        if entry is not None and entry[0] is order:
+            return entry[1]
+        for cache_key, (cached_order, cached_signed) in self._signatures.items():
+            if (
+                cache_key[2:] == (theta, tau, method)
+                and cached_order.mutation_count == cache_key[1]
+                and cached_order.content_equal(order)
+            ):
+                # Memoize the hit under the querying order's own identity
+                # (strong ref guards id reuse) so repeat calls skip the
+                # linear scan and its frequency-table comparisons.
+                if len(self._signature_aliases) >= _ALIAS_MEMO_LIMIT:
+                    self._signature_aliases.clear()
+                self._signature_aliases[key] = (order, cached_signed)
+                return cached_signed
+        self._require_pebbles("sign")
         signed = [
             sign_record(
                 prepared.record,

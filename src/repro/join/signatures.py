@@ -94,6 +94,20 @@ class SignedRecord:
         """Distinct keys of the signature pebbles (what the index stores)."""
         return {pebble.key for pebble in self.signature}
 
+    @property
+    def signature_key_sequence(self) -> Tuple[PebbleKey, ...]:
+        """Signature keys in prefix order, per-occurrence duplicates kept.
+
+        This is the filtering protocol shared with the slim transfer view
+        (:class:`~repro.join.artifacts.SignedRecordView`): the inverted
+        index posts exactly this sequence and the probe loop streams it —
+        neither reads a signature pebble's weight, segment, or measure.
+        Computed on demand (one small tuple per record per indexing or
+        probing pass) rather than cached, so pickled signed records never
+        grow a shadow copy of their prefix.
+        """
+        return tuple(pebble.key for pebble in self.pebbles[: self.signature_length])
+
 
 class _SegmentMeasureState:
     """Per (segment, measure) bookkeeping for the incremental AS computation.

@@ -1,0 +1,18 @@
+"""Persistent join artifacts: the versioned prepared-collection store.
+
+See :mod:`repro.store.prepared_store` for the format and validation rules.
+"""
+
+from .prepared_store import (
+    FORMAT_VERSION,
+    PreparedStore,
+    StoreOutcome,
+    collection_fingerprint,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "PreparedStore",
+    "StoreOutcome",
+    "collection_fingerprint",
+]

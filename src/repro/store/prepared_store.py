@@ -1,0 +1,311 @@
+"""A versioned on-disk store for prepared join collections.
+
+Preparation is the front-loaded cost of the pebble join framework: pebble
+generation, partition bounds, global orders, per-(θ, τ, method) signatures,
+and per-record verification state all live in a
+:class:`~repro.join.prepared.PreparedCollection`.  The pickle round-trip for
+that object already exists (process workers rely on it); this module adds
+the missing persistence layer, so a *second run* over a stable corpus skips
+preparation — and, when the artifact was saved after a join, signing and
+graph-side construction too — entirely.
+
+Artifact identity
+-----------------
+An artifact is keyed by a **content fingerprint**: a SHA-256 digest over the
+records (texts and token sequences, in id order) and the measure
+configuration's :meth:`~repro.core.measures.MeasureConfig.content_key`
+(q, enabled measures, the synonym-rule multiset, and the taxonomy shape).
+This is the persistent counterpart of the content-based ``__eq__`` /
+``__hash__`` those classes already implement for process transfer — except
+digested from canonical ``repr`` bytes, because ``hash()`` is randomized
+per process.  Any change to the corpus, the configuration, or either
+knowledge source therefore lands on a different fingerprint and the stale
+artifact is simply never consulted again.
+
+File format
+-----------
+``<fingerprint>.v<format_version>.pkl`` containing one header line ::
+
+    repro-prepared-collection v<format_version> <fingerprint>\n
+
+followed by a pickle of ``{"fingerprint": ..., "prepared": ...}``.  Loads
+validate, in order: the header magic, the format version, the header
+fingerprint against the freshly computed one, the pickled fingerprint, and
+finally the unpickled collection's config and records against the live
+inputs (content equality).  Every mismatch is a miss — a stale, renamed,
+truncated, or future-format artifact can never be returned.  Writes are
+atomic (temp file + ``os.replace``), so a crashed writer leaves either the
+old artifact or none.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+import uuid
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.measures import MeasureConfig
+from ..join.prepared import PreparedCollection
+from ..records import RecordCollection
+
+__all__ = [
+    "FORMAT_VERSION",
+    "PreparedStore",
+    "StoreOutcome",
+    "collection_fingerprint",
+]
+
+#: Current on-disk format version.  Bump whenever the pickled layout of
+#: prepared collections (or this header) changes incompatibly; artifacts
+#: written under any other version are never loaded.
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-prepared-collection"
+
+#: Anything fingerprintable: a raw collection or a prepared one.
+Fingerprintable = Union[RecordCollection, PreparedCollection]
+
+
+def collection_fingerprint(
+    collection: Fingerprintable, config: MeasureConfig
+) -> str:
+    """The content fingerprint of (records, measure configuration).
+
+    Stable across processes and Python runs: built by streaming canonical
+    ``repr`` bytes — record texts and token tuples in id order, then the
+    config's :meth:`~repro.core.measures.MeasureConfig.content_key` — into
+    SHA-256.  Two inputs compare equal under the content-based ``__eq__``
+    of collections-with-configs iff they fingerprint identically.
+    """
+    if isinstance(collection, PreparedCollection):
+        collection = collection.collection
+    hasher = hashlib.sha256()
+    hasher.update(b"records:%d\n" % len(collection))
+    for record in collection:
+        hasher.update(repr((record.text, record.tokens)).encode("utf-8"))
+        hasher.update(b"\x00")
+    hasher.update(b"config:")
+    hasher.update(repr(config.content_key()).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclass
+class StoreOutcome:
+    """What one :meth:`PreparedStore.prepare` call did.
+
+    ``hit`` is True when a valid artifact was loaded (preparation skipped);
+    ``seconds`` is the wall time of the load or of the fresh preparation
+    plus the initial save.
+    """
+
+    hit: bool
+    fingerprint: str
+    path: Path
+    seconds: float
+
+
+class PreparedStore:
+    """A directory of versioned, fingerprint-keyed prepared collections.
+
+    >>> store = PreparedStore("artifacts/")
+    >>> prepared = store.prepare(records, config)   # cold: builds + saves
+    >>> result = engine.join(prepared)
+    >>> store.save(prepared)                        # persist warm signatures
+    ...
+    >>> prepared = store.prepare(records, config)   # warm: loads; the next
+    ...                                             # join signs from cache
+
+    The store never returns a stale artifact: the corpus, the measure
+    configuration, both knowledge sources, and the format version all feed
+    the validation chain (see the module docs).  ``format_version`` is
+    overridable for tests that exercise the version bump path.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        *,
+        format_version: int = FORMAT_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.format_version = format_version
+        self.last_outcome: Optional[StoreOutcome] = None
+        # Collections this store instance handed out (loaded or built),
+        # mapped to their content fingerprint, so a store-backed facade can
+        # tell "persist my enrichments back" from "the caller brought their
+        # own preparation" and save() skips re-hashing the corpus.  The
+        # cached fingerprint is valid because records are immutable and
+        # knowledge sources are treated as frozen once shared (the standing
+        # contract of their content-based __hash__).  Weak: the store must
+        # not pin every collection it ever served.
+        self._managed: "weakref.WeakKeyDictionary[PreparedCollection, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def manages(self, prepared: PreparedCollection) -> bool:
+        """True when this store instance loaded or built ``prepared``."""
+        return prepared in self._managed
+
+    # ------------------------------------------------------------------ #
+    # paths and headers
+    # ------------------------------------------------------------------ #
+    def path_for(self, fingerprint: str) -> Path:
+        """The artifact path of a fingerprint under the current format."""
+        return self.root / f"{fingerprint}.v{self.format_version}.pkl"
+
+    def _header(self, fingerprint: str) -> bytes:
+        return f"{_MAGIC} v{self.format_version} {fingerprint}\n".encode("ascii")
+
+    @staticmethod
+    def _parse_header(line: bytes) -> Optional[tuple]:
+        try:
+            magic, version, fingerprint = line.decode("ascii").strip().split(" ")
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if magic != _MAGIC or not version.startswith("v"):
+            return None
+        try:
+            return int(version[1:]), fingerprint
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # save / load
+    # ------------------------------------------------------------------ #
+    def save(self, prepared: PreparedCollection) -> Path:
+        """Persist a prepared collection (atomically; overwrites).
+
+        Everything the prepared pickle carries survives: pebbles, cached
+        single-collection orders, per-(θ, τ, method) signatures re-keyed to
+        the persisted orders, and built graph sides — so an artifact saved
+        *after* a join makes the next run's signing a cache hit.  Shared
+        two-collection orders are weakref-cached and do not persist as
+        orders, but the signatures signed under them do, and a warm run's
+        rebuilt shared order is content-equal to the persisted signing's —
+        :meth:`~repro.join.prepared.PreparedCollection.signed` serves those
+        entries through its content-equality fallback, so two-collection
+        warm runs sign from cache too.
+        """
+        fingerprint = self._managed.get(prepared)
+        if fingerprint is None:
+            fingerprint = collection_fingerprint(prepared, prepared.config)
+            self._managed[prepared] = fingerprint
+        return self._save_at(fingerprint, prepared)
+
+    def _save_at(self, fingerprint: str, prepared: PreparedCollection) -> Path:
+        """:meth:`save` with the (O(corpus) to compute) fingerprint in hand."""
+        path = self.path_for(fingerprint)
+        payload = pickle.dumps(
+            {"fingerprint": fingerprint, "prepared": prepared},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        # Per-writer temp name (not just per-process): two threads sharing
+        # one store may save the same fingerprint concurrently, and an
+        # interleaved write to a shared temp file could promote a corrupt
+        # blob that every later load silently rejects as a permanent miss.
+        temp = path.with_name(path.name + f".tmp-{os.getpid()}-{uuid.uuid4().hex}")
+        try:
+            temp.write_bytes(self._header(fingerprint) + payload)
+            os.replace(temp, path)
+        except BaseException:
+            temp.unlink(missing_ok=True)
+            raise
+        return path
+
+    def load(
+        self, collection: RecordCollection, config: MeasureConfig
+    ) -> Optional[PreparedCollection]:
+        """Load the artifact matching (collection, config), or None.
+
+        Runs the full validation chain; any failure — missing file, foreign
+        or corrupt header, format-version mismatch, fingerprint mismatch
+        (e.g. a renamed artifact), or content drift between the unpickled
+        collection and the live inputs — is a miss, never an exception.
+        """
+        return self._load_at(
+            collection_fingerprint(collection, config), collection, config
+        )
+
+    def _load_at(
+        self,
+        fingerprint: str,
+        collection: RecordCollection,
+        config: MeasureConfig,
+    ) -> Optional[PreparedCollection]:
+        """:meth:`load` with the (O(corpus) to compute) fingerprint in hand."""
+        path = self.path_for(fingerprint)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return None
+        parsed = self._parse_header(blob[: newline + 1])
+        if parsed is None or parsed != (self.format_version, fingerprint):
+            return None
+        try:
+            payload = pickle.loads(blob[newline + 1 :])
+        except Exception:
+            return None
+        if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
+            return None
+        prepared = payload.get("prepared")
+        if not isinstance(prepared, PreparedCollection):
+            return None
+        # Belt and braces: the fingerprint already covers content, but a
+        # hand-edited artifact must still not smuggle foreign state in.
+        if prepared.config != config or len(prepared) != len(collection):
+            return None
+        if any(
+            stored.text != live.text or stored.tokens != live.tokens
+            for stored, live in zip(prepared, collection)
+        ):
+            return None
+        self._managed[prepared] = fingerprint
+        return prepared
+
+    # ------------------------------------------------------------------ #
+    # the one-call API
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self, collection: RecordCollection, config: MeasureConfig
+    ) -> PreparedCollection:
+        """Load the prepared collection, or build and persist it.
+
+        A cold call pays full preparation once and writes the baseline
+        artifact (pebbles and bounds; call :meth:`save` again after joining
+        to persist the signatures too — :class:`~repro.join.UnifiedJoin`
+        does that automatically when constructed with a store).  The call's
+        outcome (hit/miss, fingerprint, seconds) is recorded in
+        :attr:`last_outcome`.
+        """
+        if isinstance(collection, PreparedCollection):
+            raise TypeError(
+                "PreparedStore.prepare takes a raw RecordCollection; pass "
+                "an already-prepared collection to save() instead"
+            )
+        start = time.perf_counter()
+        fingerprint = collection_fingerprint(collection, config)
+        prepared = self._load_at(fingerprint, collection, config)
+        hit = prepared is not None
+        if prepared is None:
+            prepared = PreparedCollection.prepare(collection, config)
+            path = self._save_at(fingerprint, prepared)
+            self._managed[prepared] = fingerprint
+        else:
+            path = self.path_for(fingerprint)
+        self.last_outcome = StoreOutcome(
+            hit=hit,
+            fingerprint=fingerprint,
+            path=path,
+            seconds=time.perf_counter() - start,
+        )
+        return prepared

@@ -158,6 +158,20 @@ class SynonymRuleSet:
         self._hash_cache = (self._version, value)
         return value
 
+    def content_key(self) -> Tuple[Tuple[Tuple[str, ...], Tuple[str, ...], float], ...]:
+        """A canonical, process-independent identity of the rule multiset.
+
+        Sorted ``(lhs, rhs, closeness)`` triples — the same multiset view
+        :meth:`__eq__` compares, but in a deterministic order built from
+        plain strings and floats only, so hashing its ``repr`` yields the
+        same digest in every process (``hash()`` does not, under string
+        hash randomization).  The on-disk prepared-collection store keys
+        artifacts by this.
+        """
+        return tuple(
+            sorted((rule.lhs, rule.rhs, rule.closeness) for rule in self._rules)
+        )
+
     def __len__(self) -> int:
         return len(self._rules)
 

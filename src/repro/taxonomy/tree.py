@@ -167,6 +167,17 @@ class Taxonomy:
         """Hash of the tree shape (treat taxonomies as frozen once shared)."""
         return hash(self._shape())
 
+    def content_key(self) -> Tuple[Tuple[Tuple[str, ...], Optional[int]], ...]:
+        """A canonical, process-independent identity of the tree.
+
+        The same per-node ``(tokens, parent_id)`` shape :meth:`__eq__`
+        compares; node ids are dense insertion-order integers, so the tuple
+        is already deterministic and its ``repr`` digests identically in
+        every process.  The on-disk prepared-collection store keys
+        artifacts by this.
+        """
+        return self._shape()
+
     @property
     def root(self) -> TaxonomyNode:
         """The root node."""

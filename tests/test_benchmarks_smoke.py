@@ -22,6 +22,7 @@ if str(BENCHMARKS_DIR) not in sys.path:
 import bench_fig4_join_time  # noqa: E402
 import bench_fig7_scalability  # noqa: E402
 import bench_parallel_scaling  # noqa: E402
+import bench_store_reuse  # noqa: E402
 import bench_table10_breakdown  # noqa: E402
 
 pytestmark = pytest.mark.benchmarks
@@ -93,13 +94,42 @@ def test_parallel_scaling_harness_smoke(smoke_dataset, tmp_path):
     # At smoke scale only the equivalence contract is asserted; the ≥2x
     # speedup bar runs at full size in benchmarks/ (and needs real cores).
     assert payload["candidates"] > 0
-    assert {run["executor"] for run in payload["runs"]} == {"thread", "process"}
+    assert {run["executor"] for run in payload["runs"]} == {
+        "thread",
+        "process",
+        "process-worker-signed",
+    }
     assert all(run["results_match"] for run in payload["runs"])
+    # The slim plan must beat the full payload even at smoke scale (the
+    # ≥40% bar is asserted at full size in benchmarks/).
+    sizes = payload["payload"]
+    assert sizes["slim_bytes"] < sizes["full_bytes"]
+    assert sizes["worker_signed_bytes"] < sizes["full_bytes"]
     import json
 
     recorded = json.loads(out_path.read_text())
     assert recorded["cpu_count"] >= 1
-    assert [run["workers"] for run in recorded["runs"]] == [1, 2, 1, 2]
+    assert [run["workers"] for run in recorded["runs"]] == [1, 2, 1, 2, 1, 2]
+    assert recorded["payload"]["slim_reduction"] > 0.0
+
+
+def test_store_reuse_harness_smoke(smoke_dataset, tmp_path):
+    out_path = tmp_path / "BENCH_store.json"
+    payload = bench_store_reuse.run_store_reuse(
+        smoke_dataset, side=40, store_root=tmp_path / "store", out_path=out_path
+    )
+    assert payload["results_match"]
+    assert payload["warm"]["store_hit"]
+    # The warm run loaded its preparation and signed from the persisted
+    # cache: its signing stage must be vanishing next to the cold one's.
+    assert payload["warm"]["signing_seconds"] <= max(
+        payload["cold"]["signing_seconds"] / 10, 1e-3
+    )
+    assert payload["artifact_bytes"] > 0
+    import json
+
+    recorded = json.loads(out_path.read_text())
+    assert recorded["results"] == payload["results"]
 
 
 def test_fig7_harness_smoke(smoke_dataset):

@@ -171,6 +171,167 @@ class TestExecutorEquivalence:
             engine.join(collection, executor="process", workers=1)
 
 
+class TestWorkerSideSigning:
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    def test_self_join_identical_to_serial(self, parallel_dataset, codes):
+        config = _config(parallel_dataset, codes)
+        collection = parallel_dataset.records.head(40)
+        reference, _ = _run(config, collection)
+        for workers in (1, 3):
+            result, engine = _run(
+                config,
+                collection,
+                executor="process",
+                workers=workers,
+                sign_in_workers=True,
+            )
+            assert _triples(result.pairs) == _triples(reference.pairs), workers
+            assert _counters(result.statistics.verification) == _counters(
+                reference.statistics.verification
+            ), workers
+            assert result.statistics.candidate_count == reference.statistics.candidate_count
+            assert result.statistics.processed_pairs == reference.statistics.processed_pairs
+            # Signature statistics come back from the workers' signing.
+            assert (
+                result.statistics.avg_signature_length_left
+                == reference.statistics.avg_signature_length_left
+            )
+            assert engine.verifier.verified_count == result.statistics.candidate_count
+
+    def test_two_collection_join_identical_to_serial(self, parallel_dataset):
+        config = _config(parallel_dataset, "TJS")
+        records = parallel_dataset.records.head(48)
+        left = records.subset(range(0, 24))
+        right = records.subset(range(24, 48))
+        reference, _ = _run(config, left, right)
+        result, _ = _run(
+            config, left, right, executor="process", workers=2, sign_in_workers=True
+        )
+        assert _triples(result.pairs) == _triples(reference.pairs)
+        assert _counters(result.statistics.verification) == _counters(
+            reference.statistics.verification
+        )
+        assert (
+            result.statistics.avg_signature_length_right
+            == reference.statistics.avg_signature_length_right
+        )
+
+    def test_streamed_batches_identical_to_serial_stream(self, parallel_dataset):
+        config = _config(parallel_dataset, "TJS")
+        collection = parallel_dataset.records.head(40)
+        serial = list(
+            PebbleJoin(config, THETA, tau=TAU).join_batches(collection, batch_size=7)
+        )
+        pooled = list(
+            PebbleJoin(config, THETA, tau=TAU).join_batches(
+                collection,
+                batch_size=7,
+                executor="process",
+                workers=2,
+                sign_in_workers=True,
+            )
+        )
+        assert len(pooled) == len(serial)
+        for mine, theirs in zip(pooled, serial):
+            assert mine.probe_range == theirs.probe_range
+            assert _triples(mine.pairs) == _triples(theirs.pairs)
+            assert _counters(mine.verification) == _counters(theirs.verification)
+
+    def test_unified_join_passthrough(self, parallel_dataset):
+        kwargs = dict(
+            rules=parallel_dataset.rules,
+            taxonomy=parallel_dataset.taxonomy,
+            theta=THETA,
+            tau=TAU,
+        )
+        collection = parallel_dataset.records.head(30)
+        serial = UnifiedJoin(**kwargs).join(collection)
+        pooled = UnifiedJoin(**kwargs).join(
+            collection, executor="process", workers=2, sign_in_workers=True
+        )
+        assert _triples(pooled.pairs) == _triples(serial.pairs)
+
+    def test_requires_process_executor(self, parallel_dataset):
+        config = _config(parallel_dataset, "J")
+        collection = parallel_dataset.records.head(6)
+        engine = PebbleJoin(config, THETA, tau=1)
+        with pytest.raises(ValueError, match="sign_in_workers"):
+            engine.join(collection, sign_in_workers=True)
+        with pytest.raises(ValueError, match="sign_in_workers"):
+            engine.join(
+                collection, executor="thread", workers=2, sign_in_workers=True
+            )
+        with pytest.raises(ValueError, match="sign_in_workers"):
+            engine.join_batches(collection, sign_in_workers=True)
+
+    def test_unsigned_plan_ships_no_signatures(self, parallel_dataset):
+        from repro.join.parallel import build_shard_plan
+
+        config = _config(parallel_dataset, "TJS")
+        engine = PebbleJoin(config, THETA, tau=TAU)
+        prepared = engine.prepare(parallel_dataset.records.head(12))
+        plan = build_shard_plan(engine, prepared, sign_in_workers=True)
+        assert plan.sign_in_workers
+        assert plan.index_signed is None and plan.probe_signed is None
+        assert plan.probe_is_left is None
+        assert plan.order is not None  # workers need it to sign
+        assert plan.left_prep.cached_signature_count == 0
+        # Pebbles must survive for worker-side signing.
+        assert all(r.pebbles is not None for r in plan.left_prep.prepared_records)
+        assert plan.signing_theta == THETA and plan.signing_tau == TAU
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.left_prep is clone.right_prep
+
+
+class TestRandomizedPathEquivalence:
+    def test_all_paths_bit_identical(self, parallel_dataset, tmp_path):
+        """Serial, slim process, worker-signed, and store-warmed joins must
+        agree pair-for-pair (ids and similarities) on randomized configs."""
+        from repro.store import PreparedStore
+
+        rng = random.Random(29)
+        records = parallel_dataset.records
+        for trial in range(3):
+            codes = rng.choice(MEASURE_CODES)
+            theta = rng.choice((0.45, 0.6, 0.75))
+            tau = rng.choice((1, 2, 3))
+            size = rng.randrange(24, 40)
+            workers = rng.choice((1, 2, 3))
+            collection = records.head(size)
+            config = _config(parallel_dataset, codes)
+            label = (trial, codes, theta, tau, size, workers)
+
+            serial = PebbleJoin(config, theta, tau=tau).join(collection)
+            expected = _triples(serial.pairs)
+
+            slim = PebbleJoin(config, theta, tau=tau).join(
+                collection, executor="process", workers=workers
+            )
+            assert _triples(slim.pairs) == expected, label
+
+            signed = PebbleJoin(config, theta, tau=tau).join(
+                collection,
+                executor="process",
+                workers=workers,
+                sign_in_workers=True,
+            )
+            assert _triples(signed.pairs) == expected, label
+
+            store = PreparedStore(tmp_path / f"trial-{trial}")
+            prepared = store.prepare(collection, config)
+            PebbleJoin(config, theta, tau=tau).join(prepared)
+            store.save(prepared)
+            warmed = PreparedStore(tmp_path / f"trial-{trial}").prepare(
+                collection, config
+            )
+            warm = PebbleJoin(config, theta, tau=tau).join(warmed)
+            assert _triples(warm.pairs) == expected, label
+            warm_process = PebbleJoin(config, theta, tau=tau).join(
+                warmed, executor="process", workers=workers
+            )
+            assert _triples(warm_process.pairs) == expected, label
+
+
 class TestPickleRoundTrips:
     def test_prepared_collection_round_trip(self, parallel_dataset):
         config = _config(parallel_dataset, "TJS")
@@ -243,8 +404,8 @@ class TestPickleRoundTrips:
         )
 
     def test_worker_payload_trims_stale_signings(self, parallel_dataset):
-        """The shard plan ships only the in-use signing, not every cached one."""
-        from repro.join.parallel import _build_plan
+        """Slim plans ship no signings at all; full plans only the in-use one."""
+        from repro.join.parallel import build_shard_plan
 
         config = _config(parallel_dataset, "TJS")
         engine = PebbleJoin(config, THETA, tau=TAU)
@@ -252,15 +413,27 @@ class TestPickleRoundTrips:
         order = prepared.build_order(engine.order_strategy)
         # A historical signing under another θ must not ride to workers.
         prepared.signed(order, 0.95, TAU, engine.method)
-        signed = prepared.signed(order, THETA, TAU, engine.method)
-        plan = _build_plan(engine, prepared, prepared, signed, signed, True, order)
+        prepared.signed(order, THETA, TAU, engine.method)
+
+        plan = build_shard_plan(engine, prepared)
         assert plan.left_prep is plan.right_prep  # self-join identity kept
-        assert plan.left_prep.cached_signature_count == 1
+        # The slim payload ships prefix views only: no signature cache, no
+        # per-record pebble lists, no order.
+        assert plan.left_prep.cached_signature_count == 0
+        assert all(r.pebbles is None for r in plan.left_prep.prepared_records)
+        assert plan.order is None
+        assert plan.index_signed is plan.probe_signed
         assert prepared.cached_signature_count == 2  # caller untouched
         clone = pickle.loads(pickle.dumps(plan))
         assert clone.left_prep is clone.right_prep
-        assert clone.left_prep.cached_signature_count == 1
+        assert clone.index_signed is clone.probe_signed
         assert len(clone.left_prep) == len(prepared)
+
+        # The historical full payload keeps exactly the in-use signing.
+        full = build_shard_plan(engine, prepared, slim=False)
+        assert full.left_prep.cached_signature_count == 1
+        assert full.order is not None
+        assert prepared.cached_signature_count == 2  # caller untouched
 
     def test_signed_record_and_order_round_trip(self, parallel_dataset):
         config = _config(parallel_dataset, "J")
@@ -276,6 +449,54 @@ class TestPickleRoundTrips:
         assert [tuple(p.key for p in r.signature) for r in signed_clone] == [
             tuple(p.key for p in r.signature) for r in signed
         ]
+
+    def test_slim_view_round_trip_and_protocol(self, parallel_dataset):
+        from repro.join.artifacts import SignedRecordView, slim_signed_views
+
+        config = _config(parallel_dataset, "TJS")
+        engine = PebbleJoin(config, THETA, tau=TAU)
+        prepared = engine.prepare(parallel_dataset.records.head(10))
+        order = prepared.build_order(engine.order_strategy)
+        signed = prepared.signed(order, THETA, TAU, engine.method)
+        views = slim_signed_views(signed)
+        # Idempotent: re-slimming passes the same view objects through.
+        assert slim_signed_views(views) == views
+        for view, full in zip(views, signed):
+            assert view.record is full.record
+            assert view.signature_key_sequence == full.signature_key_sequence
+            assert view.signature_length == full.signature_length
+            assert view.pebble_count == len(full.pebbles)
+            assert view.min_partition_size == full.min_partition_size
+            assert view.signature_keys == full.signature_keys
+        clones = pickle.loads(pickle.dumps(views))
+        assert [c.signature_key_sequence for c in clones] == [
+            v.signature_key_sequence for v in views
+        ]
+        # Views drive the filter exactly like full records.
+        full_engine = PebbleJoin(config, THETA, tau=TAU)
+        from_full = full_engine.filter_candidates(
+            signed, signed, exclude_self_pairs=True
+        )
+        from_views = full_engine.filter_candidates(
+            views, views, exclude_self_pairs=True
+        )
+        assert from_views.candidates == from_full.candidates
+        assert from_views.processed_pairs == from_full.processed_pairs
+
+    def test_pebble_free_transfer_copy_guards(self, parallel_dataset):
+        from repro.join.global_order import GlobalOrder
+
+        config = _config(parallel_dataset, "TJS")
+        engine = PebbleJoin(config, THETA, tau=TAU)
+        prepared = engine.prepare(parallel_dataset.records.head(8))
+        slim = prepared.transfer_copy(keep_pebbles=False)
+        with pytest.raises(RuntimeError, match="pebble-free"):
+            slim.signed(GlobalOrder(), THETA, TAU, engine.method)
+        with pytest.raises(RuntimeError, match="pebble-free"):
+            slim.build_order()
+        # Verification state still works: graph sides build from segments.
+        assert slim.graph_side(0) is not None
+        assert len(slim) == len(prepared)
 
 
 class TestSatelliteFixes:

@@ -295,6 +295,30 @@ class TestBoundSoundness:
         assert singleton_greedy_lower_bound(side, other, figure1_config) == 1.0
         assert usim_upper_bound(side, other, figure1_config) == 1.0
 
+    def test_synonym_bound_tight_under_rule_transitivity(self):
+        """Two rhs of rules sharing one lhs are transitively related but not
+        connected by any rule: the sharpened bound must see similarity 0
+        where the historical full shared-lhs intersection saw min-closeness,
+        while direct rules keep their exact bound."""
+        from repro.core.measures import MeasureConfig
+        from repro.synonyms.rules import SynonymRuleSet
+
+        rules = SynonymRuleSet.from_pairs(
+            [("coffee shop", "cafe"), ("coffee shop", "coffeehouse")],
+            closeness=0.9,
+        )
+        config = MeasureConfig.from_codes("S", rules=rules)
+        cafe = GraphSide(("cafe",), config)
+        coffeehouse = GraphSide(("coffeehouse",), config)
+        # No rule connects the two rhs: similarity is 0 and the tightened
+        # bound agrees (the shared "coffee shop" lhs is no longer a hit).
+        assert config.msim(("cafe",), ("coffeehouse",)) == 0.0
+        assert usim_upper_bound(cafe, coffeehouse, config) == 0.0
+        # A directly connected pair still bounds at the rule's closeness.
+        shop = GraphSide(("coffee", "shop"), config)
+        assert config.msim(("coffee", "shop"), ("cafe",)) == 0.9
+        assert usim_upper_bound(shop, cafe, config) >= 0.9
+
 
 class TestCeilingBreak:
     def test_early_ceiling_values_identical(self, engine_dataset):
