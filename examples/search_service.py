@@ -1,0 +1,119 @@
+"""Search-as-a-service: load an index from the store, query, mutate, re-query.
+
+Walks the life cycle of an online :class:`~repro.search.SimilarityIndex`:
+
+1. build the index over a POI corpus and snapshot it into a store,
+2. "restart the service" — load the index back by fingerprint (one file
+   read, no corpus preparation),
+3. answer threshold and top-k single-record queries,
+4. ingest new records and retire old ones, re-querying live in between,
+5. inspect staleness and the verification-cascade counters.
+
+Run with::
+
+    python examples/search_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro import SimilarityIndex, SynonymRuleSet, Taxonomy
+from repro.core.measures import MeasureConfig
+from repro.records import RecordCollection
+from repro.store import PreparedStore
+
+
+def build_knowledge():
+    """The synonym rules and taxonomy of the paper's Figure 1."""
+    rules = SynonymRuleSet.from_pairs(
+        [("coffee shop", "cafe"), ("cake", "gateau"), ("ny", "new york")]
+    )
+    taxonomy = Taxonomy("Wikipedia")
+    food = taxonomy.add_node("food", taxonomy.root)
+    coffee = taxonomy.add_node("coffee", food)
+    drinks = taxonomy.add_node("coffee drinks", coffee)
+    taxonomy.add_node("espresso", drinks)
+    taxonomy.add_node("latte", drinks)
+    cake = taxonomy.add_node("cake", food)
+    taxonomy.add_node("apple cake", cake)
+    return rules, taxonomy
+
+
+def show(index: SimilarityIndex, label: str, result) -> None:
+    print(f"  {label}:")
+    if not result.matches:
+        print("    (no matches)")
+    for match in result.matches:
+        print(
+            f"    #{match.record_id} {index.prepared[match.record_id].text!r} "
+            f"(sim={match.similarity:.3f})"
+        )
+
+
+def main() -> None:
+    rules, taxonomy = build_knowledge()
+    config = MeasureConfig.from_codes("TJS", rules=rules, taxonomy=taxonomy)
+    corpus = RecordCollection.from_strings(
+        [
+            "coffee shop latte Helsingki",
+            "pizza place new york",
+            "grand hotel paris",
+            "apple cake bakery",
+            "espresso cafe Helsinki",
+            "pizza place ny",
+            "louvre museum paris",
+            "gateau bakery",
+        ]
+    )
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        # --- build once, snapshot to the store ---------------------------
+        index = SimilarityIndex(corpus, config, theta=0.7, tau=2)
+        store = PreparedStore(store_dir)
+        index.snapshot(store)
+        fingerprint = index.content_fingerprint()
+        print(f"Built index over {index.live_count} records; "
+              f"snapshot {fingerprint[:12]}… persisted")
+
+        # --- "service restart": load by fingerprint ----------------------
+        start = time.perf_counter()
+        service = SimilarityIndex.load(PreparedStore(store_dir), fingerprint)
+        print(f"Restart: index loaded from store in "
+              f"{(time.perf_counter() - start) * 1000:.1f}ms "
+              f"({service.live_count} records, ready to serve)\n")
+
+        # --- single-record queries ---------------------------------------
+        probe = "espresso coffee shop Helsinki"
+        print(f"query({probe!r}, θ=0.7):")
+        show(service, "matches", service.query(probe))
+        show(service, "top-1", service.query_topk(probe, 1))
+
+        # --- online ingestion --------------------------------------------
+        added = service.add(["new york pizza placé", "apple gateau bakery"])
+        print(f"\nadd() -> new ids {added} "
+              f"(live={service.live_count}, staleness={service.staleness:.2f})")
+        show(service, f"query_member({added[1]})", service.query_member(added[1]))
+
+        # --- retirement ---------------------------------------------------
+        service.remove([added[0]])
+        print(f"\nremove({added[0]}) -> live={service.live_count}")
+        show(service, "same query after churn", service.query(probe))
+
+        # --- batched queries and the cascade counters --------------------
+        batch = service.query_batch(["espresso cafe", "apple gateau bakery"])
+        print(f"\nquery_batch: {len(batch)} pairs across "
+              f"{batch.probe_count} probes "
+              f"({batch.candidate_count} candidates filtered from "
+              f"{batch.processed_pairs} postings)")
+        stats = service.stats
+        print(f"cascade totals so far: {stats.candidates} candidates, "
+              f"{stats.upper_bound_prunes} bound-pruned, "
+              f"{stats.graphs_built} graph-verified")
+    print("\n(store directory cleaned up — a real service would keep it, "
+          "snapshot after churn, and reload by fingerprint on restart)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,10 @@ The package exposes three layers:
   selection).
 * :mod:`repro.estimator` — sampling-based recommendation of the overlap
   constraint τ.
+* :mod:`repro.search` — the online serving layer: an incrementally
+  maintained :class:`~repro.search.SimilarityIndex` answering single-record
+  threshold and top-k queries over a standing corpus, with store-backed
+  snapshots (:mod:`repro.store`) for restart-in-one-read.
 
 Supporting subpackages provide synonym rules, taxonomies, baseline join
 algorithms, synthetic datasets, and evaluation utilities.
@@ -20,6 +24,7 @@ algorithms, synthetic datasets, and evaluation utilities.
 
 from .core.measures import Measure, MeasureConfig
 from .core.unified import UnifiedSimilarity
+from .search import SimilarityIndex
 from .synonyms.rules import SynonymRule, SynonymRuleSet
 from .taxonomy.tree import Taxonomy, TaxonomyNode
 
@@ -28,6 +33,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Measure",
     "MeasureConfig",
+    "SimilarityIndex",
     "SynonymRule",
     "SynonymRuleSet",
     "Taxonomy",

@@ -30,6 +30,7 @@ from .measures import Measure, MeasureConfig
 from .mis import exact_wmis, greedy_wmis, squareimp_wmis
 from .segments import Segment, enumerate_partitions, enumerate_segments
 from .tokenizer import Tokenizer, TokenSpan, default_tokenizer
+from .topk import bounded_top_k
 from .unified import UnifiedSimilarity
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "Tokenizer",
     "UnifiedSimilarity",
     "approximate_usim",
+    "bounded_top_k",
     "build_conflict_graph",
     "build_conflict_graph_from_sides",
     "default_tokenizer",

@@ -539,6 +539,7 @@ def usim_upper_bound(
     config: MeasureConfig,
     *,
     exact_limit: int = 16,
+    threshold: Optional[float] = None,
 ) -> float:
     """An upper bound on the unified similarity, pair graph not required.
 
@@ -549,6 +550,16 @@ def usim_upper_bound(
     minimal partition sizes therefore bounds USIM — and a fortiori the
     Algorithm-1 approximation, which realises some partition pair — from
     above.
+
+    ``threshold`` is a pure short-circuit for callers that only compare the
+    bound against a pruning threshold (the verification cascade, which is
+    also the per-candidate hot path of single-record search queries): the
+    row/column-maxima sums dominate any matching weight, so when that
+    cheaper bound already falls below ``threshold`` it is returned directly
+    and the matching solver never runs.  Every decision of the form
+    ``usim_upper_bound(...) < threshold`` is identical with or without the
+    short circuit — only the returned value may be the (valid but looser)
+    cheap bound in the sub-threshold cases.
     """
     _check_side_configs(left_side, right_side, config)
     if not left_side.tokens or not right_side.tokens:
@@ -563,8 +574,22 @@ def usim_upper_bound(
         ]
         for left in left_bounds
     ]
-    numerator = matching_weight_upper_bound(matrix, exact_limit=exact_limit)
     denominator = max(left_side.min_partition_size, right_side.min_partition_size, 1)
+    if threshold is not None and matrix and matrix[0]:
+        # A matching selects at most one entry per row and per column, so
+        # each maxima sum bounds every matching's weight from above.
+        row_sum = sum(max(row) for row in matrix)
+        cheap = row_sum
+        if cheap / denominator >= threshold:
+            columns = len(matrix[0])
+            col_sum = sum(
+                max(row[column] for row in matrix) for column in range(columns)
+            )
+            cheap = min(cheap, col_sum)
+        value = cheap / denominator
+        if value < threshold:
+            return 1.0 if value > 1.0 else value
+    numerator = matching_weight_upper_bound(matrix, exact_limit=exact_limit)
     value = numerator / denominator
     return 1.0 if value > 1.0 else value
 

@@ -1,0 +1,82 @@
+"""Bound-ordered top-k selection (the search subsystem's pruning core).
+
+Given candidates with cheap upper bounds on an expensive score, the exact
+top-k can be found without scoring everything: evaluate candidates in
+descending bound order and stop as soon as the k-th best *verified* score
+is strictly above every remaining bound — no unevaluated candidate can
+then enter the result, tie-breaks included.
+
+This is measure-agnostic machinery: :mod:`repro.search` drives it with the
+pebble-derived :func:`~repro.core.graph.usim_upper_bound` as the bound and
+the tiered verification cascade as the evaluator, but nothing here knows
+about records or similarity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["bounded_top_k"]
+
+Item = TypeVar("Item")
+
+
+def bounded_top_k(
+    items: Sequence[Item],
+    bounds: Sequence[float],
+    evaluate: Callable[[Item], Optional[float]],
+    k: int,
+    *,
+    tie_key: Optional[Callable[[Item], object]] = None,
+) -> Tuple[List[Tuple[Item, float]], int]:
+    """Exact top-k by an expensive score, pruned by per-item upper bounds.
+
+    Parameters
+    ----------
+    items, bounds:
+        Aligned sequences; ``bounds[i]`` must upper-bound the true score of
+        ``items[i]`` (an invalid bound makes the early stop lossy).
+    evaluate:
+        The expensive scorer; ``None`` means the item is ineligible (e.g.
+        below a threshold floor) and never enters the result.
+    k:
+        How many items to keep.
+    tie_key:
+        Total order among equal scores (and equal bounds), so the selection
+        is deterministic; defaults to the item's position in ``items``.
+
+    Returns
+    -------
+    ``(top, evaluated)`` where ``top`` holds at most ``k`` ``(item, score)``
+    pairs sorted by ``(-score, tie_key)`` and ``evaluated`` counts how many
+    candidates were actually scored.  The early stop is exact: evaluation
+    proceeds in descending bound order and halts once the k-th best score is
+    *strictly* greater than the next bound — every remaining item's score is
+    at most its bound, hence strictly worse, so even a tie cannot displace a
+    kept item.
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    if len(items) != len(bounds):
+        raise ValueError("items and bounds must be aligned")
+    key = tie_key if tie_key is not None else (lambda item: 0)
+    order = sorted(
+        range(len(items)), key=lambda i: (-bounds[i], key(items[i]), i)
+    )
+
+    # ``kept`` holds (-score, tie, position) so bisect keeps it best-first.
+    kept: List[Tuple[float, object, int]] = []
+    evaluated = 0
+    for position in order:
+        if len(kept) == k and bounds[position] < -kept[-1][0]:
+            break
+        score = evaluate(items[position])
+        evaluated += 1
+        if score is None:
+            continue
+        entry = (-score, key(items[position]), position)
+        bisect.insort(kept, entry)
+        if len(kept) > k:
+            kept.pop()
+    return [(items[position], -negated) for negated, _, position in kept], evaluated

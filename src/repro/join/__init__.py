@@ -1,6 +1,6 @@
 """Pebble-based filter-and-verify join framework (Section 3 of the paper)."""
 
-from .artifacts import SignedRecordView, plan_payload_bytes, slim_signed_views
+from .artifacts import KeyInterner, SignedRecordView, plan_payload_bytes, slim_signed_views
 from .aufilter import (
     FilterOutcome,
     JoinBatch,
@@ -9,6 +9,7 @@ from .aufilter import (
     MultiFilterOutcome,
     PebbleJoin,
     dual_index_filter_candidates,
+    probe_single,
 )
 from .framework import UnifiedJoin
 from .global_order import GlobalOrder
@@ -34,6 +35,7 @@ __all__ = [
     "JoinBatch",
     "JoinResult",
     "JoinStatistics",
+    "KeyInterner",
     "MultiFilterOutcome",
     "Pebble",
     "PebbleKey",
@@ -58,6 +60,7 @@ __all__ = [
     "greedy_cover_size",
     "min_partition_size",
     "plan_payload_bytes",
+    "probe_single",
     "process_join",
     "process_join_batches",
     "select_signature_prefix",

@@ -32,18 +32,48 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from .pebbles import PebbleKey
 from .signatures import SignedRecord
 from ..records import Record
 
 __all__ = [
+    "KeyInterner",
     "SignedRecordView",
     "SignedLike",
     "slim_signed_views",
     "plan_payload_bytes",
 ]
+
+
+class KeyInterner:
+    """A per-plan pebble-key table: equal key tuples collapse to one object.
+
+    Pickle's memo deduplicates by *identity*, not equality, and the slim
+    views' key sequences are built per record — the same gram key appearing
+    in a thousand signatures is a thousand distinct tuples that each pickle
+    in full.  Routing every key through one interner before the views enter
+    a plan makes repeats the *same* tuple, so the payload carries each
+    distinct key once plus cheap memo backreferences (the strings inside
+    were already memo-shared; the per-occurrence tuple structure was the
+    remaining repeated term).  Interning is per plan by design: a shared
+    global table would pin every key ever shipped.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+
+    def __call__(self, key: PebbleKey) -> PebbleKey:
+        interned = self._table.get(key)
+        if interned is None:
+            self._table[key] = interned = key
+        return interned
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 
 @dataclass(frozen=True)
@@ -97,19 +127,45 @@ class SignedRecordView:
 SignedLike = Union[SignedRecord, SignedRecordView]
 
 
-def slim_signed_views(signed: Sequence[SignedLike]) -> List[SignedRecordView]:
+def slim_signed_views(
+    signed: Sequence[SignedLike], interner: Optional[KeyInterner] = None
+) -> List[SignedRecordView]:
     """Prefix-only views of a signed list (views pass through unchanged).
 
     Idempotence matters to the plan builder: a self-join plan builds its
     views once and reuses the same list for the index and probe sides, and
     re-slimming an already-slim list must not allocate a diverged copy.
+
+    With an ``interner``, every key in every view's sequence is routed
+    through the shared table so equal key tuples pickle once per plan (see
+    :class:`KeyInterner`); pre-existing views are re-keyed through it too,
+    since their keys may not share identity with the rest of the plan.
     """
-    return [
-        record
-        if isinstance(record, SignedRecordView)
-        else SignedRecordView.from_signed(record)
-        for record in signed
-    ]
+    if interner is None:
+        return [
+            record
+            if isinstance(record, SignedRecordView)
+            else SignedRecordView.from_signed(record)
+            for record in signed
+        ]
+    views: List[SignedRecordView] = []
+    for record in signed:
+        if isinstance(record, SignedRecordView):
+            pebble_count = record.pebble_count
+        else:
+            pebble_count = len(record.pebbles)
+        views.append(
+            SignedRecordView(
+                record=record.record,
+                signature_key_sequence=tuple(
+                    interner(key) for key in record.signature_key_sequence
+                ),
+                signature_length=record.signature_length,
+                pebble_count=pebble_count,
+                min_partition_size=record.min_partition_size,
+            )
+        )
+    return views
 
 
 def plan_payload_bytes(plan: object) -> int:

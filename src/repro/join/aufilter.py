@@ -43,7 +43,21 @@ import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store import PreparedStore
 
 from ..core.measures import MeasureConfig
 from ..records import RecordCollection
@@ -61,6 +75,7 @@ __all__ = [
     "JoinResult",
     "PebbleJoin",
     "dual_index_filter_candidates",
+    "probe_single",
 ]
 
 #: Either a raw record collection or a prepared one; engines accept both.
@@ -296,6 +311,65 @@ def dual_index_filter_candidates(
     )
 
 
+def probe_single(
+    postings_map: Dict,
+    signed_probe,
+    requirement: int,
+    *,
+    probe_id: Optional[int] = None,
+    probe_is_left: bool = True,
+    exclude_self_pairs: bool = False,
+    postings_ascending: bool = False,
+) -> Tuple[List[int], int, Dict[int, int]]:
+    """Stream ONE probe signature through an inverted index (the hot loop).
+
+    This is the single-record unit of the filtering stage, shared by the
+    batch driver (:func:`_probe_candidates` calls it once per probe record)
+    and the online search index (one call per ``query``).  A partner id is
+    emitted the moment its overlap counter reaches ``requirement`` and
+    further counting for that partner short-circuits.
+
+    ``exclude_self_pairs`` implements the self-join orientation contract
+    (keep ``left < right``; ``probe_id`` is required then): when the probe
+    plays the left role, indexed partners ``<= probe_id`` are skipped;
+    otherwise partners ``>= probe_id`` are skipped — and with
+    ``postings_ascending`` (records were indexed in ascending id order) the
+    scan breaks out of a posting list at the first such partner instead of
+    stepping past every excluded entry.
+
+    Returns ``(partners, processed, counts)``: the partner ids in emission
+    order, the touched-postings count (the paper's per-record ``T_τ``
+    share), and the saturating per-partner overlap counters.
+    """
+    partners: List[int] = []
+    processed = 0
+    counts: Dict[int, int] = {}
+    counts_get = counts.get
+    get_postings = postings_map.get
+    for key in signed_probe.signature_key_sequence:
+        postings = get_postings(key)
+        if postings is None:
+            continue
+        for other in postings:
+            if exclude_self_pairs:
+                if probe_is_left:
+                    if other <= probe_id:
+                        continue
+                elif other >= probe_id:
+                    if postings_ascending:
+                        break  # nothing left to pair with in this list
+                    continue
+            processed += 1
+            count = counts_get(other, 0)
+            if count >= requirement:
+                continue  # short-circuit: already a candidate
+            count += 1
+            counts[other] = count
+            if count == requirement:
+                partners.append(other)
+    return partners, processed, counts
+
+
 def _probe_candidates(
     postings_map: Dict,
     probe_records: Sequence[SignedRecord],
@@ -306,50 +380,35 @@ def _probe_candidates(
     collect_counts: bool = False,
     postings_ascending: bool = False,
 ) -> Tuple[List[Tuple[int, int]], int, Optional[Dict[Tuple[int, int], int]]]:
-    """Stream probe signatures through an inverted index (the hot loop).
+    """Stream probe signatures through an inverted index, one per record.
 
     Orientation: with ``probe_is_left`` the index holds the right side and
     candidates are ``(probe_id, other)``; otherwise the index holds the left
     side (or the single self-join index) and candidates are
-    ``(other, probe_id)``.  ``exclude_self_pairs`` keeps ``left < right``;
-    in the ``(other, probe_id)`` orientation with ``postings_ascending``
-    (the indexed records were added in ascending id order) the probe breaks
-    out of a posting list at the first ``id >= probe_id`` instead of
-    scanning past every excluded entry.
+    ``(other, probe_id)``.  The per-record filtering itself — overlap
+    counters, τ short-circuit, self-pair exclusion — lives in
+    :func:`probe_single`; this wrapper only orients the emitted pairs.
     """
     candidates: List[Tuple[int, int]] = []
     processed = 0
     overlap: Optional[Dict[Tuple[int, int], int]] = {} if collect_counts else None
-    get_postings = postings_map.get
 
     for signed in probe_records:
         probe_id = signed.record.record_id
-        counts: Dict[int, int] = {}
-        counts_get = counts.get
-        for key in signed.signature_key_sequence:
-            postings = get_postings(key)
-            if postings is None:
-                continue
-            for other in postings:
-                if exclude_self_pairs:
-                    if probe_is_left:
-                        if other <= probe_id:
-                            continue
-                    elif other >= probe_id:
-                        if postings_ascending:
-                            break  # nothing left to pair with in this list
-                        continue
-                processed += 1
-                count = counts_get(other, 0)
-                if count >= requirement:
-                    continue  # short-circuit: already a candidate
-                count += 1
-                counts[other] = count
-                if count == requirement:
-                    if probe_is_left:
-                        candidates.append((probe_id, other))
-                    else:
-                        candidates.append((other, probe_id))
+        partners, touched, counts = probe_single(
+            postings_map,
+            signed,
+            requirement,
+            probe_id=probe_id,
+            probe_is_left=probe_is_left,
+            exclude_self_pairs=exclude_self_pairs,
+            postings_ascending=postings_ascending,
+        )
+        processed += touched
+        if probe_is_left:
+            candidates.extend((probe_id, other) for other in partners)
+        else:
+            candidates.extend((other, probe_id) for other in partners)
         if overlap is not None:
             if probe_is_left:
                 for other, count in counts.items():
@@ -445,6 +504,15 @@ class PebbleJoin:
         and periodically re-probed (pairs stay identical; see
         :class:`~repro.join.verification.UnifiedVerifier`).  Ignored when a
         custom ``verifier`` is supplied.
+    store:
+        An optional :class:`~repro.store.PreparedStore`.  Historically only
+        the :class:`~repro.join.framework.UnifiedJoin` facade was
+        store-backed; with a store here, the *engine* resolves raw
+        collections through the on-disk store in :meth:`prepare` /
+        :meth:`as_prepared`, and :meth:`join` / :meth:`join_batches`
+        persist store-managed preparations back whenever the run enriched
+        them (added signings), so direct engine users get the same
+        warm-run behaviour as the facade.
     """
 
     def __init__(
@@ -458,6 +526,7 @@ class PebbleJoin:
         verifier: Optional[Verifier] = None,
         approximation_t: float = 4.0,
         adaptive_verification: bool = False,
+        store: Optional["PreparedStore"] = None,
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must be in [0, 1]")
@@ -478,12 +547,20 @@ class PebbleJoin:
             config, theta, t=approximation_t, adaptive=adaptive_verification
         )
         self.approximation_t = approximation_t
+        self.store = store
 
     # ------------------------------------------------------------------ #
     # preparation
     # ------------------------------------------------------------------ #
     def prepare(self, collection: RecordCollection) -> PreparedCollection:
-        """Prepare a collection for (repeated) joining under this config."""
+        """Prepare a collection for (repeated) joining under this config.
+
+        With a :attr:`store`, preparation is store-backed: a matching
+        on-disk artifact is loaded instead of rebuilt, and a fresh build is
+        persisted for the next run.
+        """
+        if self.store is not None:
+            return self.store.prepare(collection, self.config)
         return PreparedCollection.prepare(collection, self.config)
 
     def as_prepared(self, collection: Joinable) -> PreparedCollection:
@@ -491,7 +568,9 @@ class PebbleJoin:
 
         Prepared collections bound to an *equal* config are accepted
         (configs compare by content), so collections that crossed a process
-        boundary keep working without re-preparation.
+        boundary keep working without re-preparation.  Raw collections
+        route through :meth:`prepare` and therefore through the
+        :attr:`store` when one is configured.
         """
         if isinstance(collection, PreparedCollection):
             if collection.config is not self.config and collection.config != self.config:
@@ -501,6 +580,37 @@ class PebbleJoin:
                 )
             return collection
         return self.prepare(collection)
+
+    def _store_entries(
+        self, *prepared: Optional[PreparedCollection]
+    ) -> List[Tuple[PreparedCollection, int]]:
+        """Store-managed sides with their signature-cache size at resolve time.
+
+        Mirrors the facade's persist-back bookkeeping: only preparations
+        this engine's store loaded or built are candidates (a preparation
+        the caller built elsewhere is theirs), each recorded once.
+        """
+        if self.store is None:
+            return []
+        entries: List[Tuple[PreparedCollection, int]] = []
+        for prep in prepared:
+            if (
+                prep is not None
+                and self.store.manages(prep)
+                and all(prep is not known for known, _ in entries)
+            ):
+                entries.append((prep, prep.cached_signature_count))
+        return entries
+
+    def _persist_store_entries(
+        self, entries: List[Tuple[PreparedCollection, int]]
+    ) -> None:
+        """Write store-managed preparations back when a join enriched them."""
+        if self.store is None:
+            return
+        for prepared, count_at_resolve in entries:
+            if prepared.cached_signature_count != count_at_resolve:
+                self.store.save(prepared)
 
     def build_order(
         self, left: Joinable, right: Optional[Joinable] = None
@@ -712,21 +822,28 @@ class PebbleJoin:
             executor, workers, verify_workers
         )
         _check_sign_in_workers(sign_in_workers, resolved_executor)
+        start = time.perf_counter()
+        left_prep, right_prep, self_join = self._resolve_sides(left, right)
+        entries = self._store_entries(left_prep, right_prep)
         if resolved_executor == "process":
             from .parallel import process_join
 
-            return process_join(
+            prepare_seconds = time.perf_counter() - start
+            result = process_join(
                 self,
-                left,
-                right,
+                left_prep,
+                None if self_join else right_prep,
                 workers=pool_workers,
                 precomputed_order=precomputed_order,
                 signing_tau=signing_tau,
                 sign_in_workers=sign_in_workers,
             )
+            # Raw sides were resolved (possibly store-loaded) out here, so
+            # their preparation time is folded back into the signing stage.
+            result.statistics.signing_seconds += prepare_seconds
+            self._persist_store_entries(entries)
+            return result
         verify_workers = pool_workers
-        start = time.perf_counter()
-        left_prep, right_prep, self_join = self._resolve_sides(left, right)
 
         statistics = JoinStatistics(
             tau=self.tau,
@@ -765,6 +882,7 @@ class PebbleJoin:
         statistics.verification = self._stats_delta(snapshot)
         statistics.result_count = len(pairs)
 
+        self._persist_store_entries(entries)
         return JoinResult(pairs=pairs, statistics=statistics)
 
     def _stats_snapshot(self) -> Optional[VerificationStats]:
@@ -839,13 +957,15 @@ class PebbleJoin:
             executor, workers, verify_workers
         )
         _check_sign_in_workers(sign_in_workers, resolved_executor)
+        left_prep, right_prep, self_join = self._resolve_sides(left, right)
+        entries = self._store_entries(left_prep, right_prep)
         if resolved_executor == "process":
             from .parallel import process_join_batches
 
-            return process_join_batches(
+            batches = process_join_batches(
                 self,
-                left,
-                right,
+                left_prep,
+                None if self_join else right_prep,
                 workers=pool_workers,
                 batch_size=batch_size,
                 precomputed_order=precomputed_order,
@@ -853,17 +973,29 @@ class PebbleJoin:
                 sign_in_workers=sign_in_workers,
                 suggestion_seconds=suggestion_seconds,
             )
-        left_prep, right_prep, self_join = self._resolve_sides(left, right)
-        return self._join_batches_iter(
-            left_prep,
-            right_prep,
-            self_join,
-            batch_size,
-            precomputed_order,
-            signing_tau,
-            pool_workers,
-            suggestion_seconds,
-        )
+        else:
+            batches = self._join_batches_iter(
+                left_prep,
+                right_prep,
+                self_join,
+                batch_size,
+                precomputed_order,
+                signing_tau,
+                pool_workers,
+                suggestion_seconds,
+            )
+        if not entries:
+            return batches
+        return self._stream_then_persist(batches, entries)
+
+    def _stream_then_persist(
+        self,
+        batches: Iterator[JoinBatch],
+        entries: List[Tuple[PreparedCollection, int]],
+    ) -> Iterator[JoinBatch]:
+        """Yield every batch, then write back enriched store preparations."""
+        yield from batches
+        self._persist_store_entries(entries)
 
     def _join_batches_iter(
         self,

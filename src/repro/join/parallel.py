@@ -80,7 +80,7 @@ from itertools import islice
 from math import ceil
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from .artifacts import SignedLike, slim_signed_views
+from .artifacts import KeyInterner, SignedLike, slim_signed_views
 from .aufilter import (
     JoinBatch,
     JoinResult,
@@ -357,14 +357,18 @@ def _build_plan(
     self_join: bool,
     *,
     slim: bool = True,
+    intern_keys: bool = True,
     signing_order: Optional[GlobalOrder] = None,
 ) -> ShardPlan:
     """Assemble a parent-signed worker payload for one join run.
 
     With ``slim=True`` (the default) the signed sides ship as prefix-only
     views and the prepared collections as pebble-free transfer copies —
-    everything the workers read, nothing they don't.  ``slim=False`` keeps
-    the historical full payload (full signed records, pebbles, the matching
+    everything the workers read, nothing they don't — and the views' key
+    sequences are routed through one per-plan :class:`KeyInterner`, so
+    equal key tuples pickle once (``intern_keys=False`` keeps per-record
+    key objects, for payload measurement).  ``slim=False`` keeps the
+    historical full payload (full signed records, pebbles, the matching
     signature-cache entries, and ``signing_order`` — the order the signed
     sides were actually built under, so the shipped signature cache stays
     keyed to the shipped order); it exists so the scaling benchmark can
@@ -377,11 +381,12 @@ def _build_plan(
     )
     order: Optional[GlobalOrder] = None
     if slim:
-        index_views = slim_signed_views(index_signed)
+        interner = KeyInterner() if intern_keys else None
+        index_views = slim_signed_views(index_signed, interner)
         probe_views = (
             index_views
             if probe_signed is index_signed
-            else slim_signed_views(probe_signed)
+            else slim_signed_views(probe_signed, interner)
         )
         index_signed, probe_signed = index_views, probe_views
         keep_signed: Tuple[Sequence[SignedRecord], ...] = ()
@@ -462,15 +467,17 @@ def build_shard_plan(
     right: Optional[Joinable] = None,
     *,
     slim: bool = True,
+    intern_keys: bool = True,
     sign_in_workers: bool = False,
     precomputed_order: Optional[GlobalOrder] = None,
     signing_tau: Optional[int] = None,
 ) -> ShardPlan:
     """Build the worker payload for a join without running it.
 
-    This is the plan :func:`process_join` would ship (parent-signed slim by
-    default; ``slim=False`` for the historical full payload, or
-    ``sign_in_workers=True`` for the unsigned shape).  Exposed so payload
+    This is the plan :func:`process_join` would ship (parent-signed slim
+    with per-plan key interning by default; ``intern_keys=False`` measures
+    the uninterned slim shape, ``slim=False`` the historical full payload,
+    ``sign_in_workers=True`` the unsigned shape).  Exposed so payload
     sizes can be measured and plans round-tripped in isolation — see
     :func:`repro.join.artifacts.plan_payload_bytes`.
     """
@@ -491,6 +498,7 @@ def build_shard_plan(
         right_signed,
         self_join,
         slim=slim,
+        intern_keys=intern_keys,
         signing_order=order,
     )
 

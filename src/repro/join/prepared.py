@@ -98,9 +98,14 @@ class PreparedCollection:
     ``prepared[record_id]`` and ``len(prepared)`` behave identically.
     """
 
+    #: Class-level default so artifacts pickled before the online-growth
+    #: support unpickle with a well-defined version.
+    content_version: int = 0
+
     def __init__(self, collection: RecordCollection, config: MeasureConfig) -> None:
         self.collection = collection
         self.config = config
+        self.content_version = 0
         self._prepared: List[PreparedRecord] = [
             self._prepare_record(record) for record in collection
         ]
@@ -181,6 +186,7 @@ class PreparedCollection:
         clone._signature_aliases = {}
         clone._shared_orders = {}
         clone._pebble_free = not keep_pebbles
+        clone.content_version = self.content_version
         return clone
 
     def _require_pebbles(self, operation: str) -> None:
@@ -229,6 +235,31 @@ class PreparedCollection:
         segments, pebbles = generate_pebbles(record.tokens, self.config)
         min_partitions = min_partition_size(record.tokens, self.config, segments=segments)
         return PreparedRecord(record, segments, pebbles, min_partitions)
+
+    # ------------------------------------------------------------------ #
+    # growth (online ingestion)
+    # ------------------------------------------------------------------ #
+    def extend_with(self, records: Sequence[Record]) -> List[PreparedRecord]:
+        """Append new records and prepare them (pebbles, bounds) in place.
+
+        The records must continue the dense id sequence (the underlying
+        collection enforces this before anything is added).  Appending
+        changes the collection's content, so every derived cache — orders,
+        signatures, shared orders — is dropped (the per-record pebbles and
+        graph sides of existing records survive untouched), and
+        :attr:`content_version` is bumped so holders of content-derived
+        state (the store's fingerprint memo, the search index's staleness
+        tracking) can detect the mutation.  Returns the newly prepared
+        records.
+        """
+        self._require_pebbles("extend")
+        additions = list(records)
+        self.collection.extend(additions)
+        prepared = [self._prepare_record(record) for record in additions]
+        self._prepared.extend(prepared)
+        self.clear_caches()
+        self.content_version += 1
+        return prepared
 
     # ------------------------------------------------------------------ #
     # container protocol (delegates to the underlying collection)

@@ -500,7 +500,12 @@ class UnifiedVerifier(Verifier):
                 # cannot fall below θ: skip computing it.
                 stats.lower_bound_skips += 1
             elif upper_gate is None or upper_gate.should_run():
-                upper = usim_upper_bound(left_side, right_side, config)
+                # threshold= is the sub-θ short circuit: the cheap maxima
+                # bound replaces the matching solver whenever it alone
+                # already prunes — the prune decision is provably the same.
+                upper = usim_upper_bound(
+                    left_side, right_side, config, threshold=threshold
+                )
                 pruned = upper < threshold
                 if upper_gate is not None:
                     upper_gate.record(pruned)
@@ -524,6 +529,38 @@ class UnifiedVerifier(Verifier):
             stats.results += 1
             return VerifiedPair(left_record.record_id, right_record.record_id, value)
         return None
+
+    def verify_prepared_pair(
+        self,
+        left_record: Record,
+        right_record: Record,
+        left_side: GraphSide,
+        right_side: GraphSide,
+        stats: Optional[VerificationStats] = None,
+    ) -> Optional[VerifiedPair]:
+        """Run ONE pair through the tiered cascade (the single-pair unit).
+
+        This is the public entry the online search index drives: one probe
+        record against one candidate member, both with prepared
+        :class:`~repro.core.graph.GraphSide` state, through exactly the
+        lower-bound / upper-bound / Algorithm-1 cascade that
+        :meth:`verify_batch` runs per candidate — so a query's surviving
+        pairs and similarities are bit-identical to the batch join's.
+
+        ``stats`` redirects the cascade counters into a caller-owned block
+        (merge it into :attr:`stats` when done, as :meth:`verify_batch`
+        does per chunk); without it, counters accumulate here directly and
+        ``verified_count`` is bumped.
+        """
+        if stats is not None:
+            return self._verify_prepared(
+                left_record, right_record, left_side, right_side, stats
+            )
+        pair = self._verify_prepared(
+            left_record, right_record, left_side, right_side, self.stats
+        )
+        self.verified_count += 1
+        return pair
 
     # ------------------------------------------------------------------ #
     # batch verification

@@ -83,6 +83,28 @@ class RecordCollection:
         return [record.text for record in self._records]
 
     # ------------------------------------------------------------------ #
+    # growth (online ingestion)
+    # ------------------------------------------------------------------ #
+    def extend(self, records: Iterable[Record]) -> None:
+        """Append records, preserving the dense-id invariant.
+
+        Each appended record's id must continue the sequence (``len(self)``,
+        ``len(self) + 1``, ...); anything else raises ``ValueError`` before
+        any record is added.  This is the ingestion path of the online
+        search index (``SimilarityIndex.add`` numbers the records, this
+        check enforces the convention).
+        """
+        additions = list(records)
+        expected = len(self._records)
+        for offset, record in enumerate(additions):
+            if record.record_id != expected + offset:
+                raise ValueError(
+                    "record ids must continue the dense sequence; expected "
+                    f"id {expected + offset}, got {record.record_id}"
+                )
+        self._records.extend(additions)
+
+    # ------------------------------------------------------------------ #
     # utilities
     # ------------------------------------------------------------------ #
     def subset(self, record_ids: Iterable[int]) -> "RecordCollection":

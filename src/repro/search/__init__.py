@@ -1,0 +1,16 @@
+"""Online similarity search: the incrementally maintained serving layer.
+
+See :mod:`repro.search.index` for the :class:`SimilarityIndex` — threshold
+and top-k single-record queries, batched (optionally multi-core) querying,
+in-place add/remove with drift-triggered lazy re-signing, and store-backed
+snapshots.
+"""
+
+from .index import BatchQueryResult, QueryMatch, QueryResult, SimilarityIndex
+
+__all__ = [
+    "BatchQueryResult",
+    "QueryMatch",
+    "QueryResult",
+    "SimilarityIndex",
+]

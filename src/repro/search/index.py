@@ -1,0 +1,906 @@
+"""The online similarity-search index: single-record queries over a corpus.
+
+Every other path in the framework is batch-shaped — prepare two whole
+collections, join once, exit.  :class:`SimilarityIndex` is the serving
+counterpart: a long-lived, queryable object wrapping a prepared corpus, its
+frozen global order, the per-record signatures selected under it, and a
+maintained inverted index, so "which records match this one record, right
+now?" is answered by signing *one* probe and streaming it through the
+postings — not by re-running a join.
+
+Query semantics
+---------------
+The index is built at a base ``(θ, τ, method)``; its member signatures
+guarantee that any pair with unified similarity ≥ θ shares ≥ τ signature
+pebbles.  A query may therefore *tighten* but never loosen the contract:
+``query(probe, theta=θ', tau=τ')`` serves any θ' ≥ θ and τ' ≤ τ.  Results
+are **bit-identical** to the corresponding batch join restricted to the
+probe record — the same filter counters, the same tiered verification
+cascade (:meth:`~repro.join.verification.UnifiedVerifier.verify_prepared_pair`),
+the same :class:`~repro.join.verification.VerificationStats` — which the
+randomized equivalence tests enforce across measures, self-join corpora,
+and mutation histories.  :meth:`query_topk` additionally orders candidates
+by the pebble-derived :func:`~repro.core.graph.usim_upper_bound` and stops
+verifying once the k-th best verified similarity strictly beats every
+remaining bound (:func:`~repro.core.topk.bounded_top_k` — exact, ties
+included).
+
+Incremental maintenance
+-----------------------
+:meth:`add` and :meth:`remove` update the prepared state, signatures, and
+postings in place.  Correctness never depends on the order being "fresh":
+signatures are valid under *any* fixed total key order as long as every
+member and every probe use the same one, so mutations sign new records
+under the frozen order and stay exact.  What drifts is *selectivity* —
+frequencies move as the corpus churns — so the index tracks staleness
+(mutations since the order was last built over the live corpus) and, past
+``drift_threshold``, rebuilds the order and lazily re-signs **only the
+affected records**: a record whose pebble sort is unchanged under the new
+order provably keeps its signature, so only records whose sorted sequence
+moved pay the selection DP again (and only those whose signature actually
+changed touch the postings).  :meth:`rebuild` is the from-scratch escape
+hatch.
+
+Persistence
+-----------
+:meth:`snapshot` writes the whole index (prepared corpus, order,
+signatures, postings) into a :class:`~repro.store.PreparedStore` keyed by a
+content fingerprint; :meth:`load` brings it back in one validated file
+read, so a service restart costs an unpickle, not a corpus preparation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from math import ceil
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.graph import GraphSide, usim_upper_bound
+from ..core.measures import MeasureConfig
+from ..core.tokenizer import default_tokenizer
+from ..core.topk import bounded_top_k
+from ..join.artifacts import KeyInterner, slim_signed_views
+from ..join.aufilter import probe_single
+from ..join.global_order import GlobalOrder
+from ..join.inverted_index import InvertedIndex
+from ..join.pebbles import generate_pebbles
+from ..join.prepared import PreparedCollection, PreparedRecord
+from ..join.signatures import (
+    SignatureMethod,
+    SignedRecord,
+    select_signature_prefix,
+    sign_record,
+)
+from ..join.verification import UnifiedVerifier, VerificationStats, VerifiedPair
+from ..records import Record, RecordCollection
+
+__all__ = ["QueryMatch", "QueryResult", "BatchQueryResult", "SimilarityIndex"]
+
+#: Anything a query accepts as the probe: raw text, a token sequence, or a
+#: ready-made record (its id is ignored — probes are external by definition).
+Probe = Union[str, Sequence[str], Record]
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One query answer: a live member id and its verified similarity."""
+
+    record_id: int
+    similarity: float
+
+
+@dataclass
+class QueryResult:
+    """One query's answers plus its cost profile.
+
+    ``matches`` are in candidate-emission order for threshold queries and
+    in ``(-similarity, record_id)`` order for top-k queries.
+    ``verification`` is the query's own cascade-counter delta (the same
+    counters also accumulate on the index's verifier); ``bound_skipped``
+    counts candidates the top-k early stop never had to verify.
+    """
+
+    matches: List[QueryMatch]
+    candidate_count: int
+    processed_pairs: int
+    verification: VerificationStats
+    seconds: float
+    bound_skipped: int = 0
+
+    def ids(self) -> List[int]:
+        """The matched member ids, in result order."""
+        return [match.record_id for match in self.matches]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+@dataclass
+class BatchQueryResult:
+    """The answers of one :meth:`SimilarityIndex.query_batch` call.
+
+    ``pairs`` holds one :class:`~repro.join.verification.VerifiedPair` per
+    match with ``left_id`` the probe's position in the query batch and
+    ``right_id`` the member id, concatenated probe-major — exactly the
+    serial per-probe emission order at every executor and worker count.
+    """
+
+    pairs: List[VerifiedPair]
+    probe_count: int
+    candidate_count: int
+    processed_pairs: int
+    verification: VerificationStats
+    seconds: float
+
+    def by_probe(self) -> Dict[int, List[QueryMatch]]:
+        """Group the pairs into per-probe match lists."""
+        grouped: Dict[int, List[QueryMatch]] = {}
+        for pair in self.pairs:
+            grouped.setdefault(pair.left_id, []).append(
+                QueryMatch(pair.right_id, pair.similarity)
+            )
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class _ProbeState:
+    """One probe's signing and verification material (built per query)."""
+
+    __slots__ = ("record", "segments", "signed", "side")
+
+    def __init__(self, index: "SimilarityIndex", record: Record) -> None:
+        config = index.config
+        segments, pebbles = generate_pebbles(record.tokens, config)
+        self.record = record
+        self.segments = segments
+        self.signed = sign_record(
+            record,
+            config,
+            index._order,
+            index.theta,
+            tau=index.tau,
+            method=index.method,
+            segments=segments,
+            pebbles=pebbles,
+        )
+        self.side = GraphSide(record.tokens, config, segments=segments)
+
+
+class SimilarityIndex:
+    """A long-lived, incrementally maintained similarity-search index.
+
+    Parameters
+    ----------
+    collection:
+        The corpus: a raw :class:`~repro.records.RecordCollection` or an
+        already prepared one.  The index takes ownership of the prepared
+        state — it is mutated in place by :meth:`add` / :meth:`remove`.
+    config:
+        The measure configuration; defaults to a prepared collection's
+        bound config (required for raw collections).
+    theta, tau, method:
+        The base signing contract.  Queries may raise θ and lower τ but
+        never the reverse (the signatures would stop guaranteeing recall).
+    drift_threshold:
+        Mutated-fraction of the live corpus (since the order was last
+        built) that triggers the lazy re-order/re-sign; ``None`` disables
+        automatic re-ordering (:meth:`rebuild` remains available).  Purely
+        a performance knob: answers are identical at any threshold.
+    adaptive_verification:
+        Enable the verifier's adaptive tier controller (see
+        :class:`~repro.join.verification.UnifiedVerifier`): at high θ the
+        lower-bound tier rarely clears, and a long-lived serving index pays
+        it on every candidate of every query — adaptivity sheds it after
+        the first window.  Answers are identical either way; only the
+        per-tier counters (and latency) change.
+    """
+
+    def __init__(
+        self,
+        collection: Union[RecordCollection, PreparedCollection],
+        config: Optional[MeasureConfig] = None,
+        *,
+        theta: float = 0.8,
+        tau: int = 1,
+        method: str = SignatureMethod.AU_DP,
+        approximation_t: float = 4.0,
+        order_strategy: str = "frequency",
+        drift_threshold: Optional[float] = 0.25,
+        adaptive_verification: bool = False,
+    ) -> None:
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be in [0, 1]")
+        if tau < 1:
+            raise ValueError("tau must be a positive integer")
+        SignatureMethod.validate(method)
+        if method == SignatureMethod.U_FILTER and tau > 1:
+            raise ValueError(
+                "the U-Filter method implies tau=1; got "
+                f"tau={tau} — pass tau=1 or use an AU-Filter method"
+            )
+        if drift_threshold is not None and drift_threshold <= 0.0:
+            raise ValueError("drift_threshold must be positive (or None)")
+        if isinstance(collection, PreparedCollection):
+            if config is not None and config != collection.config:
+                raise ValueError(
+                    "the prepared collection is bound to a different "
+                    "MeasureConfig than the one supplied"
+                )
+            prepared = collection
+            config = collection.config
+        else:
+            if config is None:
+                raise ValueError("a raw collection needs an explicit config")
+            prepared = PreparedCollection.prepare(collection, config)
+        self.prepared = prepared
+        self.config = config
+        self.theta = theta
+        self.tau = tau
+        self.method = method
+        self.approximation_t = approximation_t
+        self.order_strategy = order_strategy
+        self.drift_threshold = drift_threshold
+        self.adaptive_verification = adaptive_verification
+        self.verifier = UnifiedVerifier(
+            config, theta, t=approximation_t, adaptive=adaptive_verification
+        )
+
+        self._live: List[bool] = [True] * len(prepared)
+        self._signed: List[Optional[SignedRecord]] = [None] * len(prepared)
+        self._order = GlobalOrder(order_strategy)
+        self._index = InvertedIndex()
+        self._mutations_since_order = 0
+        self._order_live_basis = 0
+        self.reorder_count = 0
+        self.resigned_records = 0
+        # Serving epoch: bumped by every mutation of the member side (add,
+        # remove, re-order, rebuild) so derived serving state — the memoised
+        # process-pool plan views — can invalidate without re-deriving.
+        self._epoch = 0
+        self._plan_cache: Optional[Tuple[int, KeyInterner, list, PreparedCollection]] = None
+        self._build_from_prepared()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _enabled_measures(self):
+        return sorted(self.config.enabled, key=lambda measure: measure.value)
+
+    def _sign_member(self, prepared: PreparedRecord) -> SignedRecord:
+        return sign_record(
+            prepared.record,
+            self.config,
+            self._order,
+            self.theta,
+            tau=self.tau,
+            method=self.method,
+            segments=prepared.segments,
+            pebbles=prepared.pebbles,
+            min_partitions=prepared.min_partitions,
+        )
+
+    def _build_from_prepared(self) -> None:
+        """(Re)derive order, signatures, and postings over the live corpus."""
+        order = GlobalOrder(self.order_strategy)
+        records = self.prepared.prepared_records
+        for record_id, prepared in enumerate(records):
+            if self._live[record_id]:
+                order.add_record_pebbles(prepared.pebbles)
+        self._order = order
+        index = InvertedIndex()
+        for record_id, prepared in enumerate(records):
+            if not self._live[record_id]:
+                self._signed[record_id] = None
+                continue
+            signed = self._sign_member(prepared)
+            self._signed[record_id] = signed
+            index.add(signed)
+        self._index = index
+        self._mutations_since_order = 0
+        self._order_live_basis = self.live_count
+        self._epoch += 1
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def live_count(self) -> int:
+        """Number of records currently served (tombstones excluded)."""
+        return sum(self._live)
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    def __contains__(self, record_id: int) -> bool:
+        return 0 <= record_id < len(self._live) and self._live[record_id]
+
+    def live_ids(self) -> List[int]:
+        """The served member ids, ascending (ids are never reused)."""
+        return [record_id for record_id, live in enumerate(self._live) if live]
+
+    @property
+    def staleness(self) -> float:
+        """Mutated fraction of the live corpus since the last re-order."""
+        return self._mutations_since_order / max(self._order_live_basis, 1)
+
+    @property
+    def stats(self) -> VerificationStats:
+        """Cumulative cascade counters across every query served."""
+        return self.verifier.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimilarityIndex(live={self.live_count}, theta={self.theta}, "
+            f"tau={self.tau}, method={self.method!r}, "
+            f"staleness={self.staleness:.2f})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def _resolve_query(self, theta: Optional[float], tau: Optional[int]) -> Tuple[float, int]:
+        theta_q = self.theta if theta is None else float(theta)
+        if theta_q < self.theta:
+            raise ValueError(
+                f"the index is signed for theta >= {self.theta}; its "
+                f"signatures cannot guarantee recall at theta={theta_q} — "
+                "build an index at the lower threshold"
+            )
+        if theta_q > 1.0:
+            raise ValueError("theta must be in [0, 1]")
+        tau_q = self.tau if tau is None else int(tau)
+        if not 1 <= tau_q <= self.tau:
+            raise ValueError(
+                f"query tau must be in [1, {self.tau}] (the index's signing "
+                f"tau); got {tau_q}"
+            )
+        return theta_q, tau_q
+
+    def _probe_record(self, probe: Probe) -> Record:
+        if isinstance(probe, Record):
+            return Record(record_id=0, text=probe.text, tokens=probe.tokens)
+        if isinstance(probe, str):
+            return Record(
+                record_id=0,
+                text=probe,
+                tokens=tuple(default_tokenizer.tokenize(probe)),
+            )
+        tokens = tuple(probe)
+        return Record(record_id=0, text=" ".join(tokens), tokens=tokens)
+
+    def _member_side(self, record_id: int) -> GraphSide:
+        return self.prepared.graph_side(record_id)
+
+    def _finish_stats(self, local: VerificationStats) -> None:
+        self.verifier.stats.merge(local)
+        self.verifier.verified_count += local.candidates
+
+    def _verify_against_member(
+        self,
+        probe_record: Record,
+        probe_side: GraphSide,
+        member_id: int,
+        local: VerificationStats,
+        *,
+        member_is_left: bool,
+    ) -> Optional[float]:
+        """One probe/member pair through the cascade, in join orientation.
+
+        ``member_is_left`` mirrors the batch reference exactly: a self-join
+        reports pairs as ``(lower_id, higher_id)``, so a member query
+        orients each pair by id; an external probe plays the left role of a
+        two-collection join.  Orientation is semantically irrelevant when
+        the measure is symmetric, but bit-identity is the contract, so the
+        index never relies on that.
+        """
+        member_record = self.prepared[member_id]
+        member_side = self._member_side(member_id)
+        if member_is_left:
+            pair = self.verifier.verify_prepared_pair(
+                member_record, probe_record, member_side, probe_side, local
+            )
+        else:
+            pair = self.verifier.verify_prepared_pair(
+                probe_record, member_record, probe_side, member_side, local
+            )
+        return None if pair is None else pair.similarity
+
+    def query(
+        self,
+        probe: Probe,
+        *,
+        theta: Optional[float] = None,
+        tau: Optional[int] = None,
+    ) -> QueryResult:
+        """All live members with unified similarity ≥ θ to an external probe.
+
+        Equivalent to joining ``{probe}`` against the live corpus at
+        ``(theta, tau)`` and reading the probe's row — same pairs, same
+        similarities, same cascade counters — for the price of signing one
+        record and probing the standing postings.
+        """
+        theta_q, tau_q = self._resolve_query(theta, tau)
+        start = time.perf_counter()
+        state = _ProbeState(self, self._probe_record(probe))
+        partners, processed, _ = probe_single(
+            self._index.raw_postings, state.signed, tau_q
+        )
+        local = VerificationStats()
+        matches: List[QueryMatch] = []
+        for member_id in partners:
+            similarity = self._verify_against_member(
+                state.record, state.side, member_id, local, member_is_left=False
+            )
+            if similarity is not None and similarity >= theta_q:
+                matches.append(QueryMatch(member_id, similarity))
+        self._finish_stats(local)
+        return QueryResult(
+            matches=matches,
+            candidate_count=len(partners),
+            processed_pairs=processed,
+            verification=local,
+            seconds=time.perf_counter() - start,
+        )
+
+    def query_member(
+        self,
+        record_id: int,
+        *,
+        theta: Optional[float] = None,
+        tau: Optional[int] = None,
+    ) -> QueryResult:
+        """All live partners of an indexed member (its self-join row).
+
+        Uses the member's stored signature — no signing at all — and
+        orients every verified pair ``(min_id, max_id)`` exactly as the
+        batch self-join does, so the returned similarities are the member's
+        row of the full self-join, bit for bit.
+        """
+        if record_id not in self:
+            raise KeyError(f"record {record_id} is not live in this index")
+        theta_q, tau_q = self._resolve_query(theta, tau)
+        start = time.perf_counter()
+        signed = self._signed[record_id]
+        probe_record = self.prepared[record_id]
+        probe_side = self._member_side(record_id)
+        partners, processed, _ = probe_single(
+            self._index.raw_postings, signed, tau_q
+        )
+        local = VerificationStats()
+        matches: List[QueryMatch] = []
+        for member_id in partners:
+            if member_id == record_id:
+                continue
+            similarity = self._verify_against_member(
+                probe_record,
+                probe_side,
+                member_id,
+                local,
+                member_is_left=member_id < record_id,
+            )
+            if similarity is not None and similarity >= theta_q:
+                matches.append(QueryMatch(member_id, similarity))
+        self._finish_stats(local)
+        return QueryResult(
+            matches=matches,
+            candidate_count=sum(1 for member in partners if member != record_id),
+            processed_pairs=processed,
+            verification=local,
+            seconds=time.perf_counter() - start,
+        )
+
+    def query_topk(
+        self,
+        probe: Probe,
+        k: int,
+        *,
+        theta: Optional[float] = None,
+        tau: Optional[int] = None,
+    ) -> QueryResult:
+        """The k most similar live members (≥ the θ floor), bound-pruned.
+
+        Candidates are verified in descending
+        :func:`~repro.core.graph.usim_upper_bound` order; verification
+        stops as soon as the k-th best verified similarity strictly beats
+        every remaining bound, so the expensive cascade runs only where it
+        can still change the answer.  The result equals the top-k (by
+        ``(-similarity, record_id)``) of the corresponding full query —
+        exact, ties included.
+        """
+        theta_q, tau_q = self._resolve_query(theta, tau)
+        start = time.perf_counter()
+        state = _ProbeState(self, self._probe_record(probe))
+        partners, processed, _ = probe_single(
+            self._index.raw_postings, state.signed, tau_q
+        )
+        config = self.config
+        bounds = [
+            usim_upper_bound(state.side, self._member_side(member_id), config)
+            for member_id in partners
+        ]
+        local = VerificationStats()
+
+        def evaluate(member_id: int) -> Optional[float]:
+            similarity = self._verify_against_member(
+                state.record, state.side, member_id, local, member_is_left=False
+            )
+            if similarity is None or similarity < theta_q:
+                return None
+            return similarity
+
+        top, evaluated = bounded_top_k(
+            partners, bounds, evaluate, k, tie_key=lambda member_id: member_id
+        )
+        self._finish_stats(local)
+        return QueryResult(
+            matches=[QueryMatch(member_id, similarity) for member_id, similarity in top],
+            candidate_count=len(partners),
+            processed_pairs=processed,
+            verification=local,
+            seconds=time.perf_counter() - start,
+            bound_skipped=len(partners) - evaluated,
+        )
+
+    # ------------------------------------------------------------------ #
+    # batched querying
+    # ------------------------------------------------------------------ #
+    def query_batch(
+        self,
+        probes: Iterable[Probe],
+        *,
+        theta: Optional[float] = None,
+        tau: Optional[int] = None,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ) -> BatchQueryResult:
+        """Answer many probes in one pass (optionally sharded across cores).
+
+        The serial path signs every probe, streams them through the
+        postings probe-major, and verifies through the grouped batch
+        engine.  ``executor="process"`` ships one
+        :class:`~repro.join.parallel.ShardPlan` — slim interned views of
+        the live member signatures as the index side, the signed probes as
+        the probe side — to a worker pool and shards the probes across it,
+        reusing the join's sharding machinery end to end.  Both executors
+        return identical pairs in identical order.
+        """
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'serial' or 'process'"
+            )
+        theta_q, tau_q = self._resolve_query(theta, tau)
+        start = time.perf_counter()
+        records = [self._probe_record(probe) for probe in probes]
+        probe_collection = RecordCollection(
+            [
+                Record(record_id=position, text=record.text, tokens=record.tokens)
+                for position, record in enumerate(records)
+            ]
+        )
+        probe_prepared = PreparedCollection.prepare(probe_collection, self.config)
+        signed_probes = [
+            self._sign_member(prepared)
+            for prepared in probe_prepared.prepared_records
+        ]
+        if executor == "process" and signed_probes:
+            pairs, candidate_count, processed, local = self._query_batch_process(
+                probe_prepared, signed_probes, tau_q, workers
+            )
+        else:
+            candidates: List[Tuple[int, int]] = []
+            processed = 0
+            for signed in signed_probes:
+                partners, touched, _ = probe_single(
+                    self._index.raw_postings, signed, tau_q
+                )
+                processed += touched
+                probe_id = signed.record.record_id
+                candidates.extend((probe_id, member) for member in partners)
+            candidate_count = len(candidates)
+            snapshot = self.verifier.stats.snapshot()
+            pairs = self.verifier.verify_batch(
+                candidates, probe_prepared, self.prepared, probe_side="left"
+            )
+            local = self.verifier.stats.diff(snapshot)
+        if theta_q > self.theta:
+            pairs = [pair for pair in pairs if pair.similarity >= theta_q]
+        return BatchQueryResult(
+            pairs=pairs,
+            probe_count=len(records),
+            candidate_count=candidate_count,
+            processed_pairs=processed,
+            verification=local,
+            seconds=time.perf_counter() - start,
+        )
+
+    def _query_batch_process(
+        self,
+        probe_prepared: PreparedCollection,
+        signed_probes: List[SignedRecord],
+        tau_q: int,
+        workers: Optional[int],
+    ) -> Tuple[List[VerifiedPair], int, int, VerificationStats]:
+        """Shard the probe side of a batch query across worker processes."""
+        import os
+
+        from ..join.parallel import (
+            SHARDS_PER_WORKER,
+            ShardPlan,
+            _run_shard,
+            _shard_pool,
+            _shard_spans,
+            _verifier_kwargs,
+        )
+
+        if workers is None:
+            workers = os.cpu_count() or 1
+        interner, index_views, right_transfer = self._member_plan_state()
+        probe_views = slim_signed_views(signed_probes, interner)
+        plan = ShardPlan(
+            config=self.config,
+            threshold=self.theta,
+            requirement=tau_q,
+            verifier_kwargs=_verifier_kwargs(self.verifier),
+            left_prep=probe_prepared.transfer_copy(keep_pebbles=False),
+            right_prep=right_transfer,
+            index_signed=index_views,
+            probe_signed=probe_views,
+            probe_is_left=True,
+            exclude_self_pairs=False,
+            postings_ascending=True,
+            order=None,
+        )
+        total = len(signed_probes)
+        spans = _shard_spans(
+            total, max(1, ceil(total / max(workers * SHARDS_PER_WORKER, 1)))
+        )
+        pairs: List[VerifiedPair] = []
+        merged = VerificationStats()
+        candidate_count = processed = 0
+        with _shard_pool(plan, min(workers, len(spans))) as pool:
+            for shard in pool.map(_run_shard, spans):
+                pairs.extend(shard.pairs)
+                merged.merge(shard.verification)
+                candidate_count += shard.candidate_count
+                processed += shard.processed_pairs
+        self._finish_stats(merged)
+        return pairs, candidate_count, processed, merged
+
+    def _member_plan_state(self) -> Tuple[KeyInterner, list, PreparedCollection]:
+        """The member side of a process-pool plan, memoised per epoch.
+
+        The slim interned views of every live signature and the pebble-free
+        transfer copy of the corpus only change when the member side does
+        (add/remove/re-order/rebuild, each bumping the epoch), so a serving
+        index answering many batch queries builds them once, not per call.
+        The interner is cached with them so per-request probe views alias
+        the same key objects.
+        """
+        cache = self._plan_cache
+        if cache is not None and cache[0] == self._epoch:
+            return cache[1], cache[2], cache[3]
+        interner = KeyInterner()
+        index_views = slim_signed_views(
+            [signed for signed in self._signed if signed is not None], interner
+        )
+        right_transfer = self.prepared.transfer_copy(keep_pebbles=False)
+        self._plan_cache = (self._epoch, interner, index_views, right_transfer)
+        return interner, index_views, right_transfer
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def add(self, records: Iterable[Union[str, Record]]) -> List[int]:
+        """Ingest new records; returns their assigned (stable) member ids.
+
+        Accepts raw texts (tokenised with the default tokenizer) or
+        :class:`~repro.records.Record` objects (their ids are replaced —
+        the index numbers its members itself and never reuses an id).  New
+        records are prepared, signed under the frozen order (exact — see
+        the module docs), and indexed; the mutation counts toward
+        staleness and may trigger the lazy re-order.
+        """
+        # Ids continue the underlying collection's dense sequence;
+        # RecordCollection.extend (via extend_with) enforces the convention.
+        base = len(self.prepared)
+        additions: List[Record] = []
+        for offset, item in enumerate(records):
+            if isinstance(item, Record):
+                additions.append(
+                    Record(record_id=base + offset, text=item.text, tokens=item.tokens)
+                )
+            else:
+                additions.append(
+                    Record(
+                        record_id=base + offset,
+                        text=item,
+                        tokens=tuple(default_tokenizer.tokenize(item)),
+                    )
+                )
+        if not additions:
+            return []
+        prepared_new = self.prepared.extend_with(additions)
+        for prepared in prepared_new:
+            signed = self._sign_member(prepared)
+            self._signed.append(signed)
+            self._live.append(True)
+            # Appending the highest id yet keeps posting lists sorted.
+            self._index.add(signed)
+        self._note_mutations(len(additions))
+        return [record.record_id for record in additions]
+
+    def remove(self, record_ids: Iterable[int]) -> None:
+        """Retire live members; their ids are tombstoned, never reused.
+
+        Raises ``KeyError`` (before any mutation) if any id is unknown,
+        already removed, or repeated in the request.
+        """
+        ids = list(record_ids)
+        seen = set()
+        for record_id in ids:
+            if record_id not in self or record_id in seen:
+                raise KeyError(f"record {record_id} is not live in this index")
+            seen.add(record_id)
+        for record_id in ids:
+            self._index.discard(self._signed[record_id])
+            self._signed[record_id] = None
+            self._live[record_id] = False
+        if ids:
+            self._note_mutations(len(ids))
+
+    def _note_mutations(self, count: int) -> None:
+        self._epoch += 1
+        self._mutations_since_order += count
+        if (
+            self.drift_threshold is not None
+            and self.staleness > self.drift_threshold
+        ):
+            self._reorder()
+
+    def _reorder(self) -> None:
+        """Rebuild the order; re-sign and re-post only affected records.
+
+        The signature prefix is a deterministic function of the record's
+        *sorted* pebble sequence (plus θ/τ/method and per-record bounds,
+        which do not change here), so any live record whose pebbles sort
+        identically under the new order keeps its signature without paying
+        the selection DP; of the re-signed rest, only records whose
+        signature key sequence actually changed touch the posting lists.
+        """
+        order = GlobalOrder(self.order_strategy)
+        records = self.prepared.prepared_records
+        for record_id, prepared in enumerate(records):
+            if self._live[record_id]:
+                order.add_record_pebbles(prepared.pebbles)
+        enabled = self._enabled_measures()
+        resigned = 0
+        for record_id, prepared in enumerate(records):
+            if not self._live[record_id]:
+                continue
+            old = self._signed[record_id]
+            sorted_pebbles = tuple(order.sort_pebbles(prepared.pebbles))
+            if sorted_pebbles == old.pebbles:
+                continue
+            prefix_length = select_signature_prefix(
+                sorted_pebbles,
+                len(prepared.segments),
+                prepared.min_partitions,
+                self.theta,
+                tau=self.tau,
+                method=self.method,
+                enabled_measures=enabled,
+            )
+            new = SignedRecord(
+                record=prepared.record,
+                segments=tuple(prepared.segments),
+                pebbles=sorted_pebbles,
+                signature_length=prefix_length,
+                min_partition_size=prepared.min_partitions,
+            )
+            if new.signature_key_sequence != old.signature_key_sequence:
+                self._index.discard(old)
+                self._index.insert_sorted(new)
+            self._signed[record_id] = new
+            resigned += 1
+        self._order = order
+        self._mutations_since_order = 0
+        self._order_live_basis = self.live_count
+        self._epoch += 1
+        self.reorder_count += 1
+        self.resigned_records += resigned
+
+    def rebuild(self) -> None:
+        """From-scratch escape hatch: re-derive order, signatures, postings.
+
+        Ids stay stable (tombstones stay tombstones); only the derived
+        artifacts are rebuilt, exactly as a fresh index over the live
+        corpus would build them.
+        """
+        self._build_from_prepared()
+        self.reorder_count += 1
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def content_fingerprint(self) -> str:
+        """A stable content digest of the served state.
+
+        Covers the live members (ids, texts, tokens), the measure
+        configuration, and the signing contract (θ, τ, method, order
+        strategy, approximation t) — anything else (drift counters, cached
+        graph sides) is derived or operational.  Two indexes answering
+        identically by construction share a fingerprint.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(b"similarity-index\n")
+        hasher.update(
+            repr(
+                (
+                    self.theta,
+                    self.tau,
+                    self.method,
+                    self.order_strategy,
+                    self.approximation_t,
+                )
+            ).encode("utf-8")
+        )
+        hasher.update(b"config:")
+        hasher.update(repr(self.config.content_key()).encode("utf-8"))
+        hasher.update(b"live:%d\n" % self.live_count)
+        for record_id in self.live_ids():
+            record = self.prepared[record_id]
+            hasher.update(
+                repr((record_id, record.text, record.tokens)).encode("utf-8")
+            )
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def snapshot(self, store) -> Path:
+        """Persist the whole index into a store; returns the artifact path.
+
+        The artifact carries everything a restarted service needs —
+        prepared corpus, frozen order, member signatures, posting lists —
+        keyed by :meth:`content_fingerprint` under the store's index
+        format version.  See :meth:`~repro.store.PreparedStore.save_index`.
+        """
+        return store.save_index(self)
+
+    @classmethod
+    def load(cls, store, fingerprint: str) -> "SimilarityIndex":
+        """Bring a snapshotted index back in one validated file read.
+
+        Raises ``LookupError`` when the store holds no valid artifact for
+        the fingerprint (missing, corrupt, tampered, or wrong format).
+        """
+        index = store.load_index(fingerprint)
+        if index is None:
+            raise LookupError(
+                f"no valid similarity-index artifact for fingerprint "
+                f"{fingerprint!r} in {store.root}"
+            )
+        return index
+
+    # ------------------------------------------------------------------ #
+    # pickling (the verifier holds an unpicklable closure)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["verifier"]
+        # Derived serving state: cheap to rebuild, pure bloat in a snapshot.
+        state["_plan_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Fresh per-process verifier; cascade counters do not persist.
+        self.verifier = UnifiedVerifier(
+            self.config,
+            self.theta,
+            t=self.approximation_t,
+            adaptive=getattr(self, "adaptive_verification", False),
+        )

@@ -1,18 +1,25 @@
 """Persistent join artifacts: the versioned prepared-collection store.
 
 See :mod:`repro.store.prepared_store` for the format and validation rules.
+The store also persists similarity-index snapshots (the serving layer's
+restart path) and enforces an optional size budget with LRU eviction;
+``python -m repro.store`` is the inspection CLI.
 """
 
 from .prepared_store import (
     FORMAT_VERSION,
+    INDEX_FORMAT_VERSION,
     PreparedStore,
     StoreOutcome,
+    StoredArtifact,
     collection_fingerprint,
 )
 
 __all__ = [
     "FORMAT_VERSION",
+    "INDEX_FORMAT_VERSION",
     "PreparedStore",
     "StoreOutcome",
+    "StoredArtifact",
     "collection_fingerprint",
 ]

@@ -1,0 +1,149 @@
+"""Inspection CLI for prepared-collection / similarity-index stores.
+
+List what a store directory holds (kind, format version, size, recency,
+fingerprint) and optionally enforce a size budget with LRU eviction::
+
+    python -m repro.store artifacts/
+    python -m repro.store artifacts/ --json
+    python -m repro.store artifacts/ --evict --budget 256M
+
+Budgets accept plain bytes or a K/M/G suffix (powers of 1024).  Listing is
+most-recently-used first — the *bottom* of the list evicts first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .prepared_store import PreparedStore, StoredArtifact
+
+_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def parse_budget(text: str) -> int:
+    """Parse a byte budget: a non-negative int, optionally K/M/G-suffixed."""
+    raw = text.strip().upper()
+    factor = 1
+    if raw and raw[-1] in _SUFFIXES:
+        factor = _SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid budget {text!r}: expected bytes, optionally K/M/G-suffixed"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("budget must be non-negative")
+    return value * factor
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{int(value)}B"  # pragma: no cover - unreachable
+
+
+def _artifact_row(artifact: StoredArtifact) -> dict:
+    return {
+        "kind": artifact.kind,
+        "fingerprint": artifact.fingerprint,
+        "format_version": artifact.format_version,
+        "size_bytes": artifact.size_bytes,
+        "modified": artifact.modified,
+        "path": str(artifact.path),
+    }
+
+
+def _print_listing(artifacts: List[StoredArtifact], total: int) -> None:
+    if not artifacts:
+        print("store is empty")
+        return
+    print(f"{len(artifacts)} artifact(s), {_format_bytes(total)} total")
+    print(f"{'KIND':<9} {'VER':>3} {'SIZE':>10} {'MODIFIED':<19} FINGERPRINT")
+    for artifact in reversed(artifacts):  # most-recently-used first
+        modified = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(artifact.modified)
+        )
+        print(
+            f"{artifact.kind:<9} {artifact.format_version:>3} "
+            f"{_format_bytes(artifact.size_bytes):>10} {modified:<19} "
+            f"{artifact.fingerprint}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect a prepared-collection store and enforce its size budget.",
+    )
+    parser.add_argument("root", help="store directory")
+    parser.add_argument(
+        "--evict",
+        action="store_true",
+        help="evict least-recently-used artifacts until the store fits --budget",
+    )
+    parser.add_argument(
+        "--budget",
+        type=parse_budget,
+        default=None,
+        help="size budget in bytes (K/M/G suffixes allowed); required with --evict",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.evict and args.budget is None:
+        parser.error("--evict requires --budget")
+    # Inspection must never conjure a store into existence: constructing a
+    # PreparedStore mkdirs its root, so a typo'd path would silently list
+    # as an empty store instead of failing.
+    from pathlib import Path
+
+    if not Path(args.root).is_dir():
+        parser.error(f"store directory does not exist: {args.root}")
+
+    store = PreparedStore(args.root)
+    evicted: List[StoredArtifact] = []
+    if args.evict:
+        evicted = store.evict(budget=args.budget)
+    artifacts = store.artifacts()
+    total = sum(artifact.size_bytes for artifact in artifacts)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": str(store.root),
+                    "total_bytes": total,
+                    "budget_bytes": args.budget,
+                    "artifacts": [_artifact_row(a) for a in artifacts],
+                    "evicted": [_artifact_row(a) for a in evicted],
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    _print_listing(artifacts, total)
+    if args.evict:
+        if evicted:
+            freed = sum(artifact.size_bytes for artifact in evicted)
+            print(
+                f"evicted {len(evicted)} artifact(s), freed {_format_bytes(freed)} "
+                f"(budget {_format_bytes(args.budget)})"
+            )
+        else:
+            print(f"within budget ({_format_bytes(args.budget)}); nothing evicted")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

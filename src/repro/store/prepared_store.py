@@ -43,12 +43,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import time
 import uuid
 import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from ..core.measures import MeasureConfig
 from ..join.prepared import PreparedCollection
@@ -56,8 +57,10 @@ from ..records import RecordCollection
 
 __all__ = [
     "FORMAT_VERSION",
+    "INDEX_FORMAT_VERSION",
     "PreparedStore",
     "StoreOutcome",
+    "StoredArtifact",
     "collection_fingerprint",
 ]
 
@@ -66,7 +69,18 @@ __all__ = [
 #: written under any other version are never loaded.
 FORMAT_VERSION = 1
 
+#: On-disk format version of similarity-index snapshots (independent of the
+#: prepared-collection format: the two artifact kinds evolve separately).
+INDEX_FORMAT_VERSION = 1
+
 _MAGIC = "repro-prepared-collection"
+_INDEX_MAGIC = "repro-similarity-index"
+
+#: Artifact filenames: ``<sha256>.v<N>.pkl`` for prepared collections and
+#: ``<sha256>.idx.v<N>.pkl`` for similarity-index snapshots.
+_ARTIFACT_NAME = re.compile(
+    r"^(?P<fingerprint>[0-9a-f]{64})\.(?P<idx>idx\.)?v(?P<version>\d+)\.pkl$"
+)
 
 #: Anything fingerprintable: a raw collection or a prepared one.
 Fingerprintable = Union[RecordCollection, PreparedCollection]
@@ -93,6 +107,24 @@ def collection_fingerprint(
     hasher.update(b"config:")
     hasher.update(repr(config.content_key()).encode("utf-8"))
     return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredArtifact:
+    """One on-disk artifact's metadata (no payload read).
+
+    ``kind`` is ``"prepared"`` or ``"index"``; ``modified`` is the file's
+    mtime, which doubles as the store's recency signal: loads touch it, so
+    least-recently-*used* — not least-recently-written — artifacts evict
+    first.
+    """
+
+    path: Path
+    kind: str
+    fingerprint: str
+    format_version: int
+    size_bytes: int
+    modified: float
 
 
 @dataclass
@@ -125,6 +157,14 @@ class PreparedStore:
     configuration, both knowledge sources, and the format version all feed
     the validation chain (see the module docs).  ``format_version`` is
     overridable for tests that exercise the version bump path.
+
+    Alongside prepared collections the store holds **similarity-index
+    snapshots** (:meth:`save_index` / :meth:`load_index`, the persistence
+    layer of :class:`~repro.search.SimilarityIndex`), and it can enforce a
+    **size budget**: with ``size_budget_bytes`` set, every save evicts
+    least-recently-used artifacts (loads refresh recency) until the
+    directory fits; :meth:`evict` applies the same policy on demand, and
+    ``python -m repro.store`` exposes it from the command line.
     """
 
     def __init__(
@@ -132,26 +172,41 @@ class PreparedStore:
         root: Union[str, os.PathLike],
         *,
         format_version: int = FORMAT_VERSION,
+        index_format_version: int = INDEX_FORMAT_VERSION,
+        size_budget_bytes: Optional[int] = None,
     ) -> None:
+        if size_budget_bytes is not None and size_budget_bytes < 0:
+            raise ValueError("size_budget_bytes must be non-negative (or None)")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.format_version = format_version
+        self.index_format_version = index_format_version
+        self.size_budget_bytes = size_budget_bytes
         self.last_outcome: Optional[StoreOutcome] = None
         # Collections this store instance handed out (loaded or built),
-        # mapped to their content fingerprint, so a store-backed facade can
-        # tell "persist my enrichments back" from "the caller brought their
-        # own preparation" and save() skips re-hashing the corpus.  The
-        # cached fingerprint is valid because records are immutable and
-        # knowledge sources are treated as frozen once shared (the standing
-        # contract of their content-based __hash__).  Weak: the store must
-        # not pin every collection it ever served.
-        self._managed: "weakref.WeakKeyDictionary[PreparedCollection, str]" = (
+        # mapped to (content fingerprint, content_version at that time), so
+        # a store-backed facade can tell "persist my enrichments back" from
+        # "the caller brought their own preparation" and save() skips
+        # re-hashing the corpus.  The cached fingerprint is valid while the
+        # version matches: records are immutable and knowledge sources are
+        # treated as frozen once shared, but a collection *extended* in
+        # place (the search index's ingestion path) bumps its
+        # content_version, which invalidates the memo instead of letting a
+        # stale fingerprint alias new content.  Weak: the store must not
+        # pin every collection it ever served.
+        self._managed: "weakref.WeakKeyDictionary[PreparedCollection, Tuple[str, int]]" = (
             weakref.WeakKeyDictionary()
         )
 
     def manages(self, prepared: PreparedCollection) -> bool:
-        """True when this store instance loaded or built ``prepared``."""
-        return prepared in self._managed
+        """True when this store loaded or built ``prepared`` (unmutated).
+
+        A collection mutated since the store handed it out (its
+        ``content_version`` moved) no longer matches its artifact and is
+        deliberately reported as unmanaged.
+        """
+        entry = self._managed.get(prepared)
+        return entry is not None and entry[1] == prepared.content_version
 
     # ------------------------------------------------------------------ #
     # paths and headers
@@ -160,16 +215,23 @@ class PreparedStore:
         """The artifact path of a fingerprint under the current format."""
         return self.root / f"{fingerprint}.v{self.format_version}.pkl"
 
-    def _header(self, fingerprint: str) -> bytes:
-        return f"{_MAGIC} v{self.format_version} {fingerprint}\n".encode("ascii")
+    def index_path_for(self, fingerprint: str) -> Path:
+        """The similarity-index artifact path of a fingerprint."""
+        return self.root / f"{fingerprint}.idx.v{self.index_format_version}.pkl"
 
     @staticmethod
-    def _parse_header(line: bytes) -> Optional[tuple]:
+    def _header(magic: str, version: int, fingerprint: str) -> bytes:
+        return f"{magic} v{version} {fingerprint}\n".encode("ascii")
+
+    @staticmethod
+    def _parse_header(line: bytes, magic: str) -> Optional[tuple]:
         try:
-            magic, version, fingerprint = line.decode("ascii").strip().split(" ")
+            found_magic, version, fingerprint = (
+                line.decode("ascii").strip().split(" ")
+            )
         except (UnicodeDecodeError, ValueError):
             return None
-        if magic != _MAGIC or not version.startswith("v"):
+        if found_magic != magic or not version.startswith("v"):
             return None
         try:
             return int(version[1:]), fingerprint
@@ -193,10 +255,12 @@ class PreparedStore:
         entries through its content-equality fallback, so two-collection
         warm runs sign from cache too.
         """
-        fingerprint = self._managed.get(prepared)
-        if fingerprint is None:
+        entry = self._managed.get(prepared)
+        if entry is not None and entry[1] == prepared.content_version:
+            fingerprint = entry[0]
+        else:
             fingerprint = collection_fingerprint(prepared, prepared.config)
-            self._managed[prepared] = fingerprint
+            self._managed[prepared] = (fingerprint, prepared.content_version)
         return self._save_at(fingerprint, prepared)
 
     def _save_at(self, fingerprint: str, prepared: PreparedCollection) -> Path:
@@ -206,18 +270,28 @@ class PreparedStore:
             {"fingerprint": fingerprint, "prepared": prepared},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        # Per-writer temp name (not just per-process): two threads sharing
-        # one store may save the same fingerprint concurrently, and an
-        # interleaved write to a shared temp file could promote a corrupt
-        # blob that every later load silently rejects as a permanent miss.
+        self._write_artifact(
+            path, self._header(_MAGIC, self.format_version, fingerprint), payload
+        )
+        return path
+
+    def _write_artifact(self, path: Path, header: bytes, payload: bytes) -> None:
+        """Atomically write one artifact, then enforce the size budget.
+
+        Per-writer temp name (not just per-process): two threads sharing
+        one store may save the same fingerprint concurrently, and an
+        interleaved write to a shared temp file could promote a corrupt
+        blob that every later load silently rejects as a permanent miss.
+        """
         temp = path.with_name(path.name + f".tmp-{os.getpid()}-{uuid.uuid4().hex}")
         try:
-            temp.write_bytes(self._header(fingerprint) + payload)
+            temp.write_bytes(header + payload)
             os.replace(temp, path)
         except BaseException:
             temp.unlink(missing_ok=True)
             raise
-        return path
+        if self.size_budget_bytes is not None:
+            self.evict()
 
     def load(
         self, collection: RecordCollection, config: MeasureConfig
@@ -241,21 +315,8 @@ class PreparedStore:
     ) -> Optional[PreparedCollection]:
         """:meth:`load` with the (O(corpus) to compute) fingerprint in hand."""
         path = self.path_for(fingerprint)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            return None
-        newline = blob.find(b"\n")
-        if newline < 0:
-            return None
-        parsed = self._parse_header(blob[: newline + 1])
-        if parsed is None or parsed != (self.format_version, fingerprint):
-            return None
-        try:
-            payload = pickle.loads(blob[newline + 1 :])
-        except Exception:
-            return None
-        if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
+        payload = self._read_artifact(path, _MAGIC, self.format_version, fingerprint)
+        if payload is None:
             return None
         prepared = payload.get("prepared")
         if not isinstance(prepared, PreparedCollection):
@@ -269,8 +330,44 @@ class PreparedStore:
             for stored, live in zip(prepared, collection)
         ):
             return None
-        self._managed[prepared] = fingerprint
+        self._managed[prepared] = (fingerprint, prepared.content_version)
+        self._touch(path)
         return prepared
+
+    def _read_artifact(
+        self, path: Path, magic: str, format_version: int, fingerprint: str
+    ) -> Optional[dict]:
+        """Read + validate one artifact's header and pickled envelope.
+
+        Shared by both artifact kinds; any failure in the chain — missing
+        file, foreign or corrupt header, version or fingerprint mismatch,
+        unpicklable or mislabelled payload — is a miss, never an exception.
+        """
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return None
+        parsed = self._parse_header(blob[: newline + 1], magic)
+        if parsed is None or parsed != (format_version, fingerprint):
+            return None
+        try:
+            payload = pickle.loads(blob[newline + 1 :])
+        except Exception:
+            return None
+        if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
+            return None
+        return payload
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an artifact's mtime: loads count as *uses* for eviction."""
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - raced deletion; harmless
+            pass
 
     # ------------------------------------------------------------------ #
     # the one-call API
@@ -299,7 +396,7 @@ class PreparedStore:
         if prepared is None:
             prepared = PreparedCollection.prepare(collection, config)
             path = self._save_at(fingerprint, prepared)
-            self._managed[prepared] = fingerprint
+            self._managed[prepared] = (fingerprint, prepared.content_version)
         else:
             path = self.path_for(fingerprint)
         self.last_outcome = StoreOutcome(
@@ -309,3 +406,120 @@ class PreparedStore:
             seconds=time.perf_counter() - start,
         )
         return prepared
+
+    # ------------------------------------------------------------------ #
+    # similarity-index snapshots
+    # ------------------------------------------------------------------ #
+    def save_index(self, index) -> Path:
+        """Persist a similarity-index snapshot (atomically; overwrites).
+
+        ``index`` is anything exposing ``content_fingerprint()`` and
+        pickling whole — in practice a
+        :class:`~repro.search.SimilarityIndex`, whose snapshot carries the
+        prepared corpus, frozen order, member signatures, and posting
+        lists, so :meth:`load_index` restores a *serving* index, not a
+        rebuild recipe.  Kept duck-typed so the store never imports the
+        search layer it persists.
+        """
+        fingerprint = index.content_fingerprint()
+        path = self.index_path_for(fingerprint)
+        payload = pickle.dumps(
+            {"fingerprint": fingerprint, "index": index},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._write_artifact(
+            path,
+            self._header(_INDEX_MAGIC, self.index_format_version, fingerprint),
+            payload,
+        )
+        return path
+
+    def load_index(self, fingerprint: str):
+        """Load the index snapshot for a fingerprint, or None.
+
+        The validation chain mirrors prepared-collection loads — header
+        magic, format version, header and payload fingerprints — plus a
+        self-consistency check: the unpickled index must *re-fingerprint*
+        to the requested value, so a renamed or hand-edited artifact can
+        never serve foreign content.  A hit refreshes the artifact's
+        recency.
+        """
+        path = self.index_path_for(fingerprint)
+        payload = self._read_artifact(
+            path, _INDEX_MAGIC, self.index_format_version, fingerprint
+        )
+        if payload is None:
+            return None
+        index = payload.get("index")
+        recompute = getattr(index, "content_fingerprint", None)
+        if recompute is None or recompute() != fingerprint:
+            return None
+        self._touch(path)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # housekeeping (size budget, LRU eviction, inspection)
+    # ------------------------------------------------------------------ #
+    def artifacts(self) -> List[StoredArtifact]:
+        """Every artifact in the store, least-recently-used first.
+
+        Only files matching the artifact naming scheme are listed (any
+        format version, both kinds); temp files and foreign content are
+        ignored.  The LRU-first order is the eviction order.
+        """
+        found: List[StoredArtifact] = []
+        for path in self.root.iterdir():
+            match = _ARTIFACT_NAME.match(path.name)
+            if match is None:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(
+                StoredArtifact(
+                    path=path,
+                    kind="index" if match.group("idx") else "prepared",
+                    fingerprint=match.group("fingerprint"),
+                    format_version=int(match.group("version")),
+                    size_bytes=stat.st_size,
+                    modified=stat.st_mtime,
+                )
+            )
+        found.sort(key=lambda artifact: (artifact.modified, artifact.path.name))
+        return found
+
+    def total_bytes(self) -> int:
+        """Total size of all artifacts currently in the store."""
+        return sum(artifact.size_bytes for artifact in self.artifacts())
+
+    def evict(self, budget: Optional[int] = None) -> List[StoredArtifact]:
+        """Delete least-recently-used artifacts until the store fits.
+
+        ``budget`` defaults to the store's ``size_budget_bytes``; one of
+        the two must be set.  Returns the evicted artifacts (empty when
+        already within budget).  Loads refresh mtimes, so a hot artifact
+        survives churn even if it was written long ago; note a budget
+        smaller than the newest artifact evicts everything, making the
+        store a pass-through.
+        """
+        if budget is None:
+            budget = self.size_budget_bytes
+        if budget is None:
+            raise ValueError(
+                "no budget: pass evict(budget=...) or construct the store "
+                "with size_budget_bytes"
+            )
+        listing = self.artifacts()
+        total = sum(artifact.size_bytes for artifact in listing)
+        evicted: List[StoredArtifact] = []
+        for artifact in listing:
+            if total <= budget:
+                break
+            try:
+                artifact.path.unlink()
+            except OSError:  # pragma: no cover - raced deletion; harmless
+                continue
+            total -= artifact.size_bytes
+            evicted.append(artifact)
+        return evicted

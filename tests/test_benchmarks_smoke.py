@@ -22,6 +22,7 @@ if str(BENCHMARKS_DIR) not in sys.path:
 import bench_fig4_join_time  # noqa: E402
 import bench_fig7_scalability  # noqa: E402
 import bench_parallel_scaling  # noqa: E402
+import bench_search_latency  # noqa: E402
 import bench_store_reuse  # noqa: E402
 import bench_table10_breakdown  # noqa: E402
 
@@ -101,16 +102,19 @@ def test_parallel_scaling_harness_smoke(smoke_dataset, tmp_path):
     }
     assert all(run["results_match"] for run in payload["runs"])
     # The slim plan must beat the full payload even at smoke scale (the
-    # ≥40% bar is asserted at full size in benchmarks/).
+    # ≥40% bar is asserted at full size in benchmarks/), and the per-plan
+    # key table may only ever shrink the slim plan further.
     sizes = payload["payload"]
     assert sizes["slim_bytes"] < sizes["full_bytes"]
     assert sizes["worker_signed_bytes"] < sizes["full_bytes"]
+    assert sizes["slim_bytes"] <= sizes["slim_uninterned_bytes"]
     import json
 
     recorded = json.loads(out_path.read_text())
     assert recorded["cpu_count"] >= 1
     assert [run["workers"] for run in recorded["runs"]] == [1, 2, 1, 2, 1, 2]
     assert recorded["payload"]["slim_reduction"] > 0.0
+    assert recorded["payload"]["intern_reduction"] >= 0.0
 
 
 def test_store_reuse_harness_smoke(smoke_dataset, tmp_path):
@@ -130,6 +134,33 @@ def test_store_reuse_harness_smoke(smoke_dataset, tmp_path):
 
     recorded = json.loads(out_path.read_text())
     assert recorded["results"] == payload["results"]
+
+
+def test_search_latency_harness_smoke(smoke_dataset, tmp_path):
+    out_path = tmp_path / "BENCH_search.json"
+    payload = bench_search_latency.run_search_latency(
+        smoke_dataset,
+        side=40,
+        probes=8,
+        per_request_probes=2,
+        store_root=tmp_path / "store",
+        out_path=out_path,
+    )
+    # Identity is the unconditional contract; the ≥10x serving bar and the
+    # warm<cold build comparison are asserted at full size in benchmarks/.
+    # At smoke scale both builds are tens of milliseconds, where scheduler
+    # noise under a concurrently running suite can flip a strict wall-clock
+    # comparison — so only a generous ratio is checked here.
+    assert payload["results_match"]
+    assert payload["speedup_vs_per_request_join"] > 1.0
+    assert payload["build"]["warm_from_store_seconds"] < max(
+        payload["build"]["cold_seconds"] * 2, 0.05
+    )
+    import json
+
+    recorded = json.loads(out_path.read_text())
+    assert recorded["query"]["samples"] == 8
+    assert recorded["query_topk"]["k"] == bench_search_latency.TOPK
 
 
 def test_fig7_harness_smoke(smoke_dataset):

@@ -28,6 +28,13 @@ def test_quickstart_example():
     assert "Join found" in output
 
 
+def test_search_service_example():
+    output = _run_example("search_service.py")
+    assert "Restart: index loaded from store" in output
+    assert "query_batch" in output
+    assert "cascade totals" in output
+
+
 def test_poi_deduplication_example():
     output = _run_example("poi_deduplication.py")
     assert "Unified (TJS)" in output
