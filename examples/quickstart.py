@@ -15,6 +15,8 @@ one batch join, knobs picked for you             ``UnifiedJoin`` (``tau="auto"``
 repeated joins over the same collections         ``UnifiedJoin.prepare`` / ``PebbleJoin.prepare``
 streaming results chunk by chunk                 ``join_batches(batch_size=...)``
 all cores on one big join                        ``executor="process"`` (+ ``sign_in_workers``)
+many process joins, no per-join pool spin-up     ``WarmJoinPool`` (``pool=`` on ``join``/batches)
+zero-copy worker payloads / non-fork platforms   ``payload_mode="shm"`` (``"auto"`` picks fork)
 warm restarts / artifacts on disk                ``PreparedStore`` (``store=`` on either engine)
 store housekeeping from the shell                ``python -m repro.store <dir> [--evict]``
 answering single records *right now*             ``SimilarityIndex`` (``repro.search``)

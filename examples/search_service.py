@@ -7,7 +7,12 @@ Walks the life cycle of an online :class:`~repro.search.SimilarityIndex`:
    read, no corpus preparation),
 3. answer threshold and top-k single-record queries,
 4. ingest new records and retire old ones, re-querying live in between,
-5. inspect staleness and the verification-cascade counters.
+5. inspect staleness and the verification-cascade counters,
+6. shard a batch query across a *warm* process pool — the workers stay
+   alive between ``query_batch(executor="process")`` calls, receiving the
+   maintained index as flat integer arrays over shared memory, and are
+   shut down with ``close()`` (or by using the index as a context
+   manager).
 
 Run with::
 
@@ -111,6 +116,22 @@ def main() -> None:
         print(f"cascade totals so far: {stats.candidates} candidates, "
               f"{stats.upper_bound_prunes} bound-pruned, "
               f"{stats.graphs_built} graph-verified")
+
+        # --- warm-pool batch execution -----------------------------------
+        # The first process query starts the pool; later ones reuse the
+        # same live workers (no per-call spawn), each session shipping the
+        # current index state as flat arrays in one shared-memory segment.
+        probes = ["espresso cafe", "apple gateau bakery", "pizza place ny"]
+        serial_batch = service.query_batch(probes)
+        for call in (1, 2):
+            start = time.perf_counter()
+            pooled = service.query_batch(probes, executor="process", workers=2)
+            elapsed = (time.perf_counter() - start) * 1000
+            assert pooled.pairs == serial_batch.pairs  # bit-identical to serial
+            print(f"warm-pool query_batch call {call}: {len(pooled)} pairs "
+                  f"in {elapsed:.1f}ms")
+        service.close()  # stop the warm workers; the index stays queryable
+        show(service, "after close, still serving", service.query(probe))
     print("\n(store directory cleaned up — a real service would keep it, "
           "snapshot after churn, and reload by fingerprint on restart)")
 

@@ -34,7 +34,7 @@ from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .grams import qgram_set
-from .matching import greedy_matching, matching_weight_upper_bound
+from .matching import matching_weight_lower_bound, matching_weight_upper_bound
 from .measures import Measure, MeasureConfig
 from .segments import Segment, enumerate_segments
 
@@ -42,6 +42,7 @@ __all__ = [
     "PairVertex",
     "ConflictGraph",
     "GraphSide",
+    "PairGraphAssembler",
     "prepare_graph_side",
     "build_conflict_graph",
     "build_conflict_graph_from_sides",
@@ -338,17 +339,44 @@ def build_conflict_graph_from_sides(
     of re-testing spans per vertex pair.
     """
     _check_side_configs(left_side, right_side, config)
+    return _assemble_graph(left_side, right_side, config, min_weight)
+
+
+def _assemble_graph(
+    left_side: GraphSide,
+    right_side: GraphSide,
+    config: MeasureConfig,
+    min_weight: float,
+    left_indices: Optional[Sequence[int]] = None,
+    right_indices: Optional[Sequence[int]] = None,
+) -> ConflictGraph:
+    """The shared graph-assembly core (configs already checked).
+
+    ``left_indices`` / ``right_indices`` restrict one side to a subset of
+    its segments, in ascending order; a restriction is only sound when the
+    skipped segments provably form no vertex against *any* partner segment
+    (see :class:`PairGraphAssembler`), in which case the restricted build
+    is vertex-for-vertex identical to the full one.
+    """
     rules = config.rules if config.uses(Measure.SYNONYM) else None
     use_tax = config.uses(Measure.TAXONOMY) and config.taxonomy is not None
     left_match = left_side.match_state
     right_match = right_side.match_state
+    left_segments = left_side.segments
+    right_segments = right_side.segments
+    if left_indices is None:
+        left_indices = range(len(left_segments))
+    if right_indices is None:
+        right_indices = range(len(right_segments))
     msim = config.msim_with_measure
 
     vertices: List[PairVertex] = []
     vertex_sides: List[Tuple[int, int]] = []
-    for i, left in enumerate(left_side.segments):
+    for i in left_indices:
+        left = left_segments[i]
         left_state = left_match[i]
-        for j, right in enumerate(right_side.segments):
+        for j in right_indices:
+            right = right_segments[j]
             right_state = right_match[j]
             # Conditions (a)–(c) of Section 2.3.  The synonym condition is
             # pre-filtered by shared lhs pebble keys: a connecting rule
@@ -448,6 +476,81 @@ def build_conflict_graph(
         config,
         min_weight=min_weight,
     )
+
+
+class PairGraphAssembler:
+    """Builds conflict graphs of one fixed *probe* side against many partners.
+
+    The batch verifier checks every candidate of a probe against the same
+    probe-side state, so the per-pair work that depends only on the probe
+    can be hoisted out of the pair loop.  The assembler precomputes, once,
+    which probe segments can qualify under conditions (a)–(c) at all: a
+    segment that is not a singleton, carries no synonym lhs keys, and has
+    no taxonomy node fails every branch of the qualification test against
+    *any* partner segment, so the vertex loop skips its whole row (or
+    column) without consulting the partner.  Because the surviving indices
+    are iterated in their original ascending order, the assembled graph is
+    vertex-for-vertex identical — order, weights, adjacency — to
+    :func:`build_conflict_graph_from_sides` on the same pair.
+
+    ``probe_is_left`` fixes which side of the graph the probe occupies
+    (vertex order is left-major, so it is part of the bit-identity
+    contract); partners supply the other side per :meth:`build` call.
+    """
+
+    __slots__ = ("probe_side", "config", "probe_is_left", "min_weight", "_active")
+
+    def __init__(
+        self,
+        probe_side: GraphSide,
+        config: MeasureConfig,
+        *,
+        probe_is_left: bool = True,
+        min_weight: float = _EPSILON,
+    ) -> None:
+        self.probe_side = probe_side
+        self.config = config
+        self.probe_is_left = probe_is_left
+        self.min_weight = min_weight
+        match_state = probe_side.match_state
+        active = tuple(
+            index
+            for index, state in enumerate(match_state)
+            if state.is_single or state.syn_keys is not None or state.has_tax
+        )
+        # ``None`` keeps the plain ``range`` fast path when nothing is skipped.
+        self._active: Optional[Tuple[int, ...]] = (
+            None if len(active) == len(match_state) else active
+        )
+
+    def build(self, partner_side: GraphSide) -> ConflictGraph:
+        """Assemble the conflict graph of the probe against ``partner_side``."""
+        if self.probe_is_left:
+            left_side, right_side = self.probe_side, partner_side
+            left_indices, right_indices = self._active, None
+        else:
+            left_side, right_side = partner_side, self.probe_side
+            left_indices, right_indices = None, self._active
+        _check_side_configs(left_side, right_side, self.config)
+        return _assemble_graph(
+            left_side,
+            right_side,
+            self.config,
+            self.min_weight,
+            left_indices,
+            right_indices,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        skipped = (
+            0
+            if self._active is None
+            else len(self.probe_side.segments) - len(self._active)
+        )
+        return (
+            f"PairGraphAssembler(segments={len(self.probe_side.segments)}, "
+            f"skipped={skipped}, probe_is_left={self.probe_is_left})"
+        )
 
 
 def _check_side_configs(
@@ -601,11 +704,17 @@ def singleton_greedy_lower_bound(
 ) -> float:
     """A lower bound on the *exact* USIM via the all-singletons partitions.
 
-    Greedily matches tokens by msim and divides by the larger token count —
-    a lower bound on ``GetSim`` of the empty selection (greedy ≤ Hungarian)
-    and hence on the exact USIM.  Note this does **not** lower-bound the
-    Algorithm-1 approximation (whose seed selection may realise less than
-    the singleton partitions), so the cascade only uses it to skip
+    Matches tokens by msim and divides by the larger token count — any
+    feasible matching weight lower-bounds ``GetSim`` of the all-singletons
+    partitions and hence the exact USIM.  Small token matrices get the
+    exact Hungarian assignment (via
+    :func:`~repro.core.matching.matching_weight_lower_bound`), which is
+    the singleton-partition ``GetSim`` itself — the tightest bound this
+    tier can produce — so more pairs clear the threshold here and skip
+    the upper-bound tier; larger matrices keep the weight-descending
+    greedy.  Note this does **not** lower-bound the Algorithm-1
+    approximation (whose seed selection may realise less than the
+    singleton partitions), so the cascade only uses it to skip
     upper-bound work that provably cannot prune, never to accept pairs.
     """
     left_tuples = left_side.singleton_token_tuples
@@ -616,5 +725,5 @@ def singleton_greedy_lower_bound(
     weights = [
         [msim(left, right) for right in right_tuples] for left in left_tuples
     ]
-    total, _ = greedy_matching(weights)
+    total = matching_weight_lower_bound(weights)
     return total / max(len(left_tuples), len(right_tuples))

@@ -240,6 +240,18 @@ def _resolve_executor(
     return executor, workers
 
 
+def _check_process_only(resolved_executor: str, **knobs) -> None:
+    """Reject process-executor-only knobs on the serial/thread executors."""
+    if resolved_executor == "process":
+        return
+    for name, value in knobs.items():
+        if value is not None:
+            raise ValueError(
+                f"{name} requires executor='process' (got "
+                f"executor={resolved_executor!r})"
+            )
+
+
 def _check_sign_in_workers(sign_in_workers: bool, resolved_executor: str) -> None:
     """Reject ``sign_in_workers`` outside the process executor.
 
@@ -794,6 +806,8 @@ class PebbleJoin:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         sign_in_workers: bool = False,
+        payload_mode: Optional[str] = None,
+        pool=None,
     ) -> JoinResult:
         """Join two collections (or self-join one) and verify candidates.
 
@@ -814,6 +828,10 @@ class PebbleJoin:
         ``executor="thread"``.  ``sign_in_workers`` (process executor only)
         ships unsigned shards plus the shared global order and lets each
         worker sign locally, so huge corpora never sign in the parent.
+        ``payload_mode`` picks the worker transport (``"auto"``: fork
+        inheritance when available, a shared-memory segment otherwise) and
+        ``pool`` — a :class:`~repro.join.pool.WarmJoinPool` — reuses warm
+        worker processes across calls; both are process-executor-only.
         Every executor returns bit-identical pairs, similarities, and
         statistics counters at every worker count (with the default
         non-adaptive verifier).
@@ -822,6 +840,7 @@ class PebbleJoin:
             executor, workers, verify_workers
         )
         _check_sign_in_workers(sign_in_workers, resolved_executor)
+        _check_process_only(resolved_executor, payload_mode=payload_mode, pool=pool)
         start = time.perf_counter()
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
         entries = self._store_entries(left_prep, right_prep)
@@ -837,6 +856,8 @@ class PebbleJoin:
                 precomputed_order=precomputed_order,
                 signing_tau=signing_tau,
                 sign_in_workers=sign_in_workers,
+                payload_mode=payload_mode,
+                pool=pool,
             )
             # Raw sides were resolved (possibly store-loaded) out here, so
             # their preparation time is folded back into the signing stage.
@@ -932,6 +953,8 @@ class PebbleJoin:
         workers: Optional[int] = None,
         sign_in_workers: bool = False,
         suggestion_seconds: float = 0.0,
+        payload_mode: Optional[str] = None,
+        pool=None,
     ) -> Iterator[JoinBatch]:
         """Stream the join: filter and verify one probe chunk at a time.
 
@@ -957,6 +980,7 @@ class PebbleJoin:
             executor, workers, verify_workers
         )
         _check_sign_in_workers(sign_in_workers, resolved_executor)
+        _check_process_only(resolved_executor, payload_mode=payload_mode, pool=pool)
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
         entries = self._store_entries(left_prep, right_prep)
         if resolved_executor == "process":
@@ -972,6 +996,8 @@ class PebbleJoin:
                 signing_tau=signing_tau,
                 sign_in_workers=sign_in_workers,
                 suggestion_seconds=suggestion_seconds,
+                payload_mode=payload_mode,
+                pool=pool,
             )
         else:
             batches = self._join_batches_iter(

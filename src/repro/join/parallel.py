@@ -9,27 +9,37 @@ This module shards the *probe side* of a prepared join across a
    shared global order.  By default it also signs both sides once —
    cache-backed, exactly as the in-process paths do; with
    ``sign_in_workers=True`` signing moves into the workers (see below).
-2. One :class:`ShardPlan` — the measure config, slim transfer views of the
-   signed index and probe sides, and both prepared collections — is pickled
-   *once* and shipped to every worker through the pool initializer.  The
-   payload is deliberately thin: signed records ship as prefix-only
-   :class:`~repro.join.artifacts.SignedRecordView` objects (workers never
-   read past the signature prefix), and the prepared collections are
-   pebble-free :meth:`~repro.join.prepared.PreparedCollection.transfer_copy`
-   views (workers only verify), so the sorted pebble lists — the dominant
-   payload term — never cross the process boundary.  The pickle memo
-   preserves object identity inside the payload, so a self-join arrives in
-   the worker still sharing one collection and the views still share the
-   records shipped with it.
+2. One :class:`ShardPlan` — the measure config, the
+   :class:`~repro.join.flat.FlatJoinState` (signature prefixes, posting
+   lists, and per-record scalars re-encoded as flat integer arrays over
+   a global :class:`~repro.core.vocab.Vocabulary`), and both prepared
+   collections as pebble-free
+   :meth:`~repro.join.prepared.PreparedCollection.transfer_copy` views —
+   is shipped to every worker through one of three payload transports
+   (``payload_mode=``): ``"fork"`` publishes the plan in a module global
+   inherited copy-on-write by forked workers (zero serialization, the
+   ``"auto"`` default where the start method is fork), ``"shm"`` writes
+   the integer arrays into a single ``multiprocessing.shared_memory``
+   segment that workers attach zero-copy by name, and ``"bytes"``
+   pickles per worker (the legacy path).  No pebble key text crosses the
+   process boundary on any of them — the vocabulary stays parent-side —
+   and a self-join ships its probe arrays only, with the postings
+   re-derived worker-side by the same counting sort.
 3. Each task is one contiguous shard ``[start, stop)`` of probe records.
-   The worker probes its shard through the locally built inverted index
-   (the same ``_probe_candidates`` hot loop as the serial path), verifies
-   the surviving candidates through its own
+   The worker probes its shard with the flat overlap-counter loop
+   (:func:`~repro.join.flat.flat_probe_span`, semantics identical to the
+   serial dict probe), verifies the surviving candidates through its own
    :class:`~repro.join.verification.UnifiedVerifier` with the full tiered
    bound cascade, and returns the shard's pairs plus its
    :class:`~repro.join.verification.VerificationStats`.
 4. The parent concatenates shard results in probe order and merges every
    counter by summation.
+
+A cold pool is spun up per call by default; pass a
+:class:`~repro.join.pool.WarmJoinPool` via ``pool=`` to keep workers
+alive across joins, ``join_batches`` chunks, and search-index
+``query_batch`` calls (each session ships one shared-memory segment and
+releases it at session end).
 
 Worker-side signing
 -------------------
@@ -69,14 +79,15 @@ is what the scaling benchmark uses to measure full-vs-slim transfer bytes.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
-from itertools import islice
+from dataclasses import dataclass, replace
+from itertools import count, islice
 from math import ceil
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -92,6 +103,7 @@ from .aufilter import (
     _pick_index_side,
     _probe_candidates,
 )
+from .flat import FlatJoinState, SharedPayload, attach_payload, share_payload
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
 from .prepared import PreparedCollection
@@ -120,10 +132,16 @@ class ShardPlan:
     payload) must round-trip every field, which the pickle round-trip tests
     enforce for the non-trivial members.
 
-    Two shapes exist.  A *parent-signed* plan (the default) carries slim
-    prefix-only views in ``index_signed`` / ``probe_signed``, pebble-free
-    prepared collections, and no order.  A *worker-signed* plan
-    (``sign_in_workers=True``) carries no signed records at all — the
+    Three shapes exist.  A *flat* plan (the default) carries the whole
+    filter-stage payload as integer arrays in ``flat`` — prebuilt CSR
+    postings, the vocabulary-encoded probe side, and the shared
+    :class:`~repro.core.vocab.Vocabulary` — with ``index_signed`` /
+    ``probe_signed`` both ``None``: workers skip index construction
+    entirely and the index side's key tuples never cross the process
+    boundary.  A *slim-view* plan (``flat=False``) carries prefix-only
+    views in ``index_signed`` / ``probe_signed`` — the PR-5 shape, kept
+    for payload measurement and as a reference path.  A *worker-signed*
+    plan (``sign_in_workers=True``) carries no signed records at all — the
     prepared collections keep their pebbles, the shared ``order`` rides
     along, and the ``signing_*`` fields tell workers how to sign; the
     side-selection fields (``probe_is_left`` / ``postings_ascending``) are
@@ -145,6 +163,9 @@ class ShardPlan:
     #: The shared global order; ships only on worker-signed plans (slim
     #: plans drop it — workers receiving pre-signed views never sort).
     order: Optional[GlobalOrder]
+    #: The flat integer payload (vocab + CSR postings + encoded probe
+    #: side); set on flat parent-signed plans, ``None`` on the others.
+    flat: Optional[FlatJoinState] = None
     sign_in_workers: bool = False
     signing_theta: float = 0.0
     signing_tau: int = 1
@@ -158,6 +179,19 @@ class ShardPlan:
         the orientation inside each worker (see :class:`_WorkerRuntime`).
         """
         return "left" if self.probe_is_left else "right"
+
+    @property
+    def probe_count(self) -> int:
+        """Probe-side record count, across plan shapes (0 when unknown).
+
+        Worker-signed plans report 0 — only the workers learn the probe
+        side (see :func:`_plan_info`).
+        """
+        if self.flat is not None:
+            return self.flat.probe_count
+        if self.probe_signed is not None:
+            return len(self.probe_signed)
+        return 0
 
 
 @dataclass
@@ -189,11 +223,24 @@ class _WorkerRuntime:
     shapes the output is bit-identical to the parent-signed flow.
     """
 
-    def __init__(self, plan: ShardPlan) -> None:
+    def __init__(self, plan: ShardPlan, shm=None) -> None:
         self.plan = plan
+        self._shm = shm
         self.sign_seconds = 0.0
         self.avg_signature_left = 0.0
         self.avg_signature_right = 0.0
+        if plan.flat is not None:
+            self.flat = plan.flat
+            self.probe_signed = None
+            self.probe_is_left = plan.probe_is_left
+            self.postings_ascending = plan.postings_ascending
+            self.probe_count = self.flat.probe_count
+            self.index = None
+            self.verifier = UnifiedVerifier(
+                plan.config, plan.threshold, **plan.verifier_kwargs
+            )
+            return
+        self.flat = None
         if plan.sign_in_workers:
             began = time.perf_counter()
             left_signed = plan.left_prep.signed(
@@ -224,6 +271,7 @@ class _WorkerRuntime:
         self.probe_signed = probe_signed
         self.probe_is_left = probe_is_left
         self.postings_ascending = ascending
+        self.probe_count = len(probe_signed)
         self.index = InvertedIndex.build(index_signed)
         self.verifier = UnifiedVerifier(
             plan.config, plan.threshold, **plan.verifier_kwargs
@@ -234,20 +282,106 @@ class _WorkerRuntime:
         seconds, self.sign_seconds = self.sign_seconds, 0.0
         return seconds
 
+    def release(self) -> None:
+        """Drop plan state and detach the shared-memory mapping (if any).
+
+        Flat arrays may be zero-copy views into the mapping, so every
+        reference chain to them is cut before the segment is closed — a
+        still-exported ``memoryview`` would make the close raise.
+        """
+        self.plan = None
+        self.flat = None
+        self.probe_signed = None
+        self.index = None
+        self.verifier = None
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a view outlived us
+                pass
+
 
 #: The per-process runtime, installed by the pool initializer.
 _RUNTIME: Optional[_WorkerRuntime] = None
 
+#: Parent-side plan registry for the fork zero-copy fast path: the plan is
+#: parked here *before* the pool forks, so every worker inherits it through
+#: copy-on-write page sharing — no pickle, no copy, no segment.  Entries
+#: are removed when the owning pool shuts down.
+_FORK_PLANS: dict = {}
+_FORK_TOKENS = count()
 
-def _init_worker(payload: bytes) -> None:
-    """Pool initializer: unpickle the shard plan and build per-process state.
+#: Recognized transport modes for shipping a plan to pool workers.
+PAYLOAD_MODES = ("auto", "fork", "shm", "bytes")
 
-    The payload is explicitly ``pickle.dumps``-ed by the parent (rather than
-    passed as live objects) so the serialization path is identical under
-    every multiprocessing start method, fork included.
+
+def _resolve_payload_mode(payload_mode: Optional[str]) -> str:
+    """Normalize the transport knob; ``auto`` prefers fork, then shm."""
+    if payload_mode in (None, "auto"):
+        if multiprocessing.get_start_method() == "fork":
+            return "fork"
+        return "shm"
+    if payload_mode not in PAYLOAD_MODES:
+        raise ValueError(
+            f"unknown payload_mode {payload_mode!r}; expected one of "
+            f"{PAYLOAD_MODES}"
+        )
+    if payload_mode == "fork" and multiprocessing.get_start_method() != "fork":
+        raise ValueError(
+            "payload_mode='fork' requires the fork start method; use 'shm'"
+        )
+    return payload_mode
+
+
+def _export_plan_payload(plan: ShardPlan) -> SharedPayload:
+    """Write one plan into a shared-memory segment (arrays out-of-band).
+
+    The flat integer arrays are detached and laid out raw in the segment
+    (workers re-view them zero-copy); everything else — the plan shell,
+    prepared collections, the vocabulary — pickles once into the segment
+    header.  One segment serves every worker on the machine.
+    """
+    flat = plan.flat
+    if flat is None:
+        return share_payload((plan, None), [])
+    flat_meta, arrays = flat.export()
+    return share_payload((replace(plan, flat=None), flat_meta), arrays)
+
+
+def _attach_plan(name: str) -> Tuple[ShardPlan, object]:
+    """Attach an exported plan segment; returns ``(plan, shm)``.
+
+    The caller (worker runtime) must keep ``shm`` referenced while the
+    plan's flat arrays are in use — they are views into the mapping.
+    """
+    (plan, flat_meta), buffers, shm = attach_payload(name)
+    if flat_meta is not None:
+        plan.flat = FlatJoinState.restore(flat_meta, buffers)
+    return plan, shm
+
+
+def _load_runtime(descriptor: Tuple[str, object]) -> _WorkerRuntime:
+    """Materialize a worker runtime from a transport descriptor."""
+    kind, payload = descriptor
+    if kind == "bytes":
+        return _WorkerRuntime(pickle.loads(payload))
+    if kind == "fork":
+        return _WorkerRuntime(_FORK_PLANS[payload])
+    plan, shm = _attach_plan(payload)
+    return _WorkerRuntime(plan, shm=shm)
+
+
+def _init_worker(descriptor: Tuple[str, object]) -> None:
+    """Pool initializer: resolve the transport descriptor into a runtime.
+
+    ``("bytes", pickled_plan)`` round-trips through an explicit pickle
+    (identical under every start method); ``("fork", token)`` reads the
+    copy-on-write inherited :data:`_FORK_PLANS` entry; ``("shm", name)``
+    attaches the shared-memory segment and re-views its arrays in place.
     """
     global _RUNTIME
-    _RUNTIME = _WorkerRuntime(pickle.loads(payload))
+    _RUNTIME = _load_runtime(descriptor)
 
 
 def _require_runtime() -> _WorkerRuntime:
@@ -270,7 +404,7 @@ def _plan_info() -> Tuple[int, bool, float, float, float]:
     """
     runtime = _require_runtime()
     return (
-        len(runtime.probe_signed),
+        runtime.probe_count,
         bool(runtime.probe_is_left),
         runtime.avg_signature_left,
         runtime.avg_signature_right,
@@ -279,20 +413,33 @@ def _plan_info() -> Tuple[int, bool, float, float, float]:
 
 
 def _run_shard(span: Tuple[int, int]) -> ShardResult:
-    """Filter and verify one probe shard inside a worker process."""
-    runtime = _require_runtime()
+    """Filter and verify one probe shard inside a pool worker process."""
+    return _run_shard_on(_require_runtime(), span)
+
+
+def _run_shard_on(runtime: _WorkerRuntime, span: Tuple[int, int]) -> ShardResult:
+    """Filter and verify one probe shard against a materialized runtime."""
     plan = runtime.plan
     start, stop = span
 
     began = time.perf_counter()
-    candidates, processed, _ = _probe_candidates(
-        runtime.index.raw_postings,
-        runtime.probe_signed[start:stop],
-        plan.requirement,
-        probe_is_left=runtime.probe_is_left,
-        exclude_self_pairs=plan.exclude_self_pairs,
-        postings_ascending=runtime.postings_ascending,
-    )
+    if runtime.flat is not None:
+        candidates, processed = runtime.flat.probe_span(
+            start,
+            stop,
+            plan.requirement,
+            probe_is_left=runtime.probe_is_left,
+            exclude_self_pairs=plan.exclude_self_pairs,
+        )
+    else:
+        candidates, processed, _ = _probe_candidates(
+            runtime.index.raw_postings,
+            runtime.probe_signed[start:stop],
+            plan.requirement,
+            probe_is_left=runtime.probe_is_left,
+            exclude_self_pairs=plan.exclude_self_pairs,
+            postings_ascending=runtime.postings_ascending,
+        )
     filter_seconds = time.perf_counter() - began
 
     began = time.perf_counter()
@@ -357,38 +504,54 @@ def _build_plan(
     self_join: bool,
     *,
     slim: bool = True,
+    flat: Optional[bool] = None,
     intern_keys: bool = True,
     signing_order: Optional[GlobalOrder] = None,
 ) -> ShardPlan:
     """Assemble a parent-signed worker payload for one join run.
 
-    With ``slim=True`` (the default) the signed sides ship as prefix-only
-    views and the prepared collections as pebble-free transfer copies —
-    everything the workers read, nothing they don't — and the views' key
-    sequences are routed through one per-plan :class:`KeyInterner`, so
-    equal key tuples pickle once (``intern_keys=False`` keeps per-record
-    key objects, for payload measurement).  ``slim=False`` keeps the
-    historical full payload (full signed records, pebbles, the matching
-    signature-cache entries, and ``signing_order`` — the order the signed
-    sides were actually built under, so the shipped signature cache stays
-    keyed to the shipped order); it exists so the scaling benchmark can
-    measure the transfer win and as a reference shape for the payload
-    tests.
+    The default (``slim=True``, ``flat=None`` → flat) encodes the whole
+    filter stage as integer arrays: one :class:`~repro.core.vocab.Vocabulary`
+    interning every distinct pebble key, prebuilt CSR postings for the
+    indexed side (whose key tuples then never ship at all), and the probe
+    side's CSR signature prefixes — plus pebble-free transfer copies of
+    the prepared collections for verification.  ``flat=False`` keeps the
+    PR-5 slim shape: prefix-only views routed through one per-plan
+    :class:`KeyInterner` so equal key tuples pickle once
+    (``intern_keys=False`` keeps per-record key objects, for payload
+    measurement).  ``slim=False`` keeps the historical full payload (full
+    signed records, pebbles, the matching signature-cache entries, and
+    ``signing_order`` — the order the signed sides were actually built
+    under, so the shipped signature cache stays keyed to the shipped
+    order); it exists so the scaling benchmark can measure the transfer
+    win and as a reference shape for the payload tests.
     """
     verifier = _checked_verifier(engine)
     index_signed, probe_signed, probe_is_left = _pick_index_side(
         left_signed, right_signed
     )
+    postings_ascending = _ids_ascending(index_signed)
+    if flat is None:
+        flat = slim
     order: Optional[GlobalOrder] = None
+    flat_state: Optional[FlatJoinState] = None
     if slim:
-        interner = KeyInterner() if intern_keys else None
-        index_views = slim_signed_views(index_signed, interner)
-        probe_views = (
-            index_views
-            if probe_signed is index_signed
-            else slim_signed_views(probe_signed, interner)
-        )
-        index_signed, probe_signed = index_views, probe_views
+        if flat:
+            flat_state = FlatJoinState.from_signed_sides(
+                index_signed,
+                probe_signed,
+                postings_ascending=postings_ascending,
+            )
+            index_signed = probe_signed = None
+        else:
+            interner = KeyInterner() if intern_keys else None
+            index_views = slim_signed_views(index_signed, interner)
+            probe_views = (
+                index_views
+                if probe_signed is index_signed
+                else slim_signed_views(probe_signed, interner)
+            )
+            index_signed, probe_signed = index_views, probe_views
         keep_signed: Tuple[Sequence[SignedRecord], ...] = ()
         keep_pebbles = False
     else:
@@ -420,8 +583,9 @@ def _build_plan(
         probe_signed=probe_signed,
         probe_is_left=probe_is_left,
         exclude_self_pairs=self_join,
-        postings_ascending=_ids_ascending(index_signed),
+        postings_ascending=postings_ascending,
         order=order,
+        flat=flat_state,
     )
 
 
@@ -467,6 +631,7 @@ def build_shard_plan(
     right: Optional[Joinable] = None,
     *,
     slim: bool = True,
+    flat: Optional[bool] = None,
     intern_keys: bool = True,
     sign_in_workers: bool = False,
     precomputed_order: Optional[GlobalOrder] = None,
@@ -474,11 +639,12 @@ def build_shard_plan(
 ) -> ShardPlan:
     """Build the worker payload for a join without running it.
 
-    This is the plan :func:`process_join` would ship (parent-signed slim
-    with per-plan key interning by default; ``intern_keys=False`` measures
-    the uninterned slim shape, ``slim=False`` the historical full payload,
-    ``sign_in_workers=True`` the unsigned shape).  Exposed so payload
-    sizes can be measured and plans round-tripped in isolation — see
+    This is the plan :func:`process_join` would ship (parent-signed flat
+    integer arrays by default; ``flat=False`` measures the PR-5 slim-view
+    shape, ``intern_keys=False`` additionally the uninterned slim shape,
+    ``slim=False`` the historical full payload, ``sign_in_workers=True``
+    the unsigned shape).  Exposed so payload sizes can be measured and
+    plans round-tripped in isolation — see
     :func:`repro.join.artifacts.plan_payload_bytes`.
     """
     left_prep, right_prep, self_join = engine._resolve_sides(left, right)
@@ -498,21 +664,85 @@ def build_shard_plan(
         right_signed,
         self_join,
         slim=slim,
+        flat=flat,
         intern_keys=intern_keys,
         signing_order=order,
     )
 
 
 @contextmanager
-def _shard_pool(plan: ShardPlan, workers: int):
-    """Yield a process pool whose workers hold the unpickled ``plan``."""
+def _shard_pool(plan: ShardPlan, workers: int, payload_mode: Optional[str] = None):
+    """Yield a process pool whose workers hold the materialized ``plan``.
+
+    The transport is chosen by ``payload_mode`` (default ``auto``): under
+    the fork start method the plan is inherited copy-on-write through
+    :data:`_FORK_PLANS` — zero pickling, zero copies; otherwise (or with
+    ``payload_mode='shm'``) it ships once per machine through a
+    shared-memory segment whose flat arrays workers re-view in place;
+    ``'bytes'`` keeps the historical per-worker pickle.  Transport-side
+    state (the registry entry, the segment) is torn down when the pool
+    shuts down — error paths included.
+    """
     if workers < 1:
         raise ValueError("process execution needs workers >= 1")
-    payload = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(payload,)
-    ) as pool:
-        yield pool
+    mode = _resolve_payload_mode(payload_mode)
+    cleanup = None
+    if mode == "bytes":
+        descriptor = ("bytes", pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL))
+    elif mode == "fork":
+        token = f"plan-{next(_FORK_TOKENS)}"
+        _FORK_PLANS[token] = plan
+        descriptor = ("fork", token)
+        cleanup = lambda: _FORK_PLANS.pop(token, None)  # noqa: E731
+    else:
+        payload = _export_plan_payload(plan)
+        descriptor = ("shm", payload.name)
+        cleanup = payload.release
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(descriptor,)
+        ) as pool:
+            yield pool
+    finally:
+        if cleanup is not None:
+            cleanup()
+
+
+class _ColdSession:
+    """Shard submission over a one-shot, initializer-loaded pool."""
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self._pool = pool
+
+    def map_spans(self, spans: Sequence[Tuple[int, int]]):
+        return self._pool.map(_run_shard, spans)
+
+    def submit_span(self, span: Tuple[int, int]):
+        return self._pool.submit(_run_shard, span)
+
+
+@contextmanager
+def _plan_session(
+    plan: ShardPlan,
+    workers: int,
+    payload_mode: Optional[str],
+    pool,
+):
+    """Yield a shard-submission session for ``plan``.
+
+    With ``pool`` (a :class:`~repro.join.pool.WarmJoinPool`) the plan is
+    registered with the already-running workers through a shared-memory
+    segment — no pool startup, no re-fork; otherwise a one-shot
+    :func:`_shard_pool` is spun up for the call.
+    """
+    if pool is not None:
+        with pool.session(plan) as session:
+            yield session
+    else:
+        with _shard_pool(plan, workers, payload_mode) as cold:
+            yield _ColdSession(cold)
 
 
 def _shard_spans(total: int, shard_size: int) -> List[Tuple[int, int]]:
@@ -582,21 +812,33 @@ def process_join(
     precomputed_order: Optional[GlobalOrder] = None,
     signing_tau: Optional[int] = None,
     sign_in_workers: bool = False,
+    payload_mode: Optional[str] = None,
+    pool=None,
 ) -> JoinResult:
     """Run one join with filtering and verification sharded across processes.
 
-    By default, signing happens (cache-backed) in the parent and the slim
-    plan ships prefix views; with ``sign_in_workers=True`` the parent only
+    By default, signing happens (cache-backed) in the parent and the flat
+    integer plan ships once per machine (copy-on-write under fork, a
+    shared-memory segment otherwise — see :func:`_shard_pool` and
+    ``payload_mode``); with ``sign_in_workers=True`` the parent only
     prepares and builds the order, and each worker signs locally.  Either
     way the result — pairs, similarities, and every statistics counter — is
     bit-identical to ``engine.join(left, right)`` at any ``workers`` /
-    ``shards_per_worker``.  ``signing_seconds`` / ``filtering_seconds`` /
+    ``shards_per_worker``.  Passing ``pool`` (a
+    :class:`~repro.join.pool.WarmJoinPool`) reuses already-warm worker
+    processes instead of starting a pool per call (parent-signed plans
+    only).  ``signing_seconds`` / ``filtering_seconds`` /
     ``verification_seconds`` split the *parent-measured wall clock* of the
     pooled stage proportionally to the summed worker-side stage seconds
     (see :func:`_split_pooled_wall`).
     """
     if workers is None:
         workers = os.cpu_count() or 1
+    if pool is not None and sign_in_workers:
+        raise ValueError(
+            "warm pools ship parent-signed plans; sign_in_workers=True needs "
+            "a per-call pool (its workers sign in their initializers)"
+        )
     start = time.perf_counter()
     left_prep, right_prep, self_join = engine._resolve_sides(left, right)
     statistics = JoinStatistics(
@@ -631,9 +873,9 @@ def process_join(
     def shard_size_for(total: int) -> int:
         return max(1, ceil(total / max(workers * shards_per_worker, 1)))
 
-    def drain(pool, spans) -> Tuple[float, float, float]:
+    def drain(session, spans) -> Tuple[float, float, float]:
         worker_sign = worker_filter = worker_verify = 0.0
-        for shard in pool.map(_run_shard, spans):
+        for shard in session.map_spans(spans):
             _merge_shard(engine, statistics, merged, pairs, shard)
             worker_sign += shard.sign_seconds
             worker_filter += shard.filter_seconds
@@ -647,23 +889,27 @@ def process_join(
         # tiny corpus never spawns surplus processes that each pay a full
         # duplicate signing in their initializer for zero shards.
         worker_cap = max(1, min(workers, max(len(left_prep), len(right_prep))))
-        with _shard_pool(plan, worker_cap) as pool:
-            total, _, avg_left, avg_right, info_sign = pool.submit(
+        with _shard_pool(plan, worker_cap, payload_mode) as cold:
+            total, _, avg_left, avg_right, info_sign = cold.submit(
                 _plan_info
             ).result()
             statistics.avg_signature_length_left = avg_left
             statistics.avg_signature_length_right = avg_right
-            sign, fil, ver = drain(pool, _shard_spans(total, shard_size_for(total)))
+            sign, fil, ver = drain(
+                _ColdSession(cold), _shard_spans(total, shard_size_for(total))
+            )
         _split_pooled_wall(
             statistics, time.perf_counter() - stage_start, sign + info_sign, fil, ver
         )
     else:
-        total = len(plan.probe_signed)
+        total = plan.probe_count
         if total:
             spans = _shard_spans(total, shard_size_for(total))
             stage_start = time.perf_counter()
-            with _shard_pool(plan, min(workers, len(spans))) as pool:
-                busy = drain(pool, spans)
+            with _plan_session(
+                plan, min(workers, len(spans)), payload_mode, pool
+            ) as session:
+                busy = drain(session, spans)
             _split_pooled_wall(
                 statistics, time.perf_counter() - stage_start, *busy
             )
@@ -683,6 +929,8 @@ def process_join_batches(
     signing_tau: Optional[int] = None,
     sign_in_workers: bool = False,
     suggestion_seconds: float = 0.0,
+    payload_mode: Optional[str] = None,
+    pool=None,
 ) -> Iterator[JoinBatch]:
     """Stream the join as :class:`JoinBatch` chunks computed by the pool.
 
@@ -691,12 +939,19 @@ def process_join_batches(
     order while later shards are still being computed, so the stream
     overlaps verification with consumption.  The concatenated batches equal
     the serial stream exactly (pairs, order, and per-batch counters), with
-    or without ``sign_in_workers``.
+    or without ``sign_in_workers``.  A :class:`~repro.join.pool.WarmJoinPool`
+    passed as ``pool`` serves every chunk from the same warm workers
+    (parent-signed plans only).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be a positive integer")
     if workers is None:
         workers = os.cpu_count() or 1
+    if pool is not None and sign_in_workers:
+        raise ValueError(
+            "warm pools ship parent-signed plans; sign_in_workers=True needs "
+            "a per-call pool (its workers sign in their initializers)"
+        )
     left_prep, right_prep, self_join = engine._resolve_sides(left, right)
     if sign_in_workers:
         order = engine._resolve_order(left_prep, right_prep, precomputed_order)
@@ -711,7 +966,7 @@ def process_join_batches(
             engine, left_prep, right_prep, left_signed, right_signed, self_join
         )
     return _process_batches_iter(
-        engine, plan, workers, batch_size, suggestion_seconds
+        engine, plan, workers, batch_size, suggestion_seconds, payload_mode, pool
     )
 
 
@@ -721,6 +976,8 @@ def _process_batches_iter(
     workers: int,
     batch_size: int,
     suggestion_seconds: float,
+    payload_mode: Optional[str] = None,
+    pool=None,
 ) -> Iterator[JoinBatch]:
     if plan.sign_in_workers:
         # Span count is bounded by the larger collection (the probe side is
@@ -728,24 +985,26 @@ def _process_batches_iter(
         # the pool so surplus processes never sign for zero batches.
         upper_bound = max(len(plan.left_prep), len(plan.right_prep))
         worker_cap = max(1, min(workers, ceil(upper_bound / batch_size)))
-        with _shard_pool(plan, worker_cap) as pool:
-            total = pool.submit(_plan_info).result()[0]
+        with _shard_pool(plan, worker_cap, payload_mode) as cold:
+            total = cold.submit(_plan_info).result()[0]
             spans = _shard_spans(total, batch_size)
             yield from _stream_spans(
-                engine, pool, spans, workers, suggestion_seconds
+                engine, _ColdSession(cold), spans, workers, suggestion_seconds
             )
         return
-    total = len(plan.probe_signed)
+    total = plan.probe_count
     if not total:
         return
     spans = _shard_spans(total, batch_size)
-    with _shard_pool(plan, min(workers, len(spans))) as pool:
-        yield from _stream_spans(engine, pool, spans, workers, suggestion_seconds)
+    with _plan_session(
+        plan, min(workers, len(spans)), payload_mode, pool
+    ) as session:
+        yield from _stream_spans(engine, session, spans, workers, suggestion_seconds)
 
 
 def _stream_spans(
     engine: PebbleJoin,
-    pool,
+    session,
     spans: Sequence[Tuple[int, int]],
     workers: int,
     suggestion_seconds: float,
@@ -758,14 +1017,14 @@ def _stream_spans(
     window = min(workers + 1, len(spans))
     span_iter = iter(spans)
     pending = deque(
-        pool.submit(_run_shard, span) for span in islice(span_iter, window)
+        session.submit_span(span) for span in islice(span_iter, window)
     )
     first = True
     while pending:
         shard = pending.popleft().result()
         next_span = next(span_iter, None)
         if next_span is not None:
-            pending.append(pool.submit(_run_shard, next_span))
+            pending.append(session.submit_span(next_span))
         engine.verifier.stats.merge(shard.verification)
         engine.verifier.verified_count += shard.candidate_count
         yield JoinBatch(

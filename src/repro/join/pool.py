@@ -1,0 +1,167 @@
+"""A persistent warm worker pool reused across joins and batch queries.
+
+:func:`~repro.join.parallel.process_join` pays pool startup — process
+spawn, interpreter boot, payload materialization — on *every* call.  That
+amortizes over one big join, but a stream of ``join_batches`` chunks or
+repeated :meth:`~repro.search.index.SimilarityIndex.query_batch` calls
+pays it over and over.  :class:`WarmJoinPool` keeps one
+``ProcessPoolExecutor`` alive with **no** baked-in plan; each call
+registers its :class:`~repro.join.parallel.ShardPlan` with the running
+workers through a shared-memory segment (flat integer arrays re-viewed in
+place, the rest unpickled once per worker) and reuses the same processes::
+
+    with WarmJoinPool(workers=4) as pool:
+        engine.join(left, right, executor="process", pool=pool)
+        engine.join(left, other, executor="process", pool=pool)   # no re-fork
+
+Workers cache a small LRU of materialized runtimes keyed by segment name,
+so interleaved plans (a search index serving multiple corpora, a batch
+stream revisiting one plan per chunk) don't rebuild per task.  The parent
+owns every segment and unlinks it when its session ends; worker
+attachments are deregistered from the resource tracker, so a clean run
+leaves nothing in ``/dev/shm`` and no tracker warnings — the
+shared-memory lifecycle tests enforce both.
+
+Results are bit-identical to the serial engine, like every other executor
+path: the pool only changes *where* :func:`~repro.join.parallel._run_shard_on`
+runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Optional, Sequence, Tuple
+
+from .parallel import (
+    ShardPlan,
+    _attach_plan,
+    _export_plan_payload,
+    _run_shard_on,
+    _WorkerRuntime,
+)
+
+__all__ = ["WarmJoinPool"]
+
+#: Worker-side cap on cached plan runtimes.  Small on purpose: a runtime
+#: pins its shared-memory mapping (and, for slim/full plans, its prepared
+#: collections), so the cache trades a bounded memory ceiling for not
+#: rebuilding when a handful of plans interleave.
+RUNTIME_CACHE_LIMIT = 4
+
+#: Per-process runtime cache for warm-pool workers, keyed by segment name.
+#: Distinct from the initializer-installed ``parallel._RUNTIME`` — a warm
+#: worker serves many plans over its lifetime.
+_POOL_RUNTIMES: "OrderedDict[str, _WorkerRuntime]" = OrderedDict()
+
+
+def _pool_runtime(name: str) -> _WorkerRuntime:
+    """The cached runtime for segment ``name``, attaching on first use."""
+    runtime = _POOL_RUNTIMES.get(name)
+    if runtime is None:
+        plan, shm = _attach_plan(name)
+        runtime = _WorkerRuntime(plan, shm=shm)
+        _POOL_RUNTIMES[name] = runtime
+        while len(_POOL_RUNTIMES) > RUNTIME_CACHE_LIMIT:
+            _, stale = _POOL_RUNTIMES.popitem(last=False)
+            stale.release()
+    else:
+        _POOL_RUNTIMES.move_to_end(name)
+    return runtime
+
+
+def _pool_run_shard(task: Tuple[str, Tuple[int, int]]):
+    """Task entry point: run one shard against a named registered plan."""
+    name, span = task
+    return _run_shard_on(_pool_runtime(name), span)
+
+
+class _WarmSession:
+    """Shard submission against one plan registered with a warm pool."""
+
+    __slots__ = ("_executor", "_name")
+
+    def __init__(self, executor: ProcessPoolExecutor, name: str) -> None:
+        self._executor = executor
+        self._name = name
+
+    def map_spans(self, spans: Sequence[Tuple[int, int]]):
+        name = self._name
+        return self._executor.map(
+            _pool_run_shard, [(name, span) for span in spans]
+        )
+
+    def submit_span(self, span: Tuple[int, int]):
+        return self._executor.submit(_pool_run_shard, (self._name, span))
+
+
+class WarmJoinPool:
+    """A long-lived process pool that serves many shard plans.
+
+    ``workers`` defaults to the CPU count.  The executor starts lazily on
+    the first session and persists until :meth:`close` (or context-manager
+    exit); plans come and go per call.  Parent-signed plans only — a
+    worker-signed plan's whole point is signing inside a pool initializer,
+    which a warm pool deliberately does not have.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("WarmJoinPool needs workers >= 1")
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("WarmJoinPool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._executor is not None
+
+    @contextmanager
+    def session(self, plan: ShardPlan):
+        """Register ``plan`` with the workers and yield a shard session.
+
+        One shared-memory segment is created for the plan and unlinked when
+        the session exits — error paths included.  All shard futures must
+        be consumed inside the session (the drivers do): workers attach
+        lazily on their first task for the plan, and an unlinked segment
+        cannot be attached anew.  Already-attached workers keep serving
+        from their mapping after the unlink; their cache evicts it later.
+        """
+        if plan.sign_in_workers:
+            raise ValueError(
+                "WarmJoinPool serves parent-signed plans only; worker-signed "
+                "plans sign in a per-call pool initializer"
+            )
+        executor = self._ensure_executor()
+        payload = _export_plan_payload(plan)
+        try:
+            yield _WarmSession(executor, payload.name)
+        finally:
+            payload.release()
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent).  Runtimes die with them."""
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WarmJoinPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("warm" if self.started else "cold")
+        return f"WarmJoinPool(workers={self.workers}, state={state})"

@@ -14,7 +14,8 @@ candidates by probe record, reuses per-record cached
 sets) from :class:`~repro.join.prepared.PreparedCollection`, and runs a
 tiered bound cascade before committing to the full Algorithm 1:
 
-1. *Lower-bound tier* — a greedy matching of the all-singletons partitions
+1. *Lower-bound tier* — a matching of the all-singletons partitions (exact
+   Hungarian for small token matrices, weight-descending greedy beyond)
    lower-bounds the exact USIM; when it already clears the threshold the
    upper-bound tier is skipped (it provably cannot prune this pair).
 2. *Upper-bound tier* — per-segment msim upper bounds from cached pebble
@@ -53,6 +54,7 @@ from typing import Callable, ClassVar, Iterable, List, Optional, Sequence, Tuple
 from ..core.approximation import approximate_usim, approximate_usim_on_graph
 from ..core.graph import (
     GraphSide,
+    PairGraphAssembler,
     build_conflict_graph_from_sides,
     singleton_greedy_lower_bound,
     usim_upper_bound,
@@ -475,6 +477,8 @@ class UnifiedVerifier(Verifier):
         left_side: GraphSide,
         right_side: GraphSide,
         stats: VerificationStats,
+        *,
+        assembler: Optional[PairGraphAssembler] = None,
     ) -> Optional[VerifiedPair]:
         stats.candidates += 1
         threshold = self.threshold
@@ -518,7 +522,16 @@ class UnifiedVerifier(Verifier):
                 stats.adaptive_upper_skips += 1
 
         stats.graphs_built += 1
-        graph = build_conflict_graph_from_sides(left_side, right_side, config)
+        if assembler is not None:
+            # The probe-side assembler (shared across one probe's candidate
+            # group) builds a graph vertex-for-vertex identical to the
+            # two-sided constructor, with the probe's qualification state
+            # hoisted out of the pair loop.
+            graph = assembler.build(
+                right_side if assembler.probe_is_left else left_side
+            )
+        else:
+            graph = build_conflict_graph_from_sides(left_side, right_side, config)
         result = approximate_usim_on_graph(graph, config, t=self.t)
         if result.ceiling_stopped:
             stats.ceiling_stops += 1
@@ -612,20 +625,52 @@ class UnifiedVerifier(Verifier):
         get_left = self._side_getter(left)
         get_right = self._side_getter(right)
         groups = _group_candidates(candidate_list, probe_side)
+        probe_is_left = probe_side == "left"
+        # A subclass may override ``_verify_prepared`` with the historical
+        # signature; only the base cascade is handed the group assembler.
+        base_cascade = (
+            type(self)._verify_prepared is UnifiedVerifier._verify_prepared
+        )
 
         def run_group_chunk(
             chunk: List[Tuple[int, int]]
         ) -> Tuple[List[VerifiedPair], VerificationStats]:
             local = VerificationStats()
             found: List[VerifiedPair] = []
+            # One assembler per run of pairs sharing the probe record: its
+            # qualification pre-pass is computed once and reused against
+            # every partner in the group (chunks preserve group runs, and a
+            # split oversized group just re-derives it once per slice).
+            current_probe: Optional[int] = None
+            assembler: Optional[PairGraphAssembler] = None
             for left_id, right_id in chunk:
-                verified = self._verify_prepared(
-                    left[left_id],
-                    right[right_id],
-                    get_left(left_id),
-                    get_right(right_id),
-                    local,
-                )
+                left_graph_side = get_left(left_id)
+                right_graph_side = get_right(right_id)
+                if base_cascade:
+                    probe_id = left_id if probe_is_left else right_id
+                    if assembler is None or probe_id != current_probe:
+                        current_probe = probe_id
+                        assembler = PairGraphAssembler(
+                            left_graph_side if probe_is_left else right_graph_side,
+                            self.config,
+                            probe_is_left=probe_is_left,
+                        )
+                    verified = self._verify_prepared(
+                        left[left_id],
+                        right[right_id],
+                        left_graph_side,
+                        right_graph_side,
+                        local,
+                        assembler=assembler,
+                    )
+                else:
+                    verified = self._verify_prepared(
+                        left[left_id],
+                        right[right_id],
+                        left_graph_side,
+                        right_graph_side,
+                        local,
+                    )
                 if verified is not None:
                     found.append(verified)
             return found, local

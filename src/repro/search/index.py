@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from array import array
 from dataclasses import dataclass
 from math import ceil
 from pathlib import Path
@@ -62,8 +63,9 @@ from ..core.graph import GraphSide, usim_upper_bound
 from ..core.measures import MeasureConfig
 from ..core.tokenizer import default_tokenizer
 from ..core.topk import bounded_top_k
-from ..join.artifacts import KeyInterner, slim_signed_views
+from ..core.vocab import Vocabulary
 from ..join.aufilter import probe_single
+from ..join.flat import FlatPostings, FlatSignatures, FlatJoinState
 from ..join.global_order import GlobalOrder
 from ..join.inverted_index import InvertedIndex
 from ..join.pebbles import generate_pebbles
@@ -262,7 +264,14 @@ class SimilarityIndex:
         # remove, re-order, rebuild) so derived serving state — the memoised
         # process-pool plan views — can invalidate without re-deriving.
         self._epoch = 0
-        self._plan_cache: Optional[Tuple[int, KeyInterner, list, PreparedCollection]] = None
+        self._plan_cache: Optional[Tuple[int, FlatPostings, PreparedCollection]] = None
+        # The persistent integer vocabulary: append-only across the whole
+        # add/remove lifetime, so every flat artifact derived at any epoch
+        # keeps valid ids (removed keys keep theirs and simply go postless).
+        self._vocab = Vocabulary()
+        # Warm process pool for batch queries; created lazily, closed with
+        # the index (see close()).
+        self._warm_pool = None
         self._build_from_prepared()
 
     # ------------------------------------------------------------------ #
@@ -562,12 +571,14 @@ class SimilarityIndex:
 
         The serial path signs every probe, streams them through the
         postings probe-major, and verifies through the grouped batch
-        engine.  ``executor="process"`` ships one
-        :class:`~repro.join.parallel.ShardPlan` — slim interned views of
-        the live member signatures as the index side, the signed probes as
-        the probe side — to a worker pool and shards the probes across it,
-        reusing the join's sharding machinery end to end.  Both executors
-        return identical pairs in identical order.
+        engine.  ``executor="process"`` ships one flat
+        :class:`~repro.join.parallel.ShardPlan` — the maintained posting
+        lists exported as integer arrays over the index's persistent
+        vocabulary, the signed probes vocabulary-encoded as the probe
+        side — to a *warm* worker pool (kept alive across calls; see
+        :meth:`close`) and shards the probes across it, reusing the join's
+        sharding machinery end to end.  Both executors return identical
+        pairs in identical order.
         """
         if executor not in ("serial", "process"):
             raise ValueError(
@@ -625,22 +636,18 @@ class SimilarityIndex:
         tau_q: int,
         workers: Optional[int],
     ) -> Tuple[List[VerifiedPair], int, int, VerificationStats]:
-        """Shard the probe side of a batch query across worker processes."""
-        import os
-
+        """Shard the probe side of a batch query across warm worker processes."""
         from ..join.parallel import (
             SHARDS_PER_WORKER,
             ShardPlan,
-            _run_shard,
-            _shard_pool,
             _shard_spans,
             _verifier_kwargs,
         )
 
-        if workers is None:
-            workers = os.cpu_count() or 1
-        interner, index_views, right_transfer = self._member_plan_state()
-        probe_views = slim_signed_views(signed_probes, interner)
+        postings, right_transfer = self._member_plan_state()
+        probe_flat = FlatSignatures.from_signed(
+            signed_probes, self._vocab, grow=False
+        )
         plan = ShardPlan(
             config=self.config,
             threshold=self.theta,
@@ -648,22 +655,32 @@ class SimilarityIndex:
             verifier_kwargs=_verifier_kwargs(self.verifier),
             left_prep=probe_prepared.transfer_copy(keep_pebbles=False),
             right_prep=right_transfer,
-            index_signed=index_views,
-            probe_signed=probe_views,
+            index_signed=None,
+            probe_signed=None,
             probe_is_left=True,
             exclude_self_pairs=False,
             postings_ascending=True,
             order=None,
+            flat=FlatJoinState(
+                self._vocab,
+                postings,
+                probe_flat,
+                postings_ascending=True,
+                # Member ids are dense in the underlying collection, so
+                # this bounds every posted id without scanning the data.
+                counts_size=len(self.prepared),
+            ),
         )
+        pool = self._warm_join_pool(workers)
         total = len(signed_probes)
         spans = _shard_spans(
-            total, max(1, ceil(total / max(workers * SHARDS_PER_WORKER, 1)))
+            total, max(1, ceil(total / max(pool.workers * SHARDS_PER_WORKER, 1)))
         )
         pairs: List[VerifiedPair] = []
         merged = VerificationStats()
         candidate_count = processed = 0
-        with _shard_pool(plan, min(workers, len(spans))) as pool:
-            for shard in pool.map(_run_shard, spans):
+        with pool.session(plan) as session:
+            for shard in session.map_spans(spans):
                 pairs.extend(shard.pairs)
                 merged.merge(shard.verification)
                 candidate_count += shard.candidate_count
@@ -671,26 +688,55 @@ class SimilarityIndex:
         self._finish_stats(merged)
         return pairs, candidate_count, processed, merged
 
-    def _member_plan_state(self) -> Tuple[KeyInterner, list, PreparedCollection]:
+    def _member_plan_state(self) -> Tuple[FlatPostings, PreparedCollection]:
         """The member side of a process-pool plan, memoised per epoch.
 
-        The slim interned views of every live signature and the pebble-free
-        transfer copy of the corpus only change when the member side does
-        (add/remove/re-order/rebuild, each bumping the epoch), so a serving
-        index answering many batch queries builds them once, not per call.
-        The interner is cached with them so per-request probe views alias
-        the same key objects.
+        The flat export of the maintained posting lists (over the
+        persistent vocabulary — probe-only keys never widen it) and the
+        pebble-free transfer copy of the corpus only change when the
+        member side does (add/remove/re-order/rebuild, each bumping the
+        epoch), so a serving index answering many batch queries builds
+        them once, not per call.  Member signatures themselves never ship:
+        the postings array already encodes everything the filter stage
+        reads from them.
         """
         cache = self._plan_cache
         if cache is not None and cache[0] == self._epoch:
-            return cache[1], cache[2], cache[3]
-        interner = KeyInterner()
-        index_views = slim_signed_views(
-            [signed for signed in self._signed if signed is not None], interner
-        )
+            return cache[1], cache[2]
+        postings = self._index.to_flat(self._vocab)
         right_transfer = self.prepared.transfer_copy(keep_pebbles=False)
-        self._plan_cache = (self._epoch, interner, index_views, right_transfer)
-        return interner, index_views, right_transfer
+        self._plan_cache = (self._epoch, postings, right_transfer)
+        return postings, right_transfer
+
+    def _warm_join_pool(self, workers: Optional[int]):
+        """The lazily started warm pool, resized only on explicit request."""
+        from ..join.pool import WarmJoinPool
+
+        pool = self._warm_pool
+        if pool is not None and workers is not None and pool.workers != workers:
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = WarmJoinPool(workers)
+            self._warm_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the warm query pool (idempotent); queries stay usable.
+
+        The next ``executor="process"`` batch query simply starts a fresh
+        pool.  Long-lived services should close the index (or use it as a
+        context manager) so worker processes don't outlive their work.
+        """
+        pool, self._warm_pool = self._warm_pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "SimilarityIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # incremental maintenance
@@ -893,9 +939,29 @@ class SimilarityIndex:
         del state["verifier"]
         # Derived serving state: cheap to rebuild, pure bloat in a snapshot.
         state["_plan_cache"] = None
+        state["_warm_pool"] = None
+        # A fresh process re-interns its own vocabulary (ids are artifact-
+        # local, and every flat artifact is dropped with the plan cache).
+        state["_vocab"] = None
+        # Flat signature payload: member signatures duplicate the prepared
+        # pebbles (sorted) plus one integer, and the posting lists are a
+        # pure function of them — so the snapshot stores only the per-record
+        # prefix lengths as one integer array and re-derives both sides
+        # exactly on load (sort under the shipped order + stored length; no
+        # selection DP runs).
+        state["_signed"] = None
+        state["_index"] = None
+        state["_flat_signature_lengths"] = array(
+            "i",
+            (
+                -1 if signed is None else signed.signature_length
+                for signed in self._signed
+            ),
+        )
         return state
 
     def __setstate__(self, state: dict) -> None:
+        lengths = state.pop("_flat_signature_lengths", None)
         self.__dict__.update(state)
         # Fresh per-process verifier; cascade counters do not persist.
         self.verifier = UnifiedVerifier(
@@ -904,3 +970,39 @@ class SimilarityIndex:
             t=self.approximation_t,
             adaptive=getattr(self, "adaptive_verification", False),
         )
+        if getattr(self, "_vocab", None) is None:
+            self._vocab = Vocabulary()
+        if getattr(self, "_warm_pool", "absent") == "absent":
+            self._warm_pool = None
+        if lengths is not None:
+            self._restore_flat_signatures(lengths)
+
+    def _restore_flat_signatures(self, lengths: Sequence[int]) -> None:
+        """Rebuild member signatures and postings from flat prefix lengths.
+
+        Bit-exact: a live record's signature is its pebbles sorted under
+        the (shipped) frozen order, cut at the stored prefix length — the
+        same two inputs the original signing reduced to, so no selection
+        DP re-runs and no statistics drift.  Rebuilding the index by
+        ascending id restores the sorted-posting invariant directly.
+        """
+        records = self.prepared.prepared_records
+        signed_list: List[Optional[SignedRecord]] = []
+        index = InvertedIndex()
+        for record_id, prepared in enumerate(records):
+            length = lengths[record_id]
+            if not self._live[record_id] or length < 0:
+                signed_list.append(None)
+                continue
+            sorted_pebbles = tuple(self._order.sort_pebbles(prepared.pebbles))
+            signed = SignedRecord(
+                record=prepared.record,
+                segments=tuple(prepared.segments),
+                pebbles=sorted_pebbles,
+                signature_length=length,
+                min_partition_size=prepared.min_partitions,
+            )
+            signed_list.append(signed)
+            index.add(signed)
+        self._signed = signed_list
+        self._index = index

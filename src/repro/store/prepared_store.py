@@ -71,7 +71,12 @@ FORMAT_VERSION = 1
 
 #: On-disk format version of similarity-index snapshots (independent of the
 #: prepared-collection format: the two artifact kinds evolve separately).
-INDEX_FORMAT_VERSION = 1
+#: v2: flat signature payload — snapshots store per-record signature prefix
+#: lengths as one integer array instead of full signed records and posting
+#: lists, both re-derived exactly on load (see
+#: :meth:`repro.search.index.SimilarityIndex.__getstate__`).  v1 artifacts
+#: are simply never consulted again, per the store's versioning contract.
+INDEX_FORMAT_VERSION = 2
 
 _MAGIC = "repro-prepared-collection"
 _INDEX_MAGIC = "repro-similarity-index"

@@ -1,0 +1,210 @@
+"""Flat integer encoding: vocabulary, CSR views, and payload transport.
+
+These tests pin the tentpole contracts of :mod:`repro.core.vocab` and
+:mod:`repro.join.flat`: interning round-trips every pebble key across all
+measure configurations, the flat CSR arrays reconstruct the exact slim
+views they replaced, the flat probe loop emits the same candidates as the
+dict-based loop, and the shared-memory export/attach cycle reproduces the
+state bit-for-bit while leaving ``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.measures import MeasureConfig
+from repro.core.vocab import Vocabulary
+from repro.datasets import TINY_PROFILE, generate_dataset
+from repro.join import PebbleJoin
+from repro.join.flat import (
+    UNKNOWN_KEY,
+    FlatJoinState,
+    FlatSignatures,
+    attach_payload,
+    share_payload,
+)
+from repro.join.parallel import _run_shard_on, _WorkerRuntime, build_shard_plan
+
+MEASURE_CODES = ("J", "S", "T", "TJS")
+THETA = 0.55
+TAU = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(TINY_PROFILE, seed=47)
+
+
+def _config(dataset, codes: str) -> MeasureConfig:
+    return MeasureConfig.from_codes(
+        codes, rules=dataset.rules, taxonomy=dataset.taxonomy, q=3
+    )
+
+
+def _plans(dataset, codes: str, size: int = 32):
+    """One flat and one legacy slim-view plan over the same preparation."""
+    config = _config(dataset, codes)
+    engine = PebbleJoin(config, THETA, tau=TAU)
+    prepared = engine.prepare(dataset.records.head(size))
+    flat_plan = build_shard_plan(engine, prepared, slim=True)
+    legacy_plan = build_shard_plan(engine, prepared, slim=True, flat=False)
+    return flat_plan, legacy_plan
+
+
+def _shard(plan):
+    runtime = _WorkerRuntime(plan)
+    return _run_shard_on(runtime, (0, plan.probe_count))
+
+
+class TestVocabulary:
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    def test_round_trips_every_signature_key(self, dataset, codes):
+        _, legacy_plan = _plans(dataset, codes)
+        keys = [
+            key
+            for view in legacy_plan.probe_signed
+            for key in view.signature_key_sequence
+        ]
+        vocab = Vocabulary()
+        ids = vocab.encode_all(keys)
+        assert vocab.decode_all(ids) == keys
+        # Interning is idempotent: a second pass grows nothing and assigns
+        # the same ids.
+        size = len(vocab)
+        assert vocab.encode_all(keys) == ids
+        assert len(vocab) == size
+        for key in keys:
+            assert key in vocab
+            assert vocab.id_of(key) == vocab.encode(key)
+
+    def test_growth_unknowns_and_negative_decode(self):
+        vocab = Vocabulary()
+        assert len(vocab) == 0
+        first = vocab.encode(("token", "alpha"))
+        second = vocab.encode(("token", "beta"))
+        assert (first, second) == (0, 1)
+        assert vocab.id_of(("token", "missing")) is None
+        assert ("token", "missing") not in vocab
+        with pytest.raises(IndexError):
+            vocab.decode(UNKNOWN_KEY)
+        assert list(vocab) == [("token", "alpha"), ("token", "beta")]
+
+    def test_pickle_round_trip_preserves_id_assignment(self):
+        vocab = Vocabulary()
+        keys = [("a", i % 5) for i in range(20)]
+        ids = vocab.encode_all(keys)
+        clone = pickle.loads(pickle.dumps(vocab))
+        assert len(clone) == len(vocab)
+        assert clone.encode_all(keys) == ids
+        assert list(clone.keys()) == list(vocab.keys())
+
+
+class TestFlatSignatures:
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    def test_to_views_reconstructs_slim_views(self, dataset, codes):
+        flat_plan, legacy_plan = _plans(dataset, codes)
+        flat = flat_plan.flat
+        views = flat.probe.to_views(flat_plan.left_prep)
+        legacy_views = legacy_plan.probe_signed
+        assert len(views) == len(legacy_views)
+        for mine, theirs in zip(views, legacy_views):
+            assert mine.record.record_id == theirs.record.record_id
+            assert tuple(mine.signature_key_sequence) == tuple(
+                theirs.signature_key_sequence
+            )
+            assert mine.signature_length == theirs.signature_length
+            assert mine.pebble_count == theirs.pebble_count
+            assert mine.min_partition_size == theirs.min_partition_size
+
+    def test_non_growing_probe_maps_unknown_keys_to_sentinel(self):
+        vocab = Vocabulary()
+        vocab.encode(("q", "known"))
+
+        class _Stub:
+            def __init__(self, record_id, keys):
+                self.record = type("R", (), {"record_id": record_id})()
+                self.signature_key_sequence = keys
+                self.pebble_count = len(keys)
+                self.min_partition_size = 1
+
+        stub = _Stub(0, (("q", "known"), ("q", "unknown")))
+        flat = FlatSignatures.from_signed([stub], vocab, grow=False)
+        assert list(flat.key_ids) == [0, UNKNOWN_KEY]
+        # The vocabulary did not grow: unknown probe keys stay unmapped.
+        assert len(vocab) == 1
+
+
+class TestFlatProbeEquivalence:
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    def test_flat_shard_matches_dict_shard(self, dataset, codes):
+        flat_plan, legacy_plan = _plans(dataset, codes)
+        flat_result = _shard(flat_plan)
+        legacy_result = _shard(legacy_plan)
+        assert flat_result.candidate_count == legacy_result.candidate_count
+        assert flat_result.processed_pairs == legacy_result.processed_pairs
+        assert [
+            (p.left_id, p.right_id, p.similarity) for p in flat_result.pairs
+        ] == [(p.left_id, p.right_id, p.similarity) for p in legacy_result.pairs]
+
+
+class TestPayloadTransport:
+    def test_pickle_round_trip_drops_vocab_keeps_results(self, dataset):
+        flat_plan, _ = _plans(dataset, "TJS")
+        flat = flat_plan.flat
+        clone = pickle.loads(pickle.dumps(flat))
+        assert clone.vocab is None
+        reference = flat.probe_span(
+            0, flat.probe_count, flat_plan.requirement,
+            probe_is_left=flat_plan.probe_is_left,
+            exclude_self_pairs=flat_plan.exclude_self_pairs,
+        )
+        restored = clone.probe_span(
+            0, clone.probe_count, flat_plan.requirement,
+            probe_is_left=flat_plan.probe_is_left,
+            exclude_self_pairs=flat_plan.exclude_self_pairs,
+        )
+        assert restored == reference
+
+    def test_share_attach_round_trip_and_cleanup(self, dataset):
+        flat_plan, _ = _plans(dataset, "TJS")
+        flat = flat_plan.flat
+        meta, arrays = flat.export()
+        payload = share_payload(meta, arrays)
+        try:
+            attached_meta, buffers, shm = attach_payload(payload.name)
+            try:
+                restored = FlatJoinState.restore(attached_meta, buffers)
+                reference = flat.probe_span(
+                    0, flat.probe_count, flat_plan.requirement,
+                    probe_is_left=flat_plan.probe_is_left,
+                    exclude_self_pairs=flat_plan.exclude_self_pairs,
+                )
+                result = restored.probe_span(
+                    0, restored.probe_count, flat_plan.requirement,
+                    probe_is_left=flat_plan.probe_is_left,
+                    exclude_self_pairs=flat_plan.exclude_self_pairs,
+                )
+                assert result == reference
+            finally:
+                # Buffers view the segment: drop them before closing it.
+                del restored, buffers
+                shm.close()
+        finally:
+            payload.release()
+        if os.path.isdir("/dev/shm"):
+            assert payload.name.lstrip("/") not in os.listdir("/dev/shm")
+        # Releasing twice is a documented no-op.
+        payload.release()
+
+    def test_self_join_export_omits_postings_arrays(self, dataset):
+        flat_plan, _ = _plans(dataset, "TJS")
+        flat = flat_plan.flat
+        assert flat.self_keys is not None
+        meta, arrays = flat.export()
+        assert len(arrays) == len(FlatJoinState._PROBE_FIELDS)
+        restored = FlatJoinState.restore(meta, arrays)
+        assert list(restored.postings.offsets) == list(flat.postings.offsets)
+        assert list(restored.postings.data) == list(flat.postings.data)

@@ -285,8 +285,10 @@ class TestWorkerSideSigning:
 
 class TestRandomizedPathEquivalence:
     def test_all_paths_bit_identical(self, parallel_dataset, tmp_path):
-        """Serial, slim process, worker-signed, and store-warmed joins must
-        agree pair-for-pair (ids and similarities) on randomized configs."""
+        """Serial, flat process (every payload transport), worker-signed,
+        warm-pool, and store-warmed joins must agree pair-for-pair (ids and
+        similarities) on randomized configs."""
+        from repro.join.pool import WarmJoinPool
         from repro.store import PreparedStore
 
         rng = random.Random(29)
@@ -316,6 +318,23 @@ class TestRandomizedPathEquivalence:
                 sign_in_workers=True,
             )
             assert _triples(signed.pairs) == expected, label
+
+            # The flat plan through each explicit transport: the shared-
+            # memory segment and the legacy per-worker pickle.
+            for payload_mode in ("shm", "bytes"):
+                flat = PebbleJoin(config, theta, tau=tau).join(
+                    collection,
+                    executor="process",
+                    workers=workers,
+                    payload_mode=payload_mode,
+                )
+                assert _triples(flat.pairs) == expected, (label, payload_mode)
+
+            with WarmJoinPool(workers=workers) as warm_pool:
+                pooled = PebbleJoin(config, theta, tau=tau).join(
+                    collection, executor="process", pool=warm_pool
+                )
+            assert _triples(pooled.pairs) == expected, label
 
             store = PreparedStore(tmp_path / f"trial-{trial}")
             prepared = store.prepare(collection, config)

@@ -1,0 +1,111 @@
+"""Shared-memory lifecycle smoke tests for the flat process transports.
+
+ResourceWarnings are promoted to errors for this module: a forgotten
+segment attachment or an executor shut down by the garbage collector fails
+the test rather than scrolling past as a warning.  Each test also compares
+``/dev/shm`` before and after, so a segment leaked by any error path shows
+up as a named assertion failure.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import pytest
+
+from repro.core.measures import MeasureConfig
+from repro.datasets import TINY_PROFILE, generate_dataset
+from repro.join import PebbleJoin
+from repro.join.pool import WarmJoinPool
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+THETA = 0.55
+TAU = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(TINY_PROFILE, seed=47)
+
+
+def _config(dataset) -> MeasureConfig:
+    return MeasureConfig.from_codes(
+        "TJS", rules=dataset.rules, taxonomy=dataset.taxonomy, q=3
+    )
+
+
+def _triples(pairs):
+    return [(pair.left_id, pair.right_id, pair.similarity) for pair in pairs]
+
+
+def _shm_segments() -> set:
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+def test_two_worker_shm_join_is_exact_and_leak_free(dataset):
+    config = _config(dataset)
+    collection = dataset.records.head(36)
+    serial = PebbleJoin(config, THETA, tau=TAU).join(collection)
+
+    before = _shm_segments()
+    result = PebbleJoin(config, THETA, tau=TAU).join(
+        collection, executor="process", workers=2, payload_mode="shm"
+    )
+    gc.collect()
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    assert _triples(result.pairs) == _triples(serial.pairs)
+
+
+def test_warm_pool_releases_segments_across_sessions(dataset):
+    config = _config(dataset)
+    collection = dataset.records.head(30)
+    serial = PebbleJoin(config, THETA, tau=TAU).join(collection)
+
+    before = _shm_segments()
+    pool = WarmJoinPool(workers=2)
+    try:
+        # Two joins through one pool: each session exports its own segment
+        # and must release it at session end, not at pool shutdown.
+        for _ in range(2):
+            result = PebbleJoin(config, THETA, tau=TAU).join(
+                collection, executor="process", pool=pool
+            )
+            assert _triples(result.pairs) == _triples(serial.pairs)
+            leaked = _shm_segments() - before
+            assert not leaked, f"segment outlived its session: {sorted(leaked)}"
+        assert pool.started
+    finally:
+        pool.close()
+    gc.collect()
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    # close() is idempotent and the pool stays safely closeable.
+    pool.close()
+
+
+def test_streamed_batches_shm_leak_free(dataset):
+    config = _config(dataset)
+    collection = dataset.records.head(30)
+    serial = list(PebbleJoin(config, THETA, tau=TAU).join_batches(collection, batch_size=8))
+
+    before = _shm_segments()
+    pooled = list(
+        PebbleJoin(config, THETA, tau=TAU).join_batches(
+            collection,
+            batch_size=8,
+            executor="process",
+            workers=2,
+            payload_mode="shm",
+        )
+    )
+    gc.collect()
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    assert len(pooled) == len(serial)
+    for mine, theirs in zip(pooled, serial):
+        assert _triples(mine.pairs) == _triples(theirs.pairs)
