@@ -15,3 +15,8 @@ def pytest_configure(config):
         "benchmarks: fast smoke runs of the benchmark harnesses "
         "(tiny sizes; the full-scale runs live under benchmarks/)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests (killed workers, hung shards, dropped "
+        "shm segments, corrupted artifacts) asserting bit-identical recovery",
+    )

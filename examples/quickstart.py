@@ -17,6 +17,7 @@ streaming results chunk by chunk                 ``join_batches(batch_size=...)`
 all cores on one big join                        ``executor="process"`` (+ ``sign_in_workers``)
 many process joins, no per-join pool spin-up     ``WarmJoinPool`` (``pool=`` on ``join``/batches)
 zero-copy worker payloads / non-fork platforms   ``payload_mode="shm"`` (``"auto"`` picks fork)
+joins that survive crashed or hung workers       ``SupervisorPolicy`` (``supervision=`` on joins)
 warm restarts / artifacts on disk                ``PreparedStore`` (``store=`` on either engine)
 store housekeeping from the shell                ``python -m repro.store <dir> [--evict]``
 answering single records *right now*             ``SimilarityIndex`` (``repro.search``)
@@ -133,6 +134,23 @@ def main() -> None:
     )
     print(f"Worker-signed join -> {len(worker_signed)} pairs "
           f"(identical to serial: {worker_signed.pair_ids() == pair_result.pair_ids()})")
+
+    # --- fault-tolerant execution -------------------------------------------
+    # Process joins run under a shard supervisor: a worker that dies or
+    # hangs, or a shared-memory plan segment that vanishes, is retried,
+    # the pool respawned, and — as a last resort — the affected shards run
+    # serially in the parent, so the join completes with the same pairs.
+    # A SupervisorPolicy tunes the deadlines/retry budget, and every result
+    # carries an ExecutionReport telling a clean run from a degraded one.
+    from repro import SupervisorPolicy
+
+    supervised = join.join(
+        prepared_a, prepared_b, executor="process", workers=2,
+        supervision=SupervisorPolicy(shard_timeout=30.0),
+    )
+    report = supervised.statistics.execution
+    print(f"Supervised join -> {len(supervised)} pairs (faulted: {report.faulted}, "
+          f"retries: {report.retries}, respawns: {report.respawns})")
 
     # --- persistent prepared collections -----------------------------------
     # A PreparedStore persists prepared state on disk, keyed by a content

@@ -12,7 +12,35 @@ Walks the life cycle of an online :class:`~repro.search.SimilarityIndex`:
    alive between ``query_batch(executor="process")`` calls, receiving the
    maintained index as flat integer arrays over shared memory, and are
    shut down with ``close()`` (or by using the index as a context
-   manager).
+   manager),
+7. survive the substrate failing under the service (see below).
+
+Failure semantics
+-----------------
+A long-lived service meets every failure a one-shot join never sees, and
+each one has a defined behaviour rather than an opaque crash:
+
+* **Killed / hung workers, vanished shm segments** — ``query_batch``
+  process shards run under a :class:`~repro.join.ShardSupervisor`: failed
+  shards are retried with capped backoff, the pool is respawned (the plan
+  re-published under a fresh segment), and shards the pool cannot complete
+  run serially in the parent.  Answers are **bit-identical** to the serial
+  path either way; the ``execution`` report on the result says what it
+  cost (``supervision=SupervisorPolicy(...)`` tunes deadlines/budgets).
+* **A pool that broke between calls** — ``WarmJoinPool`` detects a broken
+  executor on the next session and rebuilds it; ``close()`` is idempotent
+  and never re-raises a stale worker death.
+* **A crashed service process** — shared-memory segments are tracked in an
+  on-disk registry; the next process to export a plan sweeps segments
+  whose owners are dead, so ``/dev/shm`` cannot leak across restarts.
+* **A rotted snapshot** — a store artifact that fails validation on load
+  is moved into the store's ``quarantine/`` directory with a reason file
+  (never silently served, never deleted outright); ``load`` just misses
+  and the service rebuilds from the corpus.
+* **Concurrent mutation** — ``add``/``remove``/``rebuild`` overlapping
+  each other or an in-flight query raise
+  :class:`~repro.search.ConcurrentMutationError` instead of corrupting
+  the postings: serialize mutations with queries in the caller.
 
 Run with::
 
@@ -129,7 +157,28 @@ def main() -> None:
             elapsed = (time.perf_counter() - start) * 1000
             assert pooled.pairs == serial_batch.pairs  # bit-identical to serial
             print(f"warm-pool query_batch call {call}: {len(pooled)} pairs "
-                  f"in {elapsed:.1f}ms")
+                  f"in {elapsed:.1f}ms (clean run: "
+                  f"{not pooled.execution.faulted})")
+
+        # --- surviving a crashed worker ----------------------------------
+        # Deterministically kill the worker serving the first shard (the
+        # same injection the chaos test suite uses); the supervisor
+        # respawns the pool, re-dispatches, and the answers don't change.
+        from repro import SupervisorPolicy
+        from repro.faults import FAULTS, FaultRule
+
+        with FAULTS.injected(FaultRule("worker_kill", shard=0)):
+            service.close()  # fresh pool so its workers see the armed fault
+            survived = service.query_batch(
+                probes, executor="process", workers=2,
+                supervision=SupervisorPolicy(backoff_base=0.0),
+            )
+        assert survived.pairs == serial_batch.pairs
+        report = survived.execution
+        print(f"after killing a worker mid-query: {len(survived)} pairs, "
+              f"still bit-identical (respawns: {report.respawns}, "
+              f"retries: {report.retries}, "
+              f"serial-fallback shards: {report.fallback_shards})")
         service.close()  # stop the warm workers; the index stays queryable
         show(service, "after close, still serving", service.query(probe))
     print("\n(store directory cleaned up — a real service would keep it, "

@@ -24,16 +24,21 @@ algorithms, synthetic datasets, and evaluation utilities.
 
 from .core.measures import Measure, MeasureConfig
 from .core.unified import UnifiedSimilarity
-from .search import SimilarityIndex
+from .join.supervision import ExecutionReport, ShardTransportError, SupervisorPolicy
+from .search import ConcurrentMutationError, SimilarityIndex
 from .synonyms.rules import SynonymRule, SynonymRuleSet
 from .taxonomy.tree import Taxonomy, TaxonomyNode
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConcurrentMutationError",
+    "ExecutionReport",
     "Measure",
     "MeasureConfig",
+    "ShardTransportError",
     "SimilarityIndex",
+    "SupervisorPolicy",
     "SynonymRule",
     "SynonymRuleSet",
     "Taxonomy",

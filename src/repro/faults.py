@@ -1,0 +1,287 @@
+"""Deterministic fault injection for chaos-testing the execution layer.
+
+Every recovery path in the supervised process-pool driver
+(:mod:`repro.join.supervision`) exists because a specific failure exists:
+workers segfault or get OOM-killed mid-shard, shards hang past any
+reasonable deadline, shared-memory segments vanish between publish and
+attach, and on-disk store artifacts rot.  None of those failures occur
+naturally in a test run, so this module makes them occur *on demand and
+deterministically*: a small set of :class:`FaultRule` injectors, armed
+through one environment variable so they cross the process boundary into
+pool workers, each firing at an exactly specified point:
+
+``worker_kill``
+    ``os._exit`` inside a pool worker at the start of a targeted shard —
+    the closest controllable stand-in for a segfault/OOM-kill.  The
+    executor observes an abrupt worker death and raises
+    ``BrokenProcessPool`` for every pending shard.
+``shard_delay``
+    ``time.sleep(seconds)`` at the start of a targeted shard, long enough
+    to trip the supervisor's per-shard timeout.
+``shm_drop``
+    Unlink a freshly published shared-memory plan segment *before* any
+    worker attaches — the segment then "vanished between publish and
+    attach", surfacing worker-side as a typed
+    :class:`~repro.join.supervision.ShardTransportError` (warm pools) or
+    an initializer failure (cold pools).
+``store_corrupt``
+    Flip bytes in a store artifact right after it is written, exercising
+    the :class:`~repro.store.PreparedStore` quarantine path.
+
+Determinism
+-----------
+Worker-side rules (``worker_kill``, ``shard_delay``) target a shard by its
+probe-start offset (``shard=None`` targets every shard) and fire only while
+the shard's supervisor-tracked ``attempt`` is below ``max_attempt`` — the
+supervisor ships the attempt number with every dispatch, so a retried shard
+deterministically stops faulting and the recovery path is provable, not
+flaky.  They never fire in the process that armed them (the armer's pid
+travels in the spec), so a serial fallback run in the parent is never
+sabotaged.  Parent-side rules (``shm_drop``, ``store_corrupt``) fire only
+in the arming process and count firings in process memory (``times``), so
+"the first publish is sabotaged, the re-publish succeeds" is a statement,
+not a race.
+
+Usage::
+
+    from repro.faults import FAULTS, FaultRule
+
+    with FAULTS.injected(FaultRule("worker_kill", shard=0)):
+        result = engine.join(collection, executor="process", workers=2)
+    assert result.statistics.execution.respawns >= 1
+
+Nothing in this module is imported by the hot path beyond one cheap
+``os.environ.get`` per shard dispatch; with the variable unset every hook
+is a no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["ENV_VAR", "FAULTS", "FaultInjector", "FaultRule", "flip_bytes"]
+
+#: The environment variable carrying the armed fault spec.  Environment is
+#: inherited by pool workers under both fork and spawn start methods, which
+#: is exactly why the spec lives there and not in module state.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Recognized fault kinds (see the module docs).
+KINDS = ("worker_kill", "shard_delay", "shm_drop", "store_corrupt")
+
+#: Exit status of a ``worker_kill`` (visible in the dead worker's wait
+#: status; any abrupt exit breaks the pool, the value only aids debugging).
+KILL_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed injector.
+
+    ``shard`` is the probe-start offset of the targeted shard (``None``
+    targets any shard); ``max_attempt`` stops worker-side rules from firing
+    on retries (fire while ``attempt < max_attempt``); ``times`` bounds
+    parent-side rules (``shm_drop`` / ``store_corrupt``) to their first N
+    opportunities; ``seconds`` is the ``shard_delay`` duration; ``seed`` /
+    ``flips`` parameterize the deterministic ``store_corrupt`` byte flips.
+    """
+
+    kind: str
+    shard: Optional[int] = None
+    max_attempt: int = 1
+    seconds: float = 0.25
+    times: int = 1
+    seed: int = 0
+    flips: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+
+
+def flip_bytes(path: Union[str, os.PathLike], *, seed: int = 0, flips: int = 16, skip: int = 0) -> None:
+    """Deterministically corrupt a file in place (XOR ``flips`` bytes).
+
+    Positions are drawn from ``random.Random(seed)`` over ``[skip, size)``,
+    so a given (file, seed) always produces the same damage — corruption
+    tests reproduce bit-for-bit.  Empty files are left alone.
+    """
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        return
+    lower = min(max(skip, 0), len(data) - 1)
+    rng = random.Random(seed)
+    for _ in range(flips):
+        data[rng.randrange(lower, len(data))] ^= 0xFF
+    target.write_bytes(data)
+
+
+def _format_spec(rules: Sequence[FaultRule], pid: int) -> str:
+    parts = []
+    for rule in rules:
+        fields = [rule.kind]
+        if rule.shard is not None:
+            fields.append(f"shard={rule.shard}")
+        fields.append(f"max_attempt={rule.max_attempt}")
+        fields.append(f"seconds={rule.seconds!r}")
+        fields.append(f"times={rule.times}")
+        fields.append(f"seed={rule.seed}")
+        fields.append(f"flips={rule.flips}")
+        parts.append(":".join(fields))
+    return f"pid={pid}|" + ";".join(parts)
+
+
+def _parse_spec(spec: str) -> Tuple[Optional[int], Tuple[FaultRule, ...]]:
+    """Parse a spec string; malformed input raises (failing loudly beats
+    silently running a chaos test with no chaos armed)."""
+    pid: Optional[int] = None
+    body = spec
+    if spec.startswith("pid="):
+        head, _, body = spec.partition("|")
+        pid = int(head[len("pid="):])
+    rules: List[FaultRule] = []
+    for part in body.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        kind, *settings = part.split(":")
+        kwargs: dict = {}
+        for setting in settings:
+            key, _, value = setting.partition("=")
+            if key in ("shard", "max_attempt", "times", "seed", "flips"):
+                kwargs[key] = int(value)
+            elif key == "seconds":
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(f"unknown fault setting {key!r} in {part!r}")
+        rules.append(FaultRule(kind, **kwargs))
+    return pid, tuple(rules)
+
+
+class FaultInjector:
+    """The process-wide registry of armed faults, read lazily from the env.
+
+    The spec is re-parsed only when the environment variable's value
+    changes, so the per-hook cost with faults armed is one string compare;
+    with nothing armed it is one dict lookup returning ``None``.
+    """
+
+    def __init__(self, env_var: str = ENV_VAR) -> None:
+        self.env_var = env_var
+        self._cached_spec: Optional[str] = None
+        self._armer_pid: Optional[int] = None
+        self._rules: Tuple[FaultRule, ...] = ()
+        #: Parent-side firing counts, keyed by rule index.  In-memory on
+        #: purpose: only the arming process consumes these rules.
+        self._spent: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # arming
+    # ------------------------------------------------------------------ #
+    def arm(self, *rules: FaultRule, pid: Optional[int] = None) -> None:
+        """Publish ``rules`` to this process tree (children inherit)."""
+        if not rules:
+            raise ValueError("arm() needs at least one FaultRule")
+        os.environ[self.env_var] = _format_spec(rules, os.getpid() if pid is None else pid)
+        self._load()
+
+    def disarm(self) -> None:
+        """Withdraw every armed rule (idempotent)."""
+        os.environ.pop(self.env_var, None)
+        self._load()
+
+    @contextmanager
+    def injected(self, *rules: FaultRule) -> Iterator["FaultInjector"]:
+        """Arm ``rules`` for the duration of a ``with`` block."""
+        self.arm(*rules)
+        try:
+            yield self
+        finally:
+            self.disarm()
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._load())
+
+    # ------------------------------------------------------------------ #
+    # hooks (called from the execution layer)
+    # ------------------------------------------------------------------ #
+    def on_shard(self, shard_start: int, attempt: int) -> None:
+        """Worker-side dispatch hook: may kill this process or stall it.
+
+        Never fires in the arming process itself, so parent-side serial
+        fallback re-runs of the same shard are exempt by construction.
+        """
+        rules = self._load()
+        if not rules or os.getpid() == self._armer_pid:
+            return
+        for rule in rules:
+            if rule.kind not in ("worker_kill", "shard_delay"):
+                continue
+            if rule.shard is not None and rule.shard != shard_start:
+                continue
+            if attempt >= rule.max_attempt:
+                continue
+            if rule.kind == "worker_kill":
+                os._exit(KILL_EXIT_CODE)
+            time.sleep(rule.seconds)
+
+    def on_shm_publish(self, payload) -> None:
+        """Parent-side publish hook: may drop a just-exported segment.
+
+        ``payload`` is a :class:`~repro.join.flat.SharedPayload`; dropping
+        means unlinking the segment while keeping the (now orphaned) name
+        in the plan descriptor, so the next attach fails exactly as it
+        would after a crashed parent's cleanup ran early.
+        """
+        for rule in self._take_parent_rules("shm_drop"):
+            try:
+                payload.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already dropped
+                pass
+
+    def on_store_save(self, path: Union[str, os.PathLike]) -> None:
+        """Parent-side store hook: may corrupt a just-written artifact."""
+        for rule in self._take_parent_rules("store_corrupt"):
+            try:
+                flip_bytes(path, seed=rule.seed, flips=rule.flips)
+            except OSError:  # pragma: no cover - artifact raced away
+                pass
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _load(self) -> Tuple[FaultRule, ...]:
+        spec = os.environ.get(self.env_var)
+        if spec != self._cached_spec:
+            self._cached_spec = spec
+            self._spent = {}
+            if spec:
+                self._armer_pid, self._rules = _parse_spec(spec)
+            else:
+                self._armer_pid, self._rules = None, ()
+        return self._rules
+
+    def _take_parent_rules(self, kind: str) -> Iterator[FaultRule]:
+        rules = self._load()
+        if not rules or os.getpid() != self._armer_pid:
+            return
+        for index, rule in enumerate(rules):
+            if rule.kind != kind:
+                continue
+            spent = self._spent.get(index, 0)
+            if spent >= rule.times:
+                continue
+            self._spent[index] = spent + 1
+            yield rule
+
+
+#: The process-wide injector every hook site consults.
+FAULTS = FaultInjector()

@@ -23,12 +23,20 @@ from .parallel import (
 )
 from .partition_bound import greedy_cover_size, min_partition_size
 from .pebbles import Pebble, PebbleKey, generate_pebbles
+from .pool import WarmJoinPool
 from .prepared import PreparedCollection, PreparedRecord, build_shared_order
 from .signatures import SignatureMethod, SignedRecord, select_signature_prefix, sign_record
+from .supervision import (
+    ExecutionReport,
+    ShardSupervisor,
+    ShardTransportError,
+    SupervisorPolicy,
+)
 from .ufilter import UFilterJoin
 from .verification import UnifiedVerifier, VerificationStats, VerifiedPair, Verifier
 
 __all__ = [
+    "ExecutionReport",
     "FilterOutcome",
     "GlobalOrder",
     "InvertedIndex",
@@ -44,15 +52,19 @@ __all__ = [
     "PreparedRecord",
     "ShardPlan",
     "ShardResult",
+    "ShardSupervisor",
+    "ShardTransportError",
     "SignatureMethod",
     "SignedRecord",
     "SignedRecordView",
+    "SupervisorPolicy",
     "UFilterJoin",
     "UnifiedJoin",
     "UnifiedVerifier",
     "VerificationStats",
     "VerifiedPair",
     "Verifier",
+    "WarmJoinPool",
     "build_shard_plan",
     "build_shared_order",
     "dual_index_filter_candidates",

@@ -65,6 +65,7 @@ from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
 from .prepared import PreparedCollection
 from .signatures import SignatureMethod, SignedRecord, sign_record
+from .supervision import ExecutionReport, SupervisorPolicy
 from .verification import UnifiedVerifier, VerificationStats, VerifiedPair, Verifier
 
 __all__ = [
@@ -138,6 +139,9 @@ class JoinBatch:
     ``suggestion_seconds`` is non-zero only on the *first* batch of a
     ``tau="auto"`` run: the τ-recommendation happens once before streaming
     starts, so its cost is attributed to the batch that paid the wait.
+    ``execution`` (process executor only) is the stream's **live**
+    :class:`~repro.join.supervision.ExecutionReport` — one shared object
+    across all batches whose fault counters grow as the stream progresses.
     """
 
     pairs: List[VerifiedPair]
@@ -146,6 +150,7 @@ class JoinBatch:
     probe_range: Tuple[int, int]
     verification: Optional[VerificationStats] = None
     suggestion_seconds: float = 0.0
+    execution: Optional["ExecutionReport"] = None
 
 
 @dataclass
@@ -155,7 +160,10 @@ class JoinStatistics:
     ``verification`` breaks the verification stage down by cascade tier
     (bound prunes, ceiling stops, full Algorithm-1 runs) when the engine's
     verifier reports statistics; it is ``None`` for custom verifiers that
-    do not.
+    do not.  ``execution`` is the supervised process executor's
+    :class:`~repro.join.supervision.ExecutionReport` (retries, respawns,
+    fallbacks, per-shard attempts) — ``None`` on the serial and thread
+    executors, an all-zero report on a clean supervised run.
     """
 
     signing_seconds: float = 0.0
@@ -173,6 +181,7 @@ class JoinStatistics:
     theta: float = 0.0
     method: str = SignatureMethod.U_FILTER
     verification: Optional[VerificationStats] = None
+    execution: Optional["ExecutionReport"] = None
 
     @property
     def total_seconds(self) -> float:
@@ -808,6 +817,7 @@ class PebbleJoin:
         sign_in_workers: bool = False,
         payload_mode: Optional[str] = None,
         pool=None,
+        supervision: Optional[SupervisorPolicy] = None,
     ) -> JoinResult:
         """Join two collections (or self-join one) and verify candidates.
 
@@ -831,16 +841,26 @@ class PebbleJoin:
         ``payload_mode`` picks the worker transport (``"auto"``: fork
         inheritance when available, a shared-memory segment otherwise) and
         ``pool`` — a :class:`~repro.join.pool.WarmJoinPool` — reuses warm
-        worker processes across calls; both are process-executor-only.
+        worker processes across calls; both are process-executor-only, as is
+        ``supervision`` — a :class:`~repro.join.supervision.SupervisorPolicy`
+        tuning the fault-tolerant shard supervisor (timeouts, retry/respawn
+        budgets, serial fallback; supervision is on by default and reports
+        through ``statistics.execution``).
         Every executor returns bit-identical pairs, similarities, and
         statistics counters at every worker count (with the default
-        non-adaptive verifier).
+        non-adaptive verifier) — including supervised runs that retried,
+        respawned, or fell back to serial for some shards.
         """
         resolved_executor, pool_workers = _resolve_executor(
             executor, workers, verify_workers
         )
         _check_sign_in_workers(sign_in_workers, resolved_executor)
-        _check_process_only(resolved_executor, payload_mode=payload_mode, pool=pool)
+        _check_process_only(
+            resolved_executor,
+            payload_mode=payload_mode,
+            pool=pool,
+            supervision=supervision,
+        )
         start = time.perf_counter()
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
         entries = self._store_entries(left_prep, right_prep)
@@ -858,6 +878,7 @@ class PebbleJoin:
                 sign_in_workers=sign_in_workers,
                 payload_mode=payload_mode,
                 pool=pool,
+                supervision=supervision,
             )
             # Raw sides were resolved (possibly store-loaded) out here, so
             # their preparation time is folded back into the signing stage.
@@ -955,6 +976,7 @@ class PebbleJoin:
         suggestion_seconds: float = 0.0,
         payload_mode: Optional[str] = None,
         pool=None,
+        supervision: Optional[SupervisorPolicy] = None,
     ) -> Iterator[JoinBatch]:
         """Stream the join: filter and verify one probe chunk at a time.
 
@@ -980,7 +1002,12 @@ class PebbleJoin:
             executor, workers, verify_workers
         )
         _check_sign_in_workers(sign_in_workers, resolved_executor)
-        _check_process_only(resolved_executor, payload_mode=payload_mode, pool=pool)
+        _check_process_only(
+            resolved_executor,
+            payload_mode=payload_mode,
+            pool=pool,
+            supervision=supervision,
+        )
         left_prep, right_prep, self_join = self._resolve_sides(left, right)
         entries = self._store_entries(left_prep, right_prep)
         if resolved_executor == "process":
@@ -998,6 +1025,7 @@ class PebbleJoin:
                 suggestion_seconds=suggestion_seconds,
                 payload_mode=payload_mode,
                 pool=pool,
+                supervision=supervision,
             )
         else:
             batches = self._join_batches_iter(

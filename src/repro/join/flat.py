@@ -38,6 +38,7 @@ from __future__ import annotations
 from array import array
 from typing import List, Optional, Sequence, Tuple
 
+from .. import shm_registry
 from ..core.vocab import Vocabulary
 from .artifacts import SignedLike, SignedRecordView
 from .pebbles import PebbleKey
@@ -612,8 +613,9 @@ class SharedPayload:
         self.shm.close()
         try:
             self.shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
+        except FileNotFoundError:
             pass
+        shm_registry.unregister(self.name)
 
     def __enter__(self) -> "SharedPayload":
         return self
@@ -638,6 +640,9 @@ def share_payload(meta: object, arrays: Sequence) -> SharedPayload:
     import pickle
     from multiprocessing import shared_memory
 
+    # First export in this process: reclaim segments leaked by crashed
+    # predecessors before creating new ones (see repro.shm_registry).
+    shm_registry.sweep_once()
     blobs = [
         a.tobytes() if isinstance(a, array) else array(_INT, a).tobytes()
         for a in arrays
@@ -661,7 +666,12 @@ def share_payload(meta: object, arrays: Sequence) -> SharedPayload:
         shm.close()
         shm.unlink()
         raise
-    return SharedPayload(shm)
+    shm_registry.register(shm.name)
+    from ..faults import FAULTS
+
+    payload = SharedPayload(shm)
+    FAULTS.on_shm_publish(payload)
+    return payload
 
 
 def attach_payload(name: str):

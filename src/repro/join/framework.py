@@ -282,6 +282,9 @@ class UnifiedJoin:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         sign_in_workers: bool = False,
+        payload_mode: Optional[str] = None,
+        pool=None,
+        supervision=None,
     ) -> JoinResult:
         """Join two collections (or self-join one) under the configuration.
 
@@ -291,9 +294,12 @@ class UnifiedJoin:
         ``executor`` / ``workers`` / ``sign_in_workers`` select serial,
         thread-pool, or sharded process-pool execution — optionally with
         worker-side signing (see :meth:`PebbleJoin.join`); the legacy
-        ``verify_workers`` shorthand keeps meaning a thread pool.  With a
-        :attr:`store`, raw sides resolve through the on-disk artifact store
-        and enriched preparations are persisted back after the join.
+        ``verify_workers`` shorthand keeps meaning a thread pool.
+        ``payload_mode`` / ``pool`` / ``supervision`` tune the process
+        path's transport, pooling, and fault tolerance exactly as on
+        :meth:`PebbleJoin.join`.  With a :attr:`store`, raw sides resolve
+        through the on-disk artifact store and enriched preparations are
+        persisted back after the join.
         """
         engine, left_prep, right_prep, order, signing_tau, suggestion_seconds, entries = (
             self._resolve(left, right)
@@ -307,6 +313,9 @@ class UnifiedJoin:
             executor=executor,
             workers=workers,
             sign_in_workers=sign_in_workers,
+            payload_mode=payload_mode,
+            pool=pool,
+            supervision=supervision,
         )
         result.statistics.suggestion_seconds = suggestion_seconds
         self._persist_store_entries(entries)
@@ -322,6 +331,9 @@ class UnifiedJoin:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         sign_in_workers: bool = False,
+        payload_mode: Optional[str] = None,
+        pool=None,
+        supervision=None,
     ) -> Iterator[JoinBatch]:
         """Stream the join in verified chunks (see ``PebbleJoin.join_batches``).
 
@@ -345,6 +357,9 @@ class UnifiedJoin:
             executor=executor,
             workers=workers,
             sign_in_workers=sign_in_workers,
+            payload_mode=payload_mode,
+            pool=pool,
+            supervision=supervision,
             suggestion_seconds=suggestion_seconds,
         )
         if not entries:

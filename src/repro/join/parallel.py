@@ -83,14 +83,13 @@ import multiprocessing
 import os
 import pickle
 import time
-from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from itertools import count, islice
+from itertools import count
 from math import ceil
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..faults import FAULTS
 from .artifacts import KeyInterner, SignedLike, slim_signed_views
 from .aufilter import (
     JoinBatch,
@@ -108,6 +107,12 @@ from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
 from .prepared import PreparedCollection
 from .signatures import SignatureMethod, SignedRecord
+from .supervision import (
+    ExecutionReport,
+    ShardSupervisor,
+    ShardTransportError,
+    SupervisorPolicy,
+)
 from .verification import UnifiedVerifier, VerificationStats, VerifiedPair
 
 __all__ = [
@@ -353,9 +358,19 @@ def _attach_plan(name: str) -> Tuple[ShardPlan, object]:
     """Attach an exported plan segment; returns ``(plan, shm)``.
 
     The caller (worker runtime) must keep ``shm`` referenced while the
-    plan's flat arrays are in use — they are views into the mapping.
+    plan's flat arrays are in use — they are views into the mapping.  A
+    segment that vanished between publish and attach (crashed parent whose
+    cleanup ran early, an injected drop) surfaces as a typed, retryable
+    :class:`~repro.join.supervision.ShardTransportError` instead of an
+    opaque ``FileNotFoundError`` from deep inside the attach.
     """
-    (plan, flat_meta), buffers, shm = attach_payload(name)
+    try:
+        (plan, flat_meta), buffers, shm = attach_payload(name)
+    except FileNotFoundError as exc:
+        raise ShardTransportError(
+            f"shared-memory plan segment {name!r} is gone; it was unlinked "
+            "(or never survived) between publish and attach"
+        ) from exc
     if flat_meta is not None:
         plan.flat = FlatJoinState.restore(flat_meta, buffers)
     return plan, shm
@@ -412,8 +427,15 @@ def _plan_info() -> Tuple[int, bool, float, float, float]:
     )
 
 
-def _run_shard(span: Tuple[int, int]) -> ShardResult:
-    """Filter and verify one probe shard inside a pool worker process."""
+def _run_shard(span: Tuple[int, int], attempt: int = 0) -> ShardResult:
+    """Filter and verify one probe shard inside a pool worker process.
+
+    ``attempt`` is the supervisor's dispatch count for this shard — it does
+    not change the computation (shards are deterministic), it only feeds
+    the fault-injection hook so chaos tests can fault first attempts and
+    prove the retry recovers.
+    """
+    FAULTS.on_shard(span[0], attempt)
     return _run_shard_on(_require_runtime(), span)
 
 
@@ -670,44 +692,6 @@ def build_shard_plan(
     )
 
 
-@contextmanager
-def _shard_pool(plan: ShardPlan, workers: int, payload_mode: Optional[str] = None):
-    """Yield a process pool whose workers hold the materialized ``plan``.
-
-    The transport is chosen by ``payload_mode`` (default ``auto``): under
-    the fork start method the plan is inherited copy-on-write through
-    :data:`_FORK_PLANS` — zero pickling, zero copies; otherwise (or with
-    ``payload_mode='shm'``) it ships once per machine through a
-    shared-memory segment whose flat arrays workers re-view in place;
-    ``'bytes'`` keeps the historical per-worker pickle.  Transport-side
-    state (the registry entry, the segment) is torn down when the pool
-    shuts down — error paths included.
-    """
-    if workers < 1:
-        raise ValueError("process execution needs workers >= 1")
-    mode = _resolve_payload_mode(payload_mode)
-    cleanup = None
-    if mode == "bytes":
-        descriptor = ("bytes", pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL))
-    elif mode == "fork":
-        token = f"plan-{next(_FORK_TOKENS)}"
-        _FORK_PLANS[token] = plan
-        descriptor = ("fork", token)
-        cleanup = lambda: _FORK_PLANS.pop(token, None)  # noqa: E731
-    else:
-        payload = _export_plan_payload(plan)
-        descriptor = ("shm", payload.name)
-        cleanup = payload.release
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(descriptor,)
-        ) as pool:
-            yield pool
-    finally:
-        if cleanup is not None:
-            cleanup()
-
-
 class _ColdSession:
     """Shard submission over a one-shot, initializer-loaded pool."""
 
@@ -719,30 +703,152 @@ class _ColdSession:
     def map_spans(self, spans: Sequence[Tuple[int, int]]):
         return self._pool.map(_run_shard, spans)
 
-    def submit_span(self, span: Tuple[int, int]):
-        return self._pool.submit(_run_shard, span)
+    def submit_span(self, span: Tuple[int, int], attempt: int = 0):
+        return self._pool.submit(_run_shard, span, attempt)
+
+    def submit_call(self, fn):
+        return self._pool.submit(fn)
 
 
-@contextmanager
-def _plan_session(
+class _ColdSessionManager:
+    """Publish a plan and mint (re-)spawnable one-shot pools over it.
+
+    The transport is chosen by ``payload_mode`` (default ``auto``): under
+    the fork start method the plan is inherited copy-on-write through
+    :data:`_FORK_PLANS` — zero pickling, zero copies; otherwise (or with
+    ``payload_mode='shm'``) it ships once per machine through a
+    shared-memory segment whose flat arrays workers re-view in place;
+    ``'bytes'`` keeps the historical per-worker pickle.
+
+    :meth:`respawn` is the supervisor's recovery hook: it discards the
+    (broken, hung, or transport-starved) executor without waiting on it and
+    starts a fresh one.  Fork and bytes descriptors are immutable — a new
+    pool re-reads them in its initializers; the shm segment is re-exported
+    fresh, because the one failure mode that reaches here (the segment
+    vanished) is exactly the one a stale descriptor cannot survive.
+    Transport-side state is torn down on :meth:`close` — error paths
+    included, tolerant of an already-broken executor.
+    """
+
+    def __init__(
+        self, plan: ShardPlan, workers: int, payload_mode: Optional[str] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError("process execution needs workers >= 1")
+        self._plan = plan
+        self._workers = workers
+        self._mode = _resolve_payload_mode(payload_mode)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._descriptor = None
+        self._teardown = None
+
+    def _publish(self) -> None:
+        if self._mode == "bytes":
+            self._descriptor = (
+                "bytes",
+                pickle.dumps(self._plan, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        elif self._mode == "fork":
+            token = f"plan-{next(_FORK_TOKENS)}"
+            _FORK_PLANS[token] = self._plan
+            self._descriptor = ("fork", token)
+            self._teardown = lambda: _FORK_PLANS.pop(token, None)
+        else:
+            payload = _export_plan_payload(self._plan)
+            self._descriptor = ("shm", payload.name)
+            self._teardown = payload.release
+
+    def _teardown_transport(self) -> None:
+        teardown, self._teardown = self._teardown, None
+        self._descriptor = None
+        if teardown is not None:
+            try:
+                teardown()
+            except Exception:  # pragma: no cover - cleanup must not mask
+                pass
+
+    def _discard_pool(self, wait: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=wait, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may complain
+                pass
+
+    def open(self) -> _ColdSession:
+        if self._descriptor is None:
+            self._publish()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_init_worker,
+            initargs=(self._descriptor,),
+        )
+        return _ColdSession(self._pool)
+
+    def respawn(self, kind: str) -> _ColdSession:
+        self._discard_pool(wait=False)
+        if self._mode == "shm":
+            self._teardown_transport()
+        return self.open()
+
+    def close(self) -> None:
+        self._discard_pool(wait=True)
+        self._teardown_transport()
+
+
+def _session_manager(
     plan: ShardPlan,
     workers: int,
     payload_mode: Optional[str],
     pool,
 ):
-    """Yield a shard-submission session for ``plan``.
+    """The session manager for ``plan``: warm-pool backed or one-shot.
 
     With ``pool`` (a :class:`~repro.join.pool.WarmJoinPool`) the plan is
     registered with the already-running workers through a shared-memory
     segment — no pool startup, no re-fork; otherwise a one-shot
-    :func:`_shard_pool` is spun up for the call.
+    :class:`_ColdSessionManager` owns a per-call pool.
     """
     if pool is not None:
-        with pool.session(plan) as session:
-            yield session
-    else:
-        with _shard_pool(plan, workers, payload_mode) as cold:
-            yield _ColdSession(cold)
+        return pool.session_manager(plan)
+    return _ColdSessionManager(plan, workers, payload_mode)
+
+
+class _ParentFallback:
+    """Serial in-parent execution of shards the pool could not complete.
+
+    Materializes a :class:`_WorkerRuntime` from the parent's own plan copy
+    on first use (the parent plan keeps its ``flat`` arrays — the shm
+    export detaches a copy) and runs shards through the exact worker code
+    path, so a fallback shard's pairs and counters are bit-identical to
+    what a healthy worker would have returned.  Worker-signed plans sign
+    in-parent here, which also powers the :func:`_plan_info` fallback.
+    """
+
+    __slots__ = ("_plan", "_runtime")
+
+    def __init__(self, plan: ShardPlan) -> None:
+        self._plan = plan
+        self._runtime: Optional[_WorkerRuntime] = None
+
+    @property
+    def runtime(self) -> _WorkerRuntime:
+        if self._runtime is None:
+            self._runtime = _WorkerRuntime(self._plan)
+        return self._runtime
+
+    def __call__(self, span: Tuple[int, int]) -> ShardResult:
+        return _run_shard_on(self.runtime, span)
+
+    def plan_info(self) -> Tuple[int, bool, float, float, float]:
+        runtime = self.runtime
+        return (
+            runtime.probe_count,
+            bool(runtime.probe_is_left),
+            runtime.avg_signature_left,
+            runtime.avg_signature_right,
+            runtime.consume_sign_seconds(),
+        )
 
 
 def _shard_spans(total: int, shard_size: int) -> List[Tuple[int, int]]:
@@ -814,12 +920,13 @@ def process_join(
     sign_in_workers: bool = False,
     payload_mode: Optional[str] = None,
     pool=None,
+    supervision: Optional[SupervisorPolicy] = None,
 ) -> JoinResult:
     """Run one join with filtering and verification sharded across processes.
 
     By default, signing happens (cache-backed) in the parent and the flat
     integer plan ships once per machine (copy-on-write under fork, a
-    shared-memory segment otherwise — see :func:`_shard_pool` and
+    shared-memory segment otherwise — see :class:`_ColdSessionManager` and
     ``payload_mode``); with ``sign_in_workers=True`` the parent only
     prepares and builds the order, and each worker signs locally.  Either
     way the result — pairs, similarities, and every statistics counter — is
@@ -831,6 +938,15 @@ def process_join(
     ``verification_seconds`` split the *parent-measured wall clock* of the
     pooled stage proportionally to the summed worker-side stage seconds
     (see :func:`_split_pooled_wall`).
+
+    Shard dispatch runs under a :class:`~repro.join.supervision.ShardSupervisor`
+    configured by ``supervision`` (default :class:`SupervisorPolicy` —
+    retries with respawn, serial fallback, no timeout): a killed worker, a
+    hung shard (with ``shard_timeout`` set), or a vanished transport is
+    recovered instead of failing the join, and the resulting
+    :class:`~repro.join.supervision.ExecutionReport` is attached as
+    ``statistics.execution``.  Pass ``SupervisorPolicy(enabled=False)`` for
+    the legacy fail-fast behavior.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -869,13 +985,14 @@ def process_join(
 
     pairs: List[VerifiedPair] = []
     merged = VerificationStats()
+    fallback = _ParentFallback(plan)
 
     def shard_size_for(total: int) -> int:
         return max(1, ceil(total / max(workers * shards_per_worker, 1)))
 
-    def drain(session, spans) -> Tuple[float, float, float]:
+    def drain(shards) -> Tuple[float, float, float]:
         worker_sign = worker_filter = worker_verify = 0.0
-        for shard in session.map_spans(spans):
+        for shard in shards:
             _merge_shard(engine, statistics, merged, pairs, shard)
             worker_sign += shard.sign_seconds
             worker_filter += shard.filter_seconds
@@ -889,15 +1006,21 @@ def process_join(
         # tiny corpus never spawns surplus processes that each pay a full
         # duplicate signing in their initializer for zero shards.
         worker_cap = max(1, min(workers, max(len(left_prep), len(right_prep))))
-        with _shard_pool(plan, worker_cap, payload_mode) as cold:
-            total, _, avg_left, avg_right, info_sign = cold.submit(
-                _plan_info
-            ).result()
+        manager = _ColdSessionManager(plan, worker_cap, payload_mode)
+        supervisor = ShardSupervisor(manager, supervision, fallback)
+        try:
+            total, _, avg_left, avg_right, info_sign = supervisor.call(
+                lambda session: session.submit_call(_plan_info),
+                fallback.plan_info,
+            )
             statistics.avg_signature_length_left = avg_left
             statistics.avg_signature_length_right = avg_right
             sign, fil, ver = drain(
-                _ColdSession(cold), _shard_spans(total, shard_size_for(total))
+                supervisor.run(_shard_spans(total, shard_size_for(total)))
             )
+        finally:
+            manager.close()
+        statistics.execution = supervisor.report
         _split_pooled_wall(
             statistics, time.perf_counter() - stage_start, sign + info_sign, fil, ver
         )
@@ -906,13 +1029,20 @@ def process_join(
         if total:
             spans = _shard_spans(total, shard_size_for(total))
             stage_start = time.perf_counter()
-            with _plan_session(
+            manager = _session_manager(
                 plan, min(workers, len(spans)), payload_mode, pool
-            ) as session:
-                busy = drain(session, spans)
+            )
+            supervisor = ShardSupervisor(manager, supervision, fallback)
+            try:
+                busy = drain(supervisor.run(spans))
+            finally:
+                manager.close()
+            statistics.execution = supervisor.report
             _split_pooled_wall(
                 statistics, time.perf_counter() - stage_start, *busy
             )
+        else:
+            statistics.execution = ExecutionReport()
     statistics.verification = merged
     statistics.result_count = len(pairs)
     return JoinResult(pairs=pairs, statistics=statistics)
@@ -931,6 +1061,7 @@ def process_join_batches(
     suggestion_seconds: float = 0.0,
     payload_mode: Optional[str] = None,
     pool=None,
+    supervision: Optional[SupervisorPolicy] = None,
 ) -> Iterator[JoinBatch]:
     """Stream the join as :class:`JoinBatch` chunks computed by the pool.
 
@@ -942,6 +1073,12 @@ def process_join_batches(
     or without ``sign_in_workers``.  A :class:`~repro.join.pool.WarmJoinPool`
     passed as ``pool`` serves every chunk from the same warm workers
     (parent-signed plans only).
+
+    The stream runs supervised exactly like :func:`process_join`
+    (``supervision`` knob, same defaults); each yielded batch carries the
+    run's **live** :class:`~repro.join.supervision.ExecutionReport` as
+    ``batch.execution`` — one shared object whose counters grow as the
+    stream progresses, final once the stream is exhausted.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be a positive integer")
@@ -966,7 +1103,14 @@ def process_join_batches(
             engine, left_prep, right_prep, left_signed, right_signed, self_join
         )
     return _process_batches_iter(
-        engine, plan, workers, batch_size, suggestion_seconds, payload_mode, pool
+        engine,
+        plan,
+        workers,
+        batch_size,
+        suggestion_seconds,
+        payload_mode,
+        pool,
+        supervision,
     )
 
 
@@ -978,33 +1122,42 @@ def _process_batches_iter(
     suggestion_seconds: float,
     payload_mode: Optional[str] = None,
     pool=None,
+    supervision: Optional[SupervisorPolicy] = None,
 ) -> Iterator[JoinBatch]:
+    fallback = _ParentFallback(plan)
     if plan.sign_in_workers:
         # Span count is bounded by the larger collection (the probe side is
         # one of the two) before the workers report its exact length: cap
         # the pool so surplus processes never sign for zero batches.
         upper_bound = max(len(plan.left_prep), len(plan.right_prep))
         worker_cap = max(1, min(workers, ceil(upper_bound / batch_size)))
-        with _shard_pool(plan, worker_cap, payload_mode) as cold:
-            total = cold.submit(_plan_info).result()[0]
+        manager = _ColdSessionManager(plan, worker_cap, payload_mode)
+    else:
+        total = plan.probe_count
+        if not total:
+            return
+        spans = _shard_spans(total, batch_size)
+        manager = _session_manager(
+            plan, min(workers, len(spans)), payload_mode, pool
+        )
+    supervisor = ShardSupervisor(manager, supervision, fallback)
+    try:
+        if plan.sign_in_workers:
+            total = supervisor.call(
+                lambda session: session.submit_call(_plan_info),
+                fallback.plan_info,
+            )[0]
             spans = _shard_spans(total, batch_size)
-            yield from _stream_spans(
-                engine, _ColdSession(cold), spans, workers, suggestion_seconds
-            )
-        return
-    total = plan.probe_count
-    if not total:
-        return
-    spans = _shard_spans(total, batch_size)
-    with _plan_session(
-        plan, min(workers, len(spans)), payload_mode, pool
-    ) as session:
-        yield from _stream_spans(engine, session, spans, workers, suggestion_seconds)
+        yield from _stream_spans(
+            engine, supervisor, spans, workers, suggestion_seconds
+        )
+    finally:
+        manager.close()
 
 
 def _stream_spans(
     engine: PebbleJoin,
-    session,
+    supervisor: ShardSupervisor,
     spans: Sequence[Tuple[int, int]],
     workers: int,
     suggestion_seconds: float,
@@ -1015,16 +1168,8 @@ def _stream_spans(
     # all completed shard results in parent memory (the unbounded
     # materialization join_batches exists to avoid).
     window = min(workers + 1, len(spans))
-    span_iter = iter(spans)
-    pending = deque(
-        session.submit_span(span) for span in islice(span_iter, window)
-    )
     first = True
-    while pending:
-        shard = pending.popleft().result()
-        next_span = next(span_iter, None)
-        if next_span is not None:
-            pending.append(session.submit_span(next_span))
+    for shard in supervisor.run(spans, window=window):
         engine.verifier.stats.merge(shard.verification)
         engine.verifier.verified_count += shard.candidate_count
         yield JoinBatch(
@@ -1034,5 +1179,6 @@ def _stream_spans(
             probe_range=(shard.start, shard.stop),
             verification=shard.verification,
             suggestion_seconds=suggestion_seconds if first else 0.0,
+            execution=supervisor.report,
         )
         first = False

@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Optional, Sequence, Tuple
 
+from ..faults import FAULTS
 from .parallel import (
     ShardPlan,
     _attach_plan,
@@ -72,9 +73,19 @@ def _pool_runtime(name: str) -> _WorkerRuntime:
     return runtime
 
 
-def _pool_run_shard(task: Tuple[str, Tuple[int, int]]):
-    """Task entry point: run one shard against a named registered plan."""
-    name, span = task
+def _pool_run_shard(task):
+    """Task entry point: run one shard against a named registered plan.
+
+    ``task`` is ``(name, span)`` or ``(name, span, attempt)`` — the
+    supervisor ships its dispatch count so the fault-injection hook can
+    target first attempts deterministically.  The runtime attach happens
+    *after* the hook: a vanished segment then surfaces as the typed
+    :class:`~repro.join.supervision.ShardTransportError` from
+    ``_attach_plan``, which the supervisor repairs by re-publishing.
+    """
+    name, span = task[0], task[1]
+    attempt = task[2] if len(task) > 2 else 0
+    FAULTS.on_shard(span[0], attempt)
     return _run_shard_on(_pool_runtime(name), span)
 
 
@@ -93,8 +104,49 @@ class _WarmSession:
             _pool_run_shard, [(name, span) for span in spans]
         )
 
-    def submit_span(self, span: Tuple[int, int]):
-        return self._executor.submit(_pool_run_shard, (self._name, span))
+    def submit_span(self, span: Tuple[int, int], attempt: int = 0):
+        return self._executor.submit(
+            _pool_run_shard, (self._name, span, attempt)
+        )
+
+
+class _WarmSessionManager:
+    """Supervisor-facing session manager over one warm pool + one plan.
+
+    ``open`` exports the plan's shared-memory payload and binds it to the
+    pool's current executor; ``respawn`` repairs whichever half failed —
+    the payload is always re-exported under a fresh segment name (workers
+    attach lazily per name, so a new name sidesteps any poisoned cache
+    entry), and the executor is additionally replaced unless the failure
+    was purely transport-side (the one case where the workers themselves
+    are provably healthy: they reported the typed error and kept running).
+    """
+
+    __slots__ = ("_pool", "_plan", "_payload")
+
+    def __init__(self, pool: "WarmJoinPool", plan: ShardPlan) -> None:
+        self._pool = pool
+        self._plan = plan
+        self._payload = None
+
+    def _release_payload(self) -> None:
+        payload, self._payload = self._payload, None
+        if payload is not None:
+            payload.release()
+
+    def open(self) -> _WarmSession:
+        executor = self._pool._ensure_executor()
+        self._payload = _export_plan_payload(self._plan)
+        return _WarmSession(executor, self._payload.name)
+
+    def respawn(self, kind: str) -> _WarmSession:
+        self._release_payload()
+        if kind != "transport":
+            self._pool.respawn()
+        return self.open()
+
+    def close(self) -> None:
+        self._release_payload()
 
 
 class WarmJoinPool:
@@ -113,18 +165,61 @@ class WarmJoinPool:
             raise ValueError("WarmJoinPool needs workers >= 1")
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        #: Executors replaced over this pool's lifetime (self-healing plus
+        #: supervisor-requested respawns) — a health telemetry counter.
+        self.respawns = 0
+
+    def _discard_executor(self, wait: bool) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=wait, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may complain
+                pass
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._closed:
             raise RuntimeError("WarmJoinPool is closed")
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        return self._executor
+        executor = self._executor
+        if executor is not None and getattr(executor, "_broken", False):
+            # A worker died since the last session: the executor is
+            # permanently unusable.  Self-heal by replacing it instead of
+            # handing out a pool that raises on first submit.
+            self._discard_executor(wait=False)
+            self.respawns += 1
+            executor = None
+        if executor is None:
+            executor = self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return executor
+
+    def respawn(self) -> ProcessPoolExecutor:
+        """Force-replace the executor (the supervisor's recovery hook).
+
+        Unlike the broken-detection in :meth:`_ensure_executor` this also
+        covers a *hung* executor — one whose workers are alive but stuck —
+        which ``_broken`` never flags; the old pool is discarded without
+        waiting on it.
+        """
+        if self._closed:
+            raise RuntimeError("WarmJoinPool is closed")
+        self._discard_executor(wait=False)
+        self.respawns += 1
+        return self._ensure_executor()
 
     @property
     def started(self) -> bool:
         """Whether worker processes currently exist."""
         return self._executor is not None
+
+    def session_manager(self, plan: ShardPlan) -> _WarmSessionManager:
+        """A supervisor-facing session manager serving ``plan`` (see
+        :class:`_WarmSessionManager`)."""
+        if plan.sign_in_workers:
+            raise ValueError(
+                "WarmJoinPool serves parent-signed plans only; worker-signed "
+                "plans sign in a per-call pool initializer"
+            )
+        return _WarmSessionManager(self, plan)
 
     @contextmanager
     def session(self, plan: ShardPlan):
@@ -136,25 +231,21 @@ class WarmJoinPool:
         lazily on their first task for the plan, and an unlinked segment
         cannot be attached anew.  Already-attached workers keep serving
         from their mapping after the unlink; their cache evicts it later.
+        A dead (broken) executor is detected and rebuilt on entry rather
+        than surfacing a stale ``BrokenProcessPool``.
         """
-        if plan.sign_in_workers:
-            raise ValueError(
-                "WarmJoinPool serves parent-signed plans only; worker-signed "
-                "plans sign in a per-call pool initializer"
-            )
-        executor = self._ensure_executor()
-        payload = _export_plan_payload(plan)
+        manager = self.session_manager(plan)
         try:
-            yield _WarmSession(executor, payload.name)
+            yield manager.open()
         finally:
-            payload.release()
+            manager.close()
 
     def close(self) -> None:
-        """Shut the workers down (idempotent).  Runtimes die with them."""
+        """Shut the workers down.  Idempotent and never-raising — closing a
+        pool whose executor broke mid-join must not re-raise the stale
+        ``BrokenProcessPool``; runtimes die with their processes."""
         self._closed = True
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+        self._discard_executor(wait=True)
 
     def __enter__(self) -> "WarmJoinPool":
         return self

@@ -6,10 +6,17 @@ in-place add/remove with drift-triggered lazy re-signing, and store-backed
 snapshots.
 """
 
-from .index import BatchQueryResult, QueryMatch, QueryResult, SimilarityIndex
+from .index import (
+    BatchQueryResult,
+    ConcurrentMutationError,
+    QueryMatch,
+    QueryResult,
+    SimilarityIndex,
+)
 
 __all__ = [
     "BatchQueryResult",
+    "ConcurrentMutationError",
     "QueryMatch",
     "QueryResult",
     "SimilarityIndex",

@@ -52,8 +52,10 @@ read, so a service restart costs an unpickle, not a corpus preparation.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from array import array
+from contextlib import contextmanager
 from dataclasses import dataclass
 from math import ceil
 from pathlib import Path
@@ -76,10 +78,30 @@ from ..join.signatures import (
     select_signature_prefix,
     sign_record,
 )
+from ..join.supervision import ExecutionReport, SupervisorPolicy
 from ..join.verification import UnifiedVerifier, VerificationStats, VerifiedPair
 from ..records import Record, RecordCollection
 
-__all__ = ["QueryMatch", "QueryResult", "BatchQueryResult", "SimilarityIndex"]
+__all__ = [
+    "ConcurrentMutationError",
+    "QueryMatch",
+    "QueryResult",
+    "BatchQueryResult",
+    "SimilarityIndex",
+]
+
+
+class ConcurrentMutationError(RuntimeError):
+    """The index was mutated while another operation was in flight.
+
+    :class:`SimilarityIndex` is not a thread-safe object; it *is* a
+    long-lived serving object, so silent interleaving of ``add``/``remove``
+    with an in-flight query (or with each other) would corrupt postings or
+    return a row of no coherent corpus state.  Instead of corrupting
+    silently, mutations take a non-blocking guard and queries snapshot the
+    serving epoch — either side detecting an overlap raises this error,
+    leaving the index itself consistent.
+    """
 
 #: Anything a query accepts as the probe: raw text, a token sequence, or a
 #: ready-made record (its id is ignored — probes are external by definition).
@@ -128,6 +150,10 @@ class BatchQueryResult:
     match with ``left_id`` the probe's position in the query batch and
     ``right_id`` the member id, concatenated probe-major — exactly the
     serial per-probe emission order at every executor and worker count.
+
+    ``execution`` is the supervisor's :class:`~repro.join.supervision.
+    ExecutionReport` for ``executor="process"`` calls (all-zero when the
+    run was clean) and ``None`` on the serial path.
     """
 
     pairs: List[VerifiedPair]
@@ -136,6 +162,7 @@ class BatchQueryResult:
     processed_pairs: int
     verification: VerificationStats
     seconds: float
+    execution: Optional[ExecutionReport] = None
 
     def by_probe(self) -> Dict[int, List[QueryMatch]]:
         """Group the pairs into per-probe match lists."""
@@ -272,6 +299,9 @@ class SimilarityIndex:
         # Warm process pool for batch queries; created lazily, closed with
         # the index (see close()).
         self._warm_pool = None
+        # Re-entrancy guard: mutations hold this (non-blocking) so an
+        # overlapping mutation fails loudly instead of corrupting postings.
+        self._mutation_lock = threading.Lock()
         self._build_from_prepared()
 
     # ------------------------------------------------------------------ #
@@ -348,6 +378,32 @@ class SimilarityIndex:
             f"tau={self.tau}, method={self.method!r}, "
             f"staleness={self.staleness:.2f})"
         )
+
+    # ------------------------------------------------------------------ #
+    # mutation / read-consistency guards
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _mutating(self):
+        """Exclusive, non-blocking hold for one mutation entry point."""
+        if not self._mutation_lock.acquire(blocking=False):
+            raise ConcurrentMutationError(
+                "another mutation of this SimilarityIndex is already in "
+                "flight; add/remove/rebuild must not overlap"
+            )
+        try:
+            yield
+        finally:
+            self._mutation_lock.release()
+
+    def _begin_read(self) -> int:
+        return self._epoch
+
+    def _end_read(self, epoch: int) -> None:
+        if self._epoch != epoch:
+            raise ConcurrentMutationError(
+                "the index was mutated while a query was in flight; the "
+                "query's answer would span two corpus states"
+            )
 
     # ------------------------------------------------------------------ #
     # querying
@@ -435,6 +491,7 @@ class SimilarityIndex:
         """
         theta_q, tau_q = self._resolve_query(theta, tau)
         start = time.perf_counter()
+        epoch = self._begin_read()
         state = _ProbeState(self, self._probe_record(probe))
         partners, processed, _ = probe_single(
             self._index.raw_postings, state.signed, tau_q
@@ -447,6 +504,7 @@ class SimilarityIndex:
             )
             if similarity is not None and similarity >= theta_q:
                 matches.append(QueryMatch(member_id, similarity))
+        self._end_read(epoch)
         self._finish_stats(local)
         return QueryResult(
             matches=matches,
@@ -474,6 +532,7 @@ class SimilarityIndex:
             raise KeyError(f"record {record_id} is not live in this index")
         theta_q, tau_q = self._resolve_query(theta, tau)
         start = time.perf_counter()
+        epoch = self._begin_read()
         signed = self._signed[record_id]
         probe_record = self.prepared[record_id]
         probe_side = self._member_side(record_id)
@@ -494,6 +553,7 @@ class SimilarityIndex:
             )
             if similarity is not None and similarity >= theta_q:
                 matches.append(QueryMatch(member_id, similarity))
+        self._end_read(epoch)
         self._finish_stats(local)
         return QueryResult(
             matches=matches,
@@ -523,6 +583,7 @@ class SimilarityIndex:
         """
         theta_q, tau_q = self._resolve_query(theta, tau)
         start = time.perf_counter()
+        epoch = self._begin_read()
         state = _ProbeState(self, self._probe_record(probe))
         partners, processed, _ = probe_single(
             self._index.raw_postings, state.signed, tau_q
@@ -545,6 +606,7 @@ class SimilarityIndex:
         top, evaluated = bounded_top_k(
             partners, bounds, evaluate, k, tie_key=lambda member_id: member_id
         )
+        self._end_read(epoch)
         self._finish_stats(local)
         return QueryResult(
             matches=[QueryMatch(member_id, similarity) for member_id, similarity in top],
@@ -566,6 +628,7 @@ class SimilarityIndex:
         tau: Optional[int] = None,
         executor: str = "serial",
         workers: Optional[int] = None,
+        supervision: Optional[SupervisorPolicy] = None,
     ) -> BatchQueryResult:
         """Answer many probes in one pass (optionally sharded across cores).
 
@@ -576,16 +639,23 @@ class SimilarityIndex:
         lists exported as integer arrays over the index's persistent
         vocabulary, the signed probes vocabulary-encoded as the probe
         side — to a *warm* worker pool (kept alive across calls; see
-        :meth:`close`) and shards the probes across it, reusing the join's
-        sharding machinery end to end.  Both executors return identical
-        pairs in identical order.
+        :meth:`close`) and shards the probes across it under a
+        :class:`~repro.join.supervision.ShardSupervisor` (``supervision``
+        tunes the retry/timeout/fallback policy; faults degrade to
+        in-parent execution, never to a different answer).  Both executors
+        return identical pairs in identical order.
         """
         if executor not in ("serial", "process"):
             raise ValueError(
                 f"unknown executor {executor!r}; expected 'serial' or 'process'"
             )
+        if supervision is not None and executor != "process":
+            raise ValueError(
+                "supervision policies apply to executor='process' only"
+            )
         theta_q, tau_q = self._resolve_query(theta, tau)
         start = time.perf_counter()
+        epoch = self._begin_read()
         records = [self._probe_record(probe) for probe in probes]
         probe_collection = RecordCollection(
             [
@@ -598,9 +668,16 @@ class SimilarityIndex:
             self._sign_member(prepared)
             for prepared in probe_prepared.prepared_records
         ]
+        execution: Optional[ExecutionReport] = None
         if executor == "process" and signed_probes:
-            pairs, candidate_count, processed, local = self._query_batch_process(
-                probe_prepared, signed_probes, tau_q, workers
+            (
+                pairs,
+                candidate_count,
+                processed,
+                local,
+                execution,
+            ) = self._query_batch_process(
+                probe_prepared, signed_probes, tau_q, workers, supervision
             )
         else:
             candidates: List[Tuple[int, int]] = []
@@ -620,6 +697,7 @@ class SimilarityIndex:
             local = self.verifier.stats.diff(snapshot)
         if theta_q > self.theta:
             pairs = [pair for pair in pairs if pair.similarity >= theta_q]
+        self._end_read(epoch)
         return BatchQueryResult(
             pairs=pairs,
             probe_count=len(records),
@@ -627,6 +705,7 @@ class SimilarityIndex:
             processed_pairs=processed,
             verification=local,
             seconds=time.perf_counter() - start,
+            execution=execution,
         )
 
     def _query_batch_process(
@@ -635,14 +714,24 @@ class SimilarityIndex:
         signed_probes: List[SignedRecord],
         tau_q: int,
         workers: Optional[int],
-    ) -> Tuple[List[VerifiedPair], int, int, VerificationStats]:
-        """Shard the probe side of a batch query across warm worker processes."""
+        supervision: Optional[SupervisorPolicy],
+    ) -> Tuple[List[VerifiedPair], int, int, VerificationStats, ExecutionReport]:
+        """Shard the probe side of a batch query across warm worker processes.
+
+        The shards run under a :class:`~repro.join.supervision.
+        ShardSupervisor` with an in-parent serial runner as the last-resort
+        fallback — a killed worker, a hung shard, or a vanished plan
+        segment degrades to retries/respawns/serial execution of exactly
+        the affected shards, with bit-identical answers either way.
+        """
         from ..join.parallel import (
             SHARDS_PER_WORKER,
             ShardPlan,
+            _ParentFallback,
             _shard_spans,
             _verifier_kwargs,
         )
+        from ..join.supervision import ShardSupervisor
 
         postings, right_transfer = self._member_plan_state()
         probe_flat = FlatSignatures.from_signed(
@@ -679,14 +768,18 @@ class SimilarityIndex:
         pairs: List[VerifiedPair] = []
         merged = VerificationStats()
         candidate_count = processed = 0
-        with pool.session(plan) as session:
-            for shard in session.map_spans(spans):
+        manager = pool.session_manager(plan)
+        supervisor = ShardSupervisor(manager, supervision, _ParentFallback(plan))
+        try:
+            for shard in supervisor.run(spans):
                 pairs.extend(shard.pairs)
                 merged.merge(shard.verification)
                 candidate_count += shard.candidate_count
                 processed += shard.processed_pairs
+        finally:
+            manager.close()
         self._finish_stats(merged)
-        return pairs, candidate_count, processed, merged
+        return pairs, candidate_count, processed, merged, supervisor.report
 
     def _member_plan_state(self) -> Tuple[FlatPostings, PreparedCollection]:
         """The member side of a process-pool plan, memoised per epoch.
@@ -749,55 +842,63 @@ class SimilarityIndex:
         the index numbers its members itself and never reuses an id).  New
         records are prepared, signed under the frozen order (exact — see
         the module docs), and indexed; the mutation counts toward
-        staleness and may trigger the lazy re-order.
+        staleness and may trigger the lazy re-order.  Raises
+        :class:`ConcurrentMutationError` if another mutation is in flight.
         """
-        # Ids continue the underlying collection's dense sequence;
-        # RecordCollection.extend (via extend_with) enforces the convention.
-        base = len(self.prepared)
-        additions: List[Record] = []
-        for offset, item in enumerate(records):
-            if isinstance(item, Record):
-                additions.append(
-                    Record(record_id=base + offset, text=item.text, tokens=item.tokens)
-                )
-            else:
-                additions.append(
-                    Record(
-                        record_id=base + offset,
-                        text=item,
-                        tokens=tuple(default_tokenizer.tokenize(item)),
+        with self._mutating():
+            # Ids continue the underlying collection's dense sequence;
+            # RecordCollection.extend (via extend_with) enforces the convention.
+            base = len(self.prepared)
+            additions: List[Record] = []
+            for offset, item in enumerate(records):
+                if isinstance(item, Record):
+                    additions.append(
+                        Record(
+                            record_id=base + offset,
+                            text=item.text,
+                            tokens=item.tokens,
+                        )
                     )
-                )
-        if not additions:
-            return []
-        prepared_new = self.prepared.extend_with(additions)
-        for prepared in prepared_new:
-            signed = self._sign_member(prepared)
-            self._signed.append(signed)
-            self._live.append(True)
-            # Appending the highest id yet keeps posting lists sorted.
-            self._index.add(signed)
-        self._note_mutations(len(additions))
-        return [record.record_id for record in additions]
+                else:
+                    additions.append(
+                        Record(
+                            record_id=base + offset,
+                            text=item,
+                            tokens=tuple(default_tokenizer.tokenize(item)),
+                        )
+                    )
+            if not additions:
+                return []
+            prepared_new = self.prepared.extend_with(additions)
+            for prepared in prepared_new:
+                signed = self._sign_member(prepared)
+                self._signed.append(signed)
+                self._live.append(True)
+                # Appending the highest id yet keeps posting lists sorted.
+                self._index.add(signed)
+            self._note_mutations(len(additions))
+            return [record.record_id for record in additions]
 
     def remove(self, record_ids: Iterable[int]) -> None:
         """Retire live members; their ids are tombstoned, never reused.
 
         Raises ``KeyError`` (before any mutation) if any id is unknown,
-        already removed, or repeated in the request.
+        already removed, or repeated in the request, and
+        :class:`ConcurrentMutationError` if another mutation is in flight.
         """
-        ids = list(record_ids)
-        seen = set()
-        for record_id in ids:
-            if record_id not in self or record_id in seen:
-                raise KeyError(f"record {record_id} is not live in this index")
-            seen.add(record_id)
-        for record_id in ids:
-            self._index.discard(self._signed[record_id])
-            self._signed[record_id] = None
-            self._live[record_id] = False
-        if ids:
-            self._note_mutations(len(ids))
+        with self._mutating():
+            ids = list(record_ids)
+            seen = set()
+            for record_id in ids:
+                if record_id not in self or record_id in seen:
+                    raise KeyError(f"record {record_id} is not live in this index")
+                seen.add(record_id)
+            for record_id in ids:
+                self._index.discard(self._signed[record_id])
+                self._signed[record_id] = None
+                self._live[record_id] = False
+            if ids:
+                self._note_mutations(len(ids))
 
     def _note_mutations(self, count: int) -> None:
         self._epoch += 1
@@ -865,10 +966,12 @@ class SimilarityIndex:
 
         Ids stay stable (tombstones stay tombstones); only the derived
         artifacts are rebuilt, exactly as a fresh index over the live
-        corpus would build them.
+        corpus would build them.  Raises :class:`ConcurrentMutationError`
+        if another mutation is in flight.
         """
-        self._build_from_prepared()
-        self.reorder_count += 1
+        with self._mutating():
+            self._build_from_prepared()
+            self.reorder_count += 1
 
     # ------------------------------------------------------------------ #
     # persistence
@@ -940,6 +1043,8 @@ class SimilarityIndex:
         # Derived serving state: cheap to rebuild, pure bloat in a snapshot.
         state["_plan_cache"] = None
         state["_warm_pool"] = None
+        # Locks don't pickle; each process guards its own mutations.
+        state.pop("_mutation_lock", None)
         # A fresh process re-interns its own vocabulary (ids are artifact-
         # local, and every flat artifact is dropped with the plan cache).
         state["_vocab"] = None
@@ -974,6 +1079,7 @@ class SimilarityIndex:
             self._vocab = Vocabulary()
         if getattr(self, "_warm_pool", "absent") == "absent":
             self._warm_pool = None
+        self._mutation_lock = threading.Lock()
         if lengths is not None:
             self._restore_flat_signatures(lengths)
 

@@ -1,0 +1,219 @@
+"""Crash-safe lifecycle registry for shared-memory plan segments.
+
+POSIX shared memory has no owner: a segment created with
+``SharedMemory(create=True)`` persists in ``/dev/shm`` until someone calls
+``unlink()``.  The join layer always unlinks in a ``finally`` — but a
+``finally`` does not run through ``kill -9``, an OOM kill, or a power cut,
+and every such crash between create and unlink leaks the segment forever
+(on long-lived serving hosts that is a slow, invisible memory leak capped
+only by ``/dev/shm`` itself).
+
+This module closes that hole with a deliberately boring mechanism: a small
+on-disk registry (one JSON sidecar file per live segment, recording the
+owning pid) plus a sweep that any later process runs at startup.  The sweep
+looks at each registered segment, checks whether its owner is still alive,
+and unlinks the segments of dead owners.  Registration/unregistration
+happen inside :func:`repro.join.flat.share_payload` and
+``SharedPayload.release``, so callers get the protection for free.
+
+Guarantees and limits:
+
+* The registry is advisory and best-effort.  A pid can in principle be
+  recycled between the owner's death and the sweep, making an orphan look
+  owned for one more round; it is cleaned on a later sweep once that pid
+  dies.  This trades a bounded delay for never unlinking a live segment.
+* Sidecar writes are atomic (temp + ``os.replace``), so a crash mid-write
+  leaves either no entry or a whole one, never a torn file.
+* Everything is exception-tolerant: registry failures must never break a
+  join, they can only reduce crash coverage.
+"""
+
+from __future__ import annotations
+
+import atexit
+import errno
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "registry_dir",
+    "register",
+    "unregister",
+    "registered_segments",
+    "sweep",
+    "sweep_once",
+]
+
+#: Override the registry location (tests point this at a tmpdir so they can
+#: assert on exact registry contents without seeing other processes' entries).
+ENV_VAR = "REPRO_SHM_REGISTRY_DIR"
+
+_DEFAULT_DIRNAME = "repro-shm-registry"
+
+#: Segment names registered by *this* process and not yet released —
+#: consumed by the atexit hook for a last-chance clean shutdown sweep.
+_OWNED: Dict[str, str] = {}
+
+_SWEPT_IN_PROCESS = False
+_ATEXIT_INSTALLED = False
+
+
+def registry_dir() -> Path:
+    """The directory holding the per-segment sidecar files."""
+    override = os.environ.get(ENV_VAR)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / _DEFAULT_DIRNAME
+
+
+def _entry_path(name: str) -> Path:
+    return registry_dir() / f"{name}.json"
+
+
+def register(name: str) -> None:
+    """Record that this process owns shm segment ``name`` (best-effort)."""
+    try:
+        root = registry_dir()
+        root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"name": name, "pid": os.getpid(), "created": time.time()})
+        fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, _entry_path(name))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _OWNED[name] = str(_entry_path(name))
+        _install_atexit()
+    except OSError:  # pragma: no cover - registry trouble must not break joins
+        pass
+
+
+def unregister(name: str) -> None:
+    """Drop the registry entry for ``name`` (idempotent, best-effort)."""
+    _OWNED.pop(name, None)
+    try:
+        os.unlink(_entry_path(name))
+    except OSError:
+        pass
+
+
+def registered_segments() -> List[dict]:
+    """All readable registry entries (torn/alien files are skipped)."""
+    entries = []
+    try:
+        paths = sorted(registry_dir().glob("*.json"))
+    except OSError:  # pragma: no cover
+        return entries
+    for path in paths:
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if isinstance(entry, dict) and "name" in entry and "pid" in entry:
+            entries.append(entry)
+    return entries
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive but not ours
+        return True
+    except OSError as exc:  # pragma: no cover
+        return exc.errno != errno.ESRCH
+    return True
+
+
+def _unlink_segment(name: str) -> bool:
+    """Unlink ``/dev/shm`` segment ``name`` without tracker side effects.
+
+    Returns True if a segment was actually removed.  Uses the raw
+    ``shm_unlink``-equivalent path rather than attaching via
+    ``SharedMemory`` — attaching would map the whole (possibly large)
+    orphan just to let go of it again.
+    """
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        try:
+            os.unlink(shm_dir / name)
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError:  # pragma: no cover
+            return False
+    # Non-tmpfs platforms: fall back to the stdlib, suppressing the
+    # resource tracker so this sweep doesn't adopt then double-free it.
+    try:  # pragma: no cover - exercised only off-Linux
+        from multiprocessing import resource_tracker, shared_memory
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+        segment.close()
+        segment.unlink()
+        return True
+    except FileNotFoundError:  # pragma: no cover
+        return False
+    except OSError:  # pragma: no cover
+        return False
+
+
+def sweep() -> List[str]:
+    """Unlink registered segments whose owners are dead; return their names.
+
+    Entries whose segment is already gone are simply dropped.  Entries with
+    live owners are left alone.
+    """
+    removed = []
+    for entry in registered_segments():
+        pid = entry.get("pid")
+        name = entry.get("name")
+        if not isinstance(pid, int) or not isinstance(name, str):
+            continue
+        if _pid_alive(pid):
+            continue
+        if _unlink_segment(name):
+            removed.append(name)
+        unregister(name)
+    return removed
+
+
+def sweep_once() -> List[str]:
+    """Run :func:`sweep` at most once per process (the startup sweep)."""
+    global _SWEPT_IN_PROCESS
+    if _SWEPT_IN_PROCESS:
+        return []
+    _SWEPT_IN_PROCESS = True
+    try:
+        return sweep()
+    except Exception:  # pragma: no cover - sweep must never break a join
+        return []
+
+
+def _atexit_release() -> None:
+    """Clean-shutdown backstop: unlink anything this process still owns."""
+    for name in list(_OWNED):
+        _unlink_segment(name)
+        unregister(name)
+
+
+def _install_atexit() -> None:
+    global _ATEXIT_INSTALLED
+    if not _ATEXIT_INSTALLED:
+        atexit.register(_atexit_release)
+        _ATEXIT_INSTALLED = True

@@ -9,6 +9,7 @@ restart path) and enforces an optional size budget with LRU eviction;
 from .prepared_store import (
     FORMAT_VERSION,
     INDEX_FORMAT_VERSION,
+    QUARANTINE_DIRNAME,
     PreparedStore,
     StoreOutcome,
     StoredArtifact,
@@ -18,6 +19,7 @@ from .prepared_store import (
 __all__ = [
     "FORMAT_VERSION",
     "INDEX_FORMAT_VERSION",
+    "QUARANTINE_DIRNAME",
     "PreparedStore",
     "StoreOutcome",
     "StoredArtifact",

@@ -36,6 +36,19 @@ inputs (content equality).  Every mismatch is a miss — a stale, renamed,
 truncated, or future-format artifact can never be returned.  Writes are
 atomic (temp file + ``os.replace``), so a crashed writer leaves either the
 old artifact or none.
+
+Corruption quarantine
+---------------------
+A file that *exists under an artifact's expected name* but fails the
+validation chain is not just a miss: left in place it would be re-read and
+re-rejected on every single load, forever — a silent, permanent cache hole
+at full I/O cost.  Such files are **quarantined**: moved into a
+``quarantine/`` subdirectory (out of the store's namespace, so the next
+:meth:`PreparedStore.prepare` rebuilds and re-saves cleanly) together with
+a ``<name>.reason`` sidecar recording which validation step failed and
+when.  Quarantined files are preserved, not deleted — bit rot worth
+diagnosing is bit rot worth keeping the evidence for.  A genuinely missing
+file is still an ordinary miss.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from ..core.measures import MeasureConfig
+from ..faults import FAULTS
 from ..join.prepared import PreparedCollection
 from ..records import RecordCollection
 
@@ -59,10 +73,15 @@ __all__ = [
     "FORMAT_VERSION",
     "INDEX_FORMAT_VERSION",
     "PreparedStore",
+    "QUARANTINE_DIRNAME",
     "StoreOutcome",
     "StoredArtifact",
     "collection_fingerprint",
 ]
+
+#: Subdirectory (under the store root) holding quarantined artifacts.  Its
+#: name can never collide with an artifact (those match ``_ARTIFACT_NAME``).
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Current on-disk format version.  Bump whenever the pickled layout of
 #: prepared collections (or this header) changes incompatibly; artifacts
@@ -202,6 +221,48 @@ class PreparedStore:
         self._managed: "weakref.WeakKeyDictionary[PreparedCollection, Tuple[str, int]]" = (
             weakref.WeakKeyDictionary()
         )
+        #: ``(quarantined_path, reason)`` per quarantine this instance
+        #: performed — in-memory telemetry for callers and tests; the
+        #: durable record is the ``.reason`` sidecar on disk.
+        self.quarantined: List[Tuple[Path, str]] = []
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Where failed-validation artifacts are moved (may not exist yet)."""
+        return self.root / QUARANTINE_DIRNAME
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed-validation file out of the artifact namespace.
+
+        Best-effort by design: quarantine is a side effect of a load miss
+        and must never turn the miss into an exception — if the move races
+        a concurrent delete or the filesystem refuses, the load still just
+        returns ``None``.  The move is an ``os.replace`` within the same
+        directory tree (atomic on POSIX), and the ``.reason`` sidecar
+        records the failed validation step for later diagnosis.
+        """
+        try:
+            destination = self.quarantine_root / path.name
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            return
+        self.quarantined.append((destination, reason))
+        try:
+            destination.with_name(destination.name + ".reason").write_text(
+                f"{reason}\nquarantined: {time.strftime('%Y-%m-%dT%H:%M:%S')}\n"
+            )
+        except OSError:  # pragma: no cover - the move alone already helps
+            pass
+
+    def quarantine_artifacts(self) -> List[Path]:
+        """Quarantined artifact files currently on disk (sidecars omitted)."""
+        root = self.quarantine_root
+        if not root.is_dir():
+            return []
+        return sorted(
+            path for path in root.iterdir() if not path.name.endswith(".reason")
+        )
 
     def manages(self, prepared: PreparedCollection) -> bool:
         """True when this store loaded or built ``prepared`` (unmutated).
@@ -295,6 +356,7 @@ class PreparedStore:
         except BaseException:
             temp.unlink(missing_ok=True)
             raise
+        FAULTS.on_store_save(path)
         if self.size_budget_bytes is not None:
             self.evict()
 
@@ -325,15 +387,20 @@ class PreparedStore:
             return None
         prepared = payload.get("prepared")
         if not isinstance(prepared, PreparedCollection):
+            self._quarantine(path, "payload is not a prepared collection")
             return None
         # Belt and braces: the fingerprint already covers content, but a
         # hand-edited artifact must still not smuggle foreign state in.
         if prepared.config != config or len(prepared) != len(collection):
+            self._quarantine(
+                path, "stored config or record count drifted from live inputs"
+            )
             return None
         if any(
             stored.text != live.text or stored.tokens != live.tokens
             for stored, live in zip(prepared, collection)
         ):
+            self._quarantine(path, "stored record content drifted from live inputs")
             return None
         self._managed[prepared] = (fingerprint, prepared.content_version)
         self._touch(path)
@@ -347,6 +414,9 @@ class PreparedStore:
         Shared by both artifact kinds; any failure in the chain — missing
         file, foreign or corrupt header, version or fingerprint mismatch,
         unpicklable or mislabelled payload — is a miss, never an exception.
+        A *present* file that fails validation is quarantined on the way
+        out (the file's name promised the requested version/fingerprint, so
+        a failure means damage, not staleness); a missing file is not.
         """
         try:
             blob = path.read_bytes()
@@ -354,15 +424,27 @@ class PreparedStore:
             return None
         newline = blob.find(b"\n")
         if newline < 0:
+            self._quarantine(path, "truncated artifact: no header line")
             return None
         parsed = self._parse_header(blob[: newline + 1], magic)
-        if parsed is None or parsed != (format_version, fingerprint):
+        if parsed is None:
+            self._quarantine(path, "corrupt or foreign artifact header")
+            return None
+        if parsed != (format_version, fingerprint):
+            self._quarantine(
+                path,
+                "header/filename mismatch: header says "
+                f"v{parsed[0]} {parsed[1][:12]}…, filename promises "
+                f"v{format_version} {fingerprint[:12]}…",
+            )
             return None
         try:
             payload = pickle.loads(blob[newline + 1 :])
-        except Exception:
+        except Exception as exc:
+            self._quarantine(path, f"unpicklable payload ({type(exc).__name__})")
             return None
         if not isinstance(payload, dict) or payload.get("fingerprint") != fingerprint:
+            self._quarantine(path, "payload fingerprint mismatch")
             return None
         return payload
 
@@ -458,6 +540,9 @@ class PreparedStore:
         index = payload.get("index")
         recompute = getattr(index, "content_fingerprint", None)
         if recompute is None or recompute() != fingerprint:
+            self._quarantine(
+                path, "index snapshot does not re-fingerprint to its name"
+            )
             return None
         self._touch(path)
         return index

@@ -121,6 +121,14 @@ def test_parallel_scaling_harness_smoke(smoke_dataset, tmp_path):
     assert recorded["payload"]["slim_reduction"] > 0.0
     assert recorded["payload"]["intern_reduction"] >= 0.0
     assert recorded["payload"]["flat_reduction_vs_slim"] > 0.0
+    # The fault-tolerance blocks: the supervised no-fault run stayed
+    # bit-identical (asserted inside the harness) and the injected
+    # worker-kill run recovered to the same answer with ≥1 respawn.
+    assert recorded["supervision"]["supervised_seconds"] > 0.0
+    assert recorded["supervision"]["unsupervised_seconds"] > 0.0
+    assert recorded["recovery"]["results_match"]
+    assert recorded["recovery"]["respawns"] >= 1
+    assert recorded["recovery"]["respawn_seconds"] >= 0.0
 
 
 def test_store_reuse_harness_smoke(smoke_dataset, tmp_path):
