@@ -23,7 +23,13 @@ store housekeeping from the shell                ``python -m repro.store <dir> [
 answering single records *right now*             ``SimilarityIndex`` (``repro.search``)
 a corpus that keeps changing while serving       ``SimilarityIndex.add`` / ``.remove``
 restart a service without re-preparing           ``SimilarityIndex.snapshot`` / ``.load``
+gating a change before commit/CI                 ``scripts/check`` (``python -m repro.analysis``)
 ===============================================  ================================================
+
+Before sending a change, run ``scripts/check``: it byte-compiles ``src/``
+and runs the static invariant linter (pickle boundaries, determinism,
+resource lifecycles, supervision discipline — see ``docs/invariants.md``).
+The same scan gates tier-1 via ``tests/test_analysis.py``.
 
 Run with::
 

@@ -1,0 +1,46 @@
+"""Invariant lint engine: AST-based static checks for the repo's promises.
+
+The test suite defends the core guarantees — bit-identical pair output
+across execution paths, leak-free shared memory, supervised process-pool
+submission — *dynamically*, which means a violation survives until a
+randomized test happens to trip it.  This package checks the same
+invariants statically, on every file, on every run:
+
+* ``pickle-boundary`` — worker-shipped classes stay picklable,
+* ``unsorted-iteration`` / ``unseeded-random`` / ``id-keyed-container`` —
+  nothing hash- or entropy-ordered leaks into output,
+* ``shm-lifecycle`` / ``non-atomic-write`` — resources are registered,
+  cleaned up on exception paths, and written atomically,
+* ``unsupervised-submit`` — all pool submissions go through the supervisor,
+* ``bare-except`` / ``swallowed-exception`` / ``unpicklable-raise`` —
+  failures stay visible and cross process boundaries intact.
+
+Run it with ``python -m repro.analysis src/`` (or ``scripts/check``), embed
+it via :class:`AnalysisEngine`, and silence deliberate exceptions with
+``# repro: ignore[rule-id]``.  See ``docs/invariants.md``.
+"""
+
+from .engine import (
+    ENGINE_NAME,
+    ENGINE_VERSION,
+    AnalysisEngine,
+    AnalysisReport,
+    Checker,
+    Finding,
+)
+from .checkers import default_checkers
+from .model import ModuleInfo, Project, build_project, parse_module
+
+__all__ = [
+    "ENGINE_NAME",
+    "ENGINE_VERSION",
+    "AnalysisEngine",
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "default_checkers",
+    "parse_module",
+]

@@ -1,0 +1,79 @@
+"""CLI: ``python -m repro.analysis [paths...] [--json] [--rules a,b]``.
+
+Exit status: 0 when clean, 1 when findings remain after suppressions,
+2 on usage errors.  ``--json`` emits the versioned machine-readable report
+(engine version + per-rule versions in the header, so baselines never
+silently reclassify when rules evolve).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import ENGINE_NAME, ENGINE_VERSION, AnalysisEngine
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checks for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids with versions and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    engine = AnalysisEngine()
+    if args.list_rules:
+        print(f"{ENGINE_NAME} {ENGINE_VERSION}")
+        for checker in engine.checkers:
+            print(f"  {checker.rule} (v{checker.version}): {checker.description}")
+        return 0
+    if args.rules:
+        try:
+            engine = engine.select(
+                part.strip() for part in args.rules.split(",") if part.strip()
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    paths = [Path(part) for part in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = engine.run(paths)
+    try:
+        print(report.to_json() if args.json else report.to_text())
+    except BrokenPipeError:
+        # Downstream pager/head closed early; the verdict still stands.
+        sys.stderr.close()
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

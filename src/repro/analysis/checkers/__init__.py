@@ -1,0 +1,50 @@
+"""Built-in checkers, one module per invariant family."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import Checker
+from .determinism import (
+    IdKeyedContainerChecker,
+    UnseededRandomChecker,
+    UnsortedIterationChecker,
+)
+from .exceptions import (
+    BareExceptChecker,
+    SwallowedExceptionChecker,
+    UnpicklableRaiseChecker,
+)
+from .pickle_boundary import PickleBoundaryChecker
+from .resources import AtomicStoreWriteChecker, ShmLifecycleChecker
+from .supervision import UnsupervisedSubmitChecker
+
+__all__ = [
+    "AtomicStoreWriteChecker",
+    "BareExceptChecker",
+    "IdKeyedContainerChecker",
+    "PickleBoundaryChecker",
+    "ShmLifecycleChecker",
+    "SwallowedExceptionChecker",
+    "UnpicklableRaiseChecker",
+    "UnseededRandomChecker",
+    "UnsortedIterationChecker",
+    "UnsupervisedSubmitChecker",
+    "default_checkers",
+]
+
+
+def default_checkers() -> List[Checker]:
+    """A fresh instance of every built-in checker (registration order)."""
+    return [
+        PickleBoundaryChecker(),
+        UnsortedIterationChecker(),
+        UnseededRandomChecker(),
+        IdKeyedContainerChecker(),
+        ShmLifecycleChecker(),
+        AtomicStoreWriteChecker(),
+        UnsupervisedSubmitChecker(),
+        BareExceptChecker(),
+        SwallowedExceptionChecker(),
+        UnpicklableRaiseChecker(),
+    ]

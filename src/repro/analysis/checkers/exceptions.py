@@ -1,0 +1,140 @@
+"""Exception-hygiene checkers.
+
+``bare-except``
+    ``except:`` catches ``SystemExit``/``KeyboardInterrupt`` and hides the
+    typed transport errors (``ShardTransportError``) the supervisor keys
+    its recovery decisions on.  Always an error.
+
+``swallowed-exception``
+    ``except Exception: pass`` (or ``...``) erases failures entirely.  The
+    few deliberate last-resort cleanup sites ("a broken pool may complain
+    during shutdown") carry explicit suppression comments; everything else
+    must narrow the type or record the failure.
+
+``unpicklable-raise``
+    An exception raised inside worker-executed code must cross the process
+    boundary to reach the supervisor.  Classes defined in a local scope
+    cannot be pickled, so the parent would see ``PicklingError`` instead of
+    the real failure — and the supervisor would misclassify the shard.
+    Flagged: ``raise X(...)`` where ``X`` is a class defined inside the
+    enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set
+
+from ..engine import Checker, Finding
+from ..model import ModuleInfo, Project
+
+__all__ = [
+    "BareExceptChecker",
+    "SwallowedExceptionChecker",
+    "UnpicklableRaiseChecker",
+]
+
+
+class BareExceptChecker(Checker):
+    rule = "bare-except"
+    version = 1
+    description = "bare except: catches SystemExit/KeyboardInterrupt"
+    hint = "catch the narrowest exception type the handler can actually handle"
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "bare 'except:' — catches SystemExit and "
+                    "KeyboardInterrupt too",
+                    col=node.col_offset,
+                )
+
+
+class SwallowedExceptionChecker(Checker):
+    rule = "swallowed-exception"
+    version = 1
+    description = "except Exception/BaseException with a pass-only body"
+    hint = (
+        "narrow the exception type or handle/record the failure; suppress "
+        "only deliberate last-resort cleanup sites"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not (
+                isinstance(node.type, ast.Name)
+                and node.type.id in {"Exception", "BaseException"}
+            ):
+                continue
+            if all(_is_noop(statement) for statement in node.body):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"'except {node.type.id}: pass' silently swallows "
+                    "every failure",
+                    col=node.col_offset,
+                )
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    if isinstance(statement, ast.Pass):
+        return True
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Constant)
+        and statement.value.value is Ellipsis
+    )
+
+
+class UnpicklableRaiseChecker(Checker):
+    rule = "unpicklable-raise"
+    version = 1
+    description = (
+        "raising a class defined in a local scope cannot cross the process "
+        "boundary"
+    )
+    hint = "define the exception class at module level so workers can pickle it"
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, function: ast.AST
+    ) -> Iterator[Finding]:
+        local_classes: Set[str] = {
+            node.name
+            for node in ast.walk(function)
+            if isinstance(node, ast.ClassDef)
+        }
+        if not local_classes:
+            return
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in local_classes:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raises locally defined class '{name}' — unpicklable "
+                    "across the worker boundary",
+                    col=node.col_offset,
+                )

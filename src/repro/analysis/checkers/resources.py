@@ -1,0 +1,224 @@
+"""Resource-lifecycle checkers: shm segments and store writes.
+
+``shm-lifecycle``
+    A ``SharedMemory(create=True)`` segment outlives its creator in
+    ``/dev/shm`` until someone unlinks it.  The repo's discipline (PR 6/7):
+    the creating function registers the segment with ``repro.shm_registry``
+    (so the janitor can reclaim it after a crash) and guarantees
+    ``close()``/``unlink()`` on exception paths via ``try``/``finally`` or
+    an exception handler.  Creation at module level, creation without a
+    registry ``register(...)`` call, or creation in a function with no
+    try-protected ``close``/``unlink`` is flagged.
+
+``non-atomic-write``
+    Store artifacts are validated by header+fingerprint on load; a torn
+    write would quarantine (or worse, silently invalidate) warm-start
+    state.  Every write inside a ``store`` package must therefore go
+    through the temp-file + ``os.replace`` idiom — a write-mode ``open``,
+    ``write_text``, or ``write_bytes`` in a function that never calls
+    ``replace``/``rename`` is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..engine import Checker, Finding
+from ..model import ModuleInfo, Project
+
+__all__ = ["AtomicStoreWriteChecker", "ShmLifecycleChecker"]
+
+
+def _enclosing_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[Optional[ast.AST], ast.AST]]:
+    """Yield (enclosing function or None, node) for every node."""
+    stack: List[Tuple[Optional[ast.AST], ast.AST]] = [(None, tree)]
+    while stack:
+        function, node = stack.pop()
+        yield function, node
+        owner = (
+            node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else function
+        )
+        for child in ast.iter_child_nodes(node):
+            stack.append((owner, child))
+
+
+class ShmLifecycleChecker(Checker):
+    rule = "shm-lifecycle"
+    version = 1
+    description = (
+        "SharedMemory(create=True) must be registered with shm_registry and "
+        "closed/unlinked on exception paths"
+    )
+    hint = (
+        "register the segment name with repro.shm_registry and wrap the "
+        "post-create writes in try/finally (or except) calling close()+unlink()"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        for function, node in _enclosing_functions(module.tree):
+            if not _is_shm_create(node):
+                continue
+            if function is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "SharedMemory(create=True) at module level cannot "
+                    "guarantee cleanup",
+                    col=node.col_offset,
+                )
+                continue
+            if not _has_register_call(function):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "SharedMemory(create=True) is never registered with "
+                    "shm_registry — a crashed owner would leak /dev/shm",
+                    col=node.col_offset,
+                )
+            if not _has_protected_cleanup(function):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "SharedMemory(create=True) has no close()/unlink() "
+                    "reachable on an exception path",
+                    col=node.col_offset,
+                )
+
+
+def _is_shm_create(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            return isinstance(keyword.value, ast.Constant) and bool(
+                keyword.value.value
+            )
+    return False
+
+
+def _has_register_call(function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "register":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "register":
+            return True
+    return False
+
+
+def _has_protected_cleanup(function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Try):
+            continue
+        protected: List[ast.AST] = list(node.finalbody)
+        for handler in node.handlers:
+            protected.extend(handler.body)
+        called = set()
+        for block in protected:
+            for sub in ast.walk(block):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if isinstance(func, ast.Attribute):
+                    called.add(func.attr)
+                elif isinstance(func, ast.Name):
+                    called.add(func.id)
+        if {"close", "unlink"} <= called:
+            return True
+        # A dedicated teardown helper (payload.release(), _cleanup(...))
+        # counts: the unlink lives one call away by construction.
+        if any("release" in name or "cleanup" in name for name in called):
+            return True
+    return False
+
+
+class AtomicStoreWriteChecker(Checker):
+    rule = "non-atomic-write"
+    version = 1
+    description = (
+        "store-package writes must use the atomic temp-file + os.replace idiom"
+    )
+    hint = "write to a temp file in the same directory, then os.replace(temp, path)"
+
+    def _applies(self, module: ModuleInfo) -> bool:
+        parts = {part.lower() for part in module.path.parts}
+        return "store" in parts or module.basename.startswith("store")
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        if not self._applies(module):
+            return
+        for function, node in _enclosing_functions(module.tree):
+            kind = _write_kind(node)
+            if kind is None:
+                continue
+            scope = function if function is not None else module.tree
+            if _has_replace_call(scope):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"store write via {kind} bypasses the atomic "
+                "temp-file + os.replace idiom",
+                col=node.col_offset,
+            )
+
+
+def _write_kind(node: ast.AST) -> Optional[str]:
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in {
+        "write_text",
+        "write_bytes",
+    }:
+        return f"{func.attr}()"
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name not in {"open", "fdopen"}:
+        return None
+    mode: Optional[ast.AST] = None
+    if len(node.args) > 1:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(flag in mode.value for flag in ("w", "a", "x", "+"))
+    ):
+        return f"{name}(..., '{mode.value}')"
+    return None
+
+
+def _has_replace_call(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"replace", "rename"}
+        ):
+            return True
+    return False

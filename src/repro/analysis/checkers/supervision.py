@@ -1,0 +1,73 @@
+"""Supervision-discipline checker: no unsupervised pool submissions.
+
+PR 7's guarantee — bit-identical results under worker kills, hung shards,
+and vanished transports — holds only because every process-pool submission
+funnels through ``ShardSupervisor`` and the session objects it drives.  A
+raw ``executor.submit(...)`` anywhere else dodges the retry/respawn/serial
+fallback machinery and reintroduces the failure modes the supervisor was
+built to absorb.
+
+The rule: in any module that mentions ``ProcessPoolExecutor``, attribute
+calls ``.submit(...)`` / ``.map(...)`` are errors unless the module is one
+of the sanctioned homes (``supervision.py`` — which owns the only raw
+submission primitive, :class:`ExecutorSession` — and ``pool.py``, the warm
+executor's lifecycle manager).  Thread-pool modules never import
+``ProcessPoolExecutor`` and are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..engine import Checker, Finding
+from ..model import ModuleInfo, Project
+
+__all__ = ["UnsupervisedSubmitChecker"]
+
+
+class UnsupervisedSubmitChecker(Checker):
+    rule = "unsupervised-submit"
+    version = 1
+    description = (
+        "ProcessPoolExecutor.submit/.map outside supervision.py/pool.py "
+        "bypasses ShardSupervisor"
+    )
+    hint = (
+        "submit through an ExecutorSession driven by ShardSupervisor "
+        "(repro.join.supervision) instead of calling the executor directly"
+    )
+    allowed_basenames: Tuple[str, ...] = ("supervision.py", "pool.py")
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        if module.basename in self.allowed_basenames:
+            return
+        if not _mentions_process_pool(module.tree):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"submit", "map"}
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"direct executor .{node.func.attr}() in a "
+                    "process-pool module bypasses ShardSupervisor",
+                    col=node.col_offset,
+                )
+
+
+def _mentions_process_pool(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == "ProcessPoolExecutor":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "ProcessPoolExecutor":
+            return True
+        if isinstance(node, ast.ImportFrom):
+            if any(alias.name == "ProcessPoolExecutor" for alias in node.names):
+                return True
+    return False

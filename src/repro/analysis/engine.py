@@ -1,0 +1,199 @@
+"""Checker framework: registration, runs, suppressions, and reports.
+
+A :class:`Checker` declares a ``rule`` id, a ``version`` (bumped whenever
+the rule's behaviour changes, so machine-readable baselines never silently
+reclassify), a one-line ``description``, and a ``hint`` telling the author
+how to fix a finding.  ``check_module`` handles the common per-file case;
+checkers that need cross-file context (the pickle-boundary reachability
+walk) override ``run`` and see the whole :class:`~repro.analysis.model.Project`.
+
+:class:`AnalysisEngine` parses the target paths once, runs every registered
+checker, filters findings through the suppression table, and returns an
+:class:`AnalysisReport` that renders as text or as the versioned JSON format
+consumed by the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .model import ModuleInfo, Project, build_project
+
+__all__ = [
+    "ENGINE_NAME",
+    "ENGINE_VERSION",
+    "AnalysisEngine",
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+]
+
+ENGINE_NAME = "repro.analysis"
+#: Bump on framework/report-format changes (rule changes bump rule versions).
+ENGINE_VERSION = "1.0"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+class Checker:
+    """Base class: one rule id, checked per module or across the project."""
+
+    rule: str = ""
+    version: int = 1
+    description: str = ""
+    hint: str = ""
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self.check_module(module, project)
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        message: str,
+        col: int = 0,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=str(module.path),
+            line=line,
+            col=col,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Findings plus the engine/rule version header the gate asserts on."""
+
+    findings: List[Finding]
+    suppressed: int
+    files: int
+    rules: List[Checker]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": {
+                "name": ENGINE_NAME,
+                "version": ENGINE_VERSION,
+                "rules": {
+                    checker.rule: {
+                        "version": checker.version,
+                        "description": checker.description,
+                    }
+                    for checker in self.rules
+                },
+            },
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                    "hint": finding.hint,
+                }
+                for finding in self.findings
+            ],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), {self.suppressed} suppressed, "
+            f"{self.files} file(s) checked"
+        )
+        return "\n".join(lines)
+
+
+class AnalysisEngine:
+    """Run a set of checkers over source paths and collect a report."""
+
+    def __init__(self, checkers: Optional[Sequence[Checker]] = None) -> None:
+        if checkers is None:
+            from .checkers import default_checkers
+
+            checkers = default_checkers()
+        self.checkers: List[Checker] = list(checkers)
+        seen = set()
+        for checker in self.checkers:
+            if not checker.rule:
+                raise ValueError(f"{type(checker).__name__} declares no rule id")
+            if checker.rule in seen:
+                raise ValueError(f"duplicate rule id: {checker.rule}")
+            seen.add(checker.rule)
+
+    def select(self, rules: Iterable[str]) -> "AnalysisEngine":
+        """A new engine restricted to the given rule ids."""
+        wanted = set(rules)
+        known = {checker.rule for checker in self.checkers}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        return AnalysisEngine(
+            [checker for checker in self.checkers if checker.rule in wanted]
+        )
+
+    def run(self, paths: Iterable[Path]) -> AnalysisReport:
+        project = build_project(paths)
+        return self.run_project(project)
+
+    def run_project(self, project: Project) -> AnalysisReport:
+        by_path = {str(module.path): module for module in project.modules}
+        kept: List[Finding] = []
+        suppressed = 0
+        for checker in self.checkers:
+            for finding in checker.run(project):
+                module = by_path.get(finding.path)
+                if module is not None and module.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    suppressed += 1
+                    continue
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return AnalysisReport(
+            findings=kept,
+            suppressed=suppressed,
+            files=len(project.modules),
+            rules=self.checkers,
+        )

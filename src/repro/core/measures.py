@@ -119,7 +119,9 @@ class MeasureConfig:
             return NotImplemented
         memo: dict = self._eq_memo  # type: ignore[attr-defined]
         versions = (self._knowledge_versions(), other._knowledge_versions())
-        entry = memo.get(id(other))
+        # Identity-guarded memo: the entry pins `other` strongly and is
+        # re-validated with `is` below, so the id key can never alias.
+        entry = memo.get(id(other))  # repro: ignore[id-keyed-container]
         if entry is not None and entry[0] is other and entry[2] == versions:
             return entry[1]
         result = (
@@ -135,7 +137,7 @@ class MeasureConfig:
         # stream of per-request partners from pinning them all.
         if len(memo) >= _EQ_MEMO_LIMIT:
             memo.clear()
-        memo[id(other)] = (other, result, versions)
+        memo[id(other)] = (other, result, versions)  # repro: ignore[id-keyed-container]
         return result
 
     def __hash__(self) -> int:

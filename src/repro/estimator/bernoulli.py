@@ -38,7 +38,11 @@ def bernoulli_sample(
     """Sample each record independently with the given probability."""
     if not 0.0 < probability <= 1.0:
         raise ValueError("probability must be in (0, 1]")
-    rng = rng or random.Random()
+    # Deterministic default: an argument-free random.Random() seeds from
+    # OS entropy, which would make repeated estimator runs irreproducible
+    # (the unseeded-random invariant).  Callers wanting fresh draws pass
+    # their own rng, as generate_sample_series does.
+    rng = rng if rng is not None else random.Random(0)
     selected_ids = [
         record.record_id for record in collection if rng.random() < probability
     ]

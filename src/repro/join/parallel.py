@@ -109,6 +109,7 @@ from .prepared import PreparedCollection
 from .signatures import SignatureMethod, SignedRecord
 from .supervision import (
     ExecutionReport,
+    ExecutorSession,
     ShardSupervisor,
     ShardTransportError,
     SupervisorPolicy,
@@ -692,24 +693,6 @@ def build_shard_plan(
     )
 
 
-class _ColdSession:
-    """Shard submission over a one-shot, initializer-loaded pool."""
-
-    __slots__ = ("_pool",)
-
-    def __init__(self, pool: ProcessPoolExecutor) -> None:
-        self._pool = pool
-
-    def map_spans(self, spans: Sequence[Tuple[int, int]]):
-        return self._pool.map(_run_shard, spans)
-
-    def submit_span(self, span: Tuple[int, int], attempt: int = 0):
-        return self._pool.submit(_run_shard, span, attempt)
-
-    def submit_call(self, fn):
-        return self._pool.submit(fn)
-
-
 class _ColdSessionManager:
     """Publish a plan and mint (re-)spawnable one-shot pools over it.
 
@@ -764,6 +747,7 @@ class _ColdSessionManager:
         if teardown is not None:
             try:
                 teardown()
+            # repro: ignore[swallowed-exception] — last-resort teardown
             except Exception:  # pragma: no cover - cleanup must not mask
                 pass
 
@@ -772,10 +756,11 @@ class _ColdSessionManager:
         if pool is not None:
             try:
                 pool.shutdown(wait=wait, cancel_futures=True)
+            # repro: ignore[swallowed-exception] — discarding a dead pool
             except Exception:  # pragma: no cover - broken pools may complain
                 pass
 
-    def open(self) -> _ColdSession:
+    def open(self) -> ExecutorSession:
         if self._descriptor is None:
             self._publish()
         self._pool = ProcessPoolExecutor(
@@ -783,9 +768,11 @@ class _ColdSessionManager:
             initializer=_init_worker,
             initargs=(self._descriptor,),
         )
-        return _ColdSession(self._pool)
+        # Cold pools load the plan in their initializer, so the task
+        # signature is just (span, attempt) — ExecutorSession's default.
+        return ExecutorSession(self._pool, _run_shard)
 
-    def respawn(self, kind: str) -> _ColdSession:
+    def respawn(self, kind: str) -> ExecutorSession:
         self._discard_pool(wait=False)
         if self._mode == "shm":
             self._teardown_transport()

@@ -33,7 +33,7 @@ import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 from ..faults import FAULTS
 from .parallel import (
@@ -43,6 +43,7 @@ from .parallel import (
     _run_shard_on,
     _WorkerRuntime,
 )
+from .supervision import ExecutorSession
 
 __all__ = ["WarmJoinPool"]
 
@@ -89,25 +90,20 @@ def _pool_run_shard(task):
     return _run_shard_on(_pool_runtime(name), span)
 
 
-class _WarmSession:
-    """Shard submission against one plan registered with a warm pool."""
+def _warm_session(executor: ProcessPoolExecutor, name: str) -> ExecutorSession:
+    """A shard session against one plan registered with a warm pool.
 
-    __slots__ = ("_executor", "_name")
-
-    def __init__(self, executor: ProcessPoolExecutor, name: str) -> None:
-        self._executor = executor
-        self._name = name
-
-    def map_spans(self, spans: Sequence[Tuple[int, int]]):
-        name = self._name
-        return self._executor.map(
-            _pool_run_shard, [(name, span) for span in spans]
-        )
-
-    def submit_span(self, span: Tuple[int, int], attempt: int = 0):
-        return self._executor.submit(
-            _pool_run_shard, (self._name, span, attempt)
-        )
+    Warm tasks route through :func:`_pool_run_shard`, which looks the plan
+    up by segment name worker-side — so the encoding bakes ``name`` into
+    each task tuple.  Submission itself stays in
+    :class:`~repro.join.supervision.ExecutorSession`, the codebase's single
+    sanctioned raw-submission primitive.
+    """
+    return ExecutorSession(
+        executor,
+        _pool_run_shard,
+        encode=lambda span, attempt: ((name, span, attempt),),
+    )
 
 
 class _WarmSessionManager:
@@ -134,12 +130,12 @@ class _WarmSessionManager:
         if payload is not None:
             payload.release()
 
-    def open(self) -> _WarmSession:
+    def open(self) -> ExecutorSession:
         executor = self._pool._ensure_executor()
         self._payload = _export_plan_payload(self._plan)
-        return _WarmSession(executor, self._payload.name)
+        return _warm_session(executor, self._payload.name)
 
-    def respawn(self, kind: str) -> _WarmSession:
+    def respawn(self, kind: str) -> ExecutorSession:
         self._release_payload()
         if kind != "transport":
             self._pool.respawn()
@@ -174,6 +170,7 @@ class WarmJoinPool:
         if executor is not None:
             try:
                 executor.shutdown(wait=wait, cancel_futures=True)
+            # repro: ignore[swallowed-exception] — discarding a dead pool
             except Exception:  # pragma: no cover - broken pools may complain
                 pass
 

@@ -227,6 +227,8 @@ class PreparedCollection:
         signatures = state.pop("_signatures")
         self.__dict__.update(state)
         self._signatures = {
+            # Fresh ids for the new process; reads re-validate by identity.
+            # repro: ignore[id-keyed-container]
             (id(order), mutation_count, theta, tau, method): (order, signed)
             for mutation_count, theta, tau, method, order, signed in signatures
         }
@@ -326,7 +328,9 @@ class PreparedCollection:
         """
         if other is self:
             return self.build_order(strategy)
-        entry = self._shared_orders.get((id(other), strategy))
+        # Identity-guarded cache (`entry[0]() is other` below); the weakref
+        # callback purges the key, so a recycled id can never be served.
+        entry = self._shared_orders.get((id(other), strategy))  # repro: ignore[id-keyed-container]
         if entry is not None and entry[0]() is other:
             return entry[1]
         order = build_shared_order([self, other], strategy)

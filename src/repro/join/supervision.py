@@ -41,9 +41,13 @@ It speaks two small protocols:
 * a **session** with ``submit_span(span, attempt) -> Future`` (and, for
   single round-trips, ``submit_call(fn) -> Future``).
 
-:mod:`repro.join.parallel` provides cold-pool managers (fork / shm / bytes
-transports) and the parent-side serial runner; :mod:`repro.join.pool`
-provides the warm-pool manager.
+Sessions are instances of :class:`ExecutorSession`, the one place in the
+codebase allowed to call ``executor.submit`` for shard work (the
+``unsupervised-submit`` invariant — see ``docs/invariants.md``): managers
+in :mod:`repro.join.parallel` (cold fork / shm / bytes transports) and
+:mod:`repro.join.pool` (warm pool) construct one around their live
+executor and a task-encoding rule instead of submitting themselves.
+:mod:`repro.join.parallel` also provides the parent-side serial runner.
 """
 
 from __future__ import annotations
@@ -59,6 +63,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ExecutionReport",
+    "ExecutorSession",
     "ShardSupervisor",
     "ShardTransportError",
     "SupervisorPolicy",
@@ -79,6 +84,45 @@ class ShardTransportError(RuntimeError):
     instead of an opaque ``FileNotFoundError`` from deep inside a worker:
     the executor itself is healthy, only the transport needs rebuilding.
     """
+
+
+class ExecutorSession:
+    """A supervisable shard session over one live process-pool executor.
+
+    This is the codebase's single raw-submission primitive: every
+    ``ProcessPoolExecutor`` shard dispatch goes through here so the
+    supervisor's accounting (attempt counts riding along to the
+    fault-injection hooks, head-of-line deadlines, respawn salvage) can
+    never be bypassed by a stray ``executor.submit`` elsewhere.
+
+    ``task`` is the picklable worker entry point; ``encode`` maps
+    ``(span, attempt)`` to the positional-argument tuple ``task`` expects,
+    which is what lets the cold pool (``_run_shard(span, attempt)``) and
+    the warm pool (``_pool_run_shard((name, span, attempt))``) share one
+    session type.  ``encode`` stays in the parent — only its *result* is
+    pickled.
+    """
+
+    __slots__ = ("_executor", "_task", "_encode")
+
+    def __init__(
+        self,
+        executor,
+        task: Callable,
+        encode: Optional[Callable[[Tuple[int, int], int], tuple]] = None,
+    ) -> None:
+        self._executor = executor
+        self._task = task
+        self._encode = encode
+
+    def submit_span(self, span: Tuple[int, int], attempt: int = 0):
+        """Dispatch one shard; ``attempt`` is the supervisor's retry count."""
+        args = (span, attempt) if self._encode is None else self._encode(span, attempt)
+        return self._executor.submit(self._task, *args)
+
+    def submit_call(self, fn: Callable):
+        """Dispatch a single argument-free round-trip (e.g. plan info)."""
+        return self._executor.submit(fn)
 
 
 @dataclass

@@ -1,0 +1,24 @@
+"""Fixture: exception-hygiene violations."""
+
+
+def swallow_everything(task):
+    try:
+        return task()
+    except:  # expect[bare-except]
+        return None
+
+
+def swallow_silently(task):
+    try:
+        return task()
+    except Exception:  # expect[swallowed-exception]
+        pass
+
+
+def worker_entry(shard):
+    class ShardFailed(RuntimeError):
+        pass
+
+    if not shard:
+        raise ShardFailed("empty shard")  # expect[unpicklable-raise]
+    return shard

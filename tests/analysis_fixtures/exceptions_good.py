@@ -1,0 +1,28 @@
+"""Fixture: disciplined exception handling."""
+
+
+class ShardFailed(RuntimeError):
+    """Module-level: picklable across the worker boundary."""
+
+
+def narrow_and_record(task, log):
+    try:
+        return task()
+    except ValueError as exc:
+        log.append(exc)
+        return None
+
+
+def broad_but_handled(task, log):
+    # Broad catches are fine when the failure is recorded, not erased.
+    try:
+        return task()
+    except Exception as exc:
+        log.append(exc)
+        return None
+
+
+def worker_entry(shard):
+    if not shard:
+        raise ShardFailed("empty shard")
+    return shard

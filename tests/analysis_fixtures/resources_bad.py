@@ -1,0 +1,22 @@
+"""Fixture: shared-memory segments escaping the lifecycle discipline."""
+
+from multiprocessing import shared_memory
+
+from repro import shm_registry
+
+
+def create_without_register(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)  # expect[shm-lifecycle]
+    try:
+        shm.buf[0] = 1
+    finally:
+        shm.close()
+        shm.unlink()
+    return shm
+
+
+def create_without_cleanup(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)  # expect[shm-lifecycle]
+    shm.buf[0] = 1
+    shm_registry.register(shm.name)
+    return shm

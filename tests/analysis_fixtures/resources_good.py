@@ -1,0 +1,22 @@
+"""Fixture: the disciplined shared-memory creation idiom (flat.py's)."""
+
+from multiprocessing import shared_memory
+
+from repro import shm_registry
+
+
+def create_registered(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        shm.buf[0] = 1
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    shm_registry.register(shm.name)
+    return shm
+
+
+def attach_only(name):
+    # Attaching (create absent/False) imposes no registration duty.
+    return shared_memory.SharedMemory(name=name)

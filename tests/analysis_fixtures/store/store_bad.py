@@ -1,0 +1,10 @@
+"""Fixture: store-package writes that bypass the atomic idiom."""
+
+
+def save_payload(path, payload):
+    with open(path, "wb") as handle:  # expect[non-atomic-write]
+        handle.write(payload)
+
+
+def save_reason(path, reason):
+    path.write_text(reason)  # expect[non-atomic-write]

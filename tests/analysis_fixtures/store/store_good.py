@@ -1,0 +1,16 @@
+"""Fixture: the atomic temp-file + os.replace store-write idiom."""
+
+import os
+
+
+def save_payload(path, payload):
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(payload)
+    os.replace(temp, path)
+
+
+def load_payload(path):
+    # Reads are unrestricted.
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -1,0 +1,10 @@
+"""Fixture: raw executor submissions in a process-pool module."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_shards(task, spans):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task, span) for span in spans]  # expect[unsupervised-submit]
+        rows = list(pool.map(task, spans))  # expect[unsupervised-submit]
+    return futures, rows

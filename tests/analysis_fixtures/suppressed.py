@@ -1,0 +1,24 @@
+"""Fixture: every violation here carries a ``# repro: ignore[...]``."""
+
+import random
+
+
+def same_line_suppression(cache, record):
+    return cache.get(id(record))  # repro: ignore[id-keyed-container]
+
+
+def line_above_suppression(items):
+    # repro: ignore[unseeded-random]
+    return random.choice(items)
+
+
+def wildcard_suppression(task):
+    try:
+        return task()
+    except:  # repro: ignore[*]
+        return None
+
+
+def multi_rule_suppression(cache, record):
+    # repro: ignore[id-keyed-container, unseeded-random]
+    return cache.get(id(record)), random.random()

@@ -1,0 +1,261 @@
+"""The invariant lint engine: framework, checkers, fixtures, and the gate.
+
+Fixture files under ``tests/analysis_fixtures/`` carry ``# expect[rule]``
+markers on every line the engine must flag; the tests assert the finding
+set equals the marker set *exactly* (rule ids and line numbers), that the
+good twins are clean, and that ``# repro: ignore[...]`` suppresses.  The
+gate tests at the bottom run the full engine over ``src/`` and assert zero
+findings — the static mirror of the randomized equivalence suites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.analysis import (
+    ENGINE_NAME,
+    ENGINE_VERSION,
+    AnalysisEngine,
+    Checker,
+    parse_module,
+)
+from repro.analysis.checkers import default_checkers
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+EXPECT_RE = re.compile(r"#\s*expect\[([a-z\-]+)\]")
+
+ALL_RULES = {
+    "pickle-boundary",
+    "unsorted-iteration",
+    "unseeded-random",
+    "id-keyed-container",
+    "shm-lifecycle",
+    "non-atomic-write",
+    "unsupervised-submit",
+    "bare-except",
+    "swallowed-exception",
+    "unpicklable-raise",
+}
+
+
+def expected_markers(path: Path) -> List[Tuple[int, str]]:
+    """(line, rule) for every ``# expect[rule]`` marker in a fixture."""
+    markers = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in EXPECT_RE.finditer(line):
+            markers.append((lineno, match.group(1)))
+    return sorted(markers)
+
+
+def run_engine(*paths: Path):
+    return AnalysisEngine().run(list(paths))
+
+
+def assert_matches_markers(path: Path) -> None:
+    report = run_engine(path)
+    found = sorted((f.line, f.rule) for f in report.findings)
+    assert found == expected_markers(path), report.to_text()
+
+
+BAD_FIXTURES = [
+    "pickle_bad.py",
+    "determinism_bad.py",
+    "resources_bad.py",
+    "store/store_bad.py",
+    "supervision_bad.py",
+    "exceptions_bad.py",
+]
+
+GOOD_FIXTURES = [
+    "pickle_good.py",
+    "determinism_good.py",
+    "resources_good.py",
+    "store/store_good.py",
+    "exceptions_good.py",
+]
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name", BAD_FIXTURES)
+    def test_bad_fixture_findings_match_markers_exactly(self, name):
+        path = FIXTURES / name
+        assert expected_markers(path), f"{name} declares no expect markers"
+        assert_matches_markers(path)
+
+    @pytest.mark.parametrize("name", GOOD_FIXTURES)
+    def test_good_fixture_is_clean(self, name):
+        report = run_engine(FIXTURES / name)
+        assert report.findings == [], report.to_text()
+
+    def test_every_rule_has_a_seeded_violation(self):
+        seeded = {
+            rule
+            for name in BAD_FIXTURES
+            for _, rule in expected_markers(FIXTURES / name)
+        }
+        assert seeded == ALL_RULES
+
+    def test_supervision_allowlist_is_by_basename(self, tmp_path):
+        # The same raw submissions are sanctioned inside pool.py itself.
+        sanctioned = tmp_path / "pool.py"
+        sanctioned.write_text((FIXTURES / "supervision_bad.py").read_text())
+        assert run_engine(sanctioned).findings == []
+
+
+class TestSuppression:
+    def test_suppressed_fixture_is_clean_and_counted(self):
+        report = run_engine(FIXTURES / "suppressed.py")
+        assert report.findings == [], report.to_text()
+        assert report.suppressed == 5
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text(
+            "def lookup(cache, record):\n"
+            "    return cache.get(id(record))  # repro: ignore[bare-except]\n"
+        )
+        report = run_engine(target)
+        assert [f.rule for f in report.findings] == ["id-keyed-container"]
+        assert report.suppressed == 0
+
+    def test_module_suppression_table(self):
+        module = parse_module(FIXTURES / "suppressed.py")
+        assert module.is_suppressed("id-keyed-container", 7)
+        assert module.is_suppressed("unseeded-random", 12)  # line above
+        assert module.is_suppressed("anything-at-all", 18)  # wildcard
+        assert not module.is_suppressed("unseeded-random", 7)
+
+
+class TestFramework:
+    def test_rule_registry_is_complete(self):
+        assert {c.rule for c in default_checkers()} == ALL_RULES
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            AnalysisEngine().select(["no-such-rule"])
+
+    def test_select_restricts_rules(self):
+        engine = AnalysisEngine().select(["bare-except"])
+        report = engine.run([FIXTURES / "exceptions_bad.py"])
+        assert [f.rule for f in report.findings] == ["bare-except"]
+
+    def test_duplicate_rule_id_rejected(self):
+        class Dup(Checker):
+            rule = "bare-except"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            AnalysisEngine(default_checkers() + [Dup()])
+
+    def test_findings_are_deterministically_ordered(self):
+        paths = [FIXTURES / name for name in BAD_FIXTURES]
+        first = run_engine(*paths)
+        second = run_engine(*reversed(paths))
+        assert [
+            (f.path, f.line, f.rule) for f in first.findings
+        ] == [(f.path, f.line, f.rule) for f in second.findings]
+
+
+class TestJsonReport:
+    def test_report_format_is_stable(self):
+        report = run_engine(FIXTURES / "exceptions_bad.py")
+        payload = json.loads(report.to_json())
+        assert set(payload) == {"engine", "findings", "summary"}
+        assert set(payload["engine"]) == {"name", "version", "rules"}
+        assert payload["engine"]["name"] == ENGINE_NAME
+        assert payload["engine"]["version"] == ENGINE_VERSION
+        assert set(payload["engine"]["rules"]) == ALL_RULES
+        for rule in payload["engine"]["rules"].values():
+            assert set(rule) == {"version", "description"}
+            assert isinstance(rule["version"], int)
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule",
+                "path",
+                "line",
+                "col",
+                "message",
+                "hint",
+            }
+        assert set(payload["summary"]) == {"files", "findings", "suppressed"}
+        assert payload["summary"]["findings"] == len(payload["findings"]) > 0
+
+
+def _run_cli(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+
+
+class TestCli:
+    def test_findings_exit_nonzero_with_json_header(self):
+        result = _run_cli(str(FIXTURES / "exceptions_bad.py"), "--json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["engine"]["version"] == ENGINE_VERSION
+        assert payload["summary"]["findings"] > 0
+
+    def test_clean_file_exits_zero(self):
+        result = _run_cli(str(FIXTURES / "exceptions_good.py"))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_unknown_rule_is_usage_error(self):
+        result = _run_cli(str(FIXTURES), "--rules", "nope")
+        assert result.returncode == 2
+        assert "nope" in result.stderr
+
+    def test_missing_path_is_usage_error(self):
+        result = _run_cli("definitely/not/here")
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = _run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in ALL_RULES:
+            assert rule in result.stdout
+
+
+class TestSrcGate:
+    """The acceptance gate: the engine runs clean on the real tree."""
+
+    def test_src_has_zero_findings(self):
+        report = run_engine(SRC)
+        assert report.findings == [], "\n" + report.to_text()
+
+    def test_gate_trips_on_a_seeded_violation(self, tmp_path):
+        # Mirror "someone edits src/": copy a real module, plant one
+        # violation, and assert the same gate goes red.
+        victim = tmp_path / "measures.py"
+        victim.write_text(
+            (SRC / "repro" / "core" / "measures.py").read_text()
+            + "\n\ndef _leak(pairs):\n"
+            "    out = []\n"
+            "    for pair in set(pairs):\n"
+            "        out.append(pair)\n"
+            "    return out\n"
+        )
+        report = run_engine(victim)
+        assert [f.rule for f in report.findings] == ["unsorted-iteration"]
+
+    def test_scripts_check_passes(self):
+        result = subprocess.run(
+            ["bash", str(REPO_ROOT / "scripts" / "check")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
