@@ -29,6 +29,14 @@ persistent :class:`~repro.join.pool.WarmJoinPool` reused across worker
 submissions, and the worker-side-signing variant.  The warm pool is closed
 in a ``finally`` so a failed run can never leak its executor or segment.
 
+The ``filter_kernel`` block races the interchangeable probe kernels of
+:mod:`repro.join.kernels` — the pure-Python reference loop against the
+vectorized numpy kernel — on the bench corpus and on a much larger
+synthetic corpus, with the numpy rows verified candidate- and
+processed-identical to the python reference before their times count.
+The ≥3x numpy bar is asserted on the large corpus, where per-posting
+throughput dominates per-probe dispatch overhead.
+
 The ``supervision`` block prices the fault-tolerance layer itself: the
 same join best-of-N under the default :class:`~repro.join.supervision.
 SupervisorPolicy` versus supervision disabled (the legacy fail-fast loop),
@@ -47,9 +55,11 @@ import time
 from pathlib import Path
 
 from repro.core.measures import MeasureConfig
+from repro.datasets import MED_PROFILE, generate_dataset
 from repro.faults import FAULTS, FaultRule
 from repro.join.artifacts import plan_payload_bytes
 from repro.join.aufilter import PebbleJoin
+from repro.join.kernels import numpy_available
 from repro.join.parallel import _export_plan_payload, build_shard_plan
 from repro.join.pool import WarmJoinPool
 from repro.join.signatures import SignatureMethod
@@ -82,23 +92,26 @@ def _supervision_overhead(
 
     Both runs are verified bit-identical before their time counts, so the
     recorded overhead is the supervisor's bookkeeping (per-shard attempt
-    tracking, in-order collection, report tallies) and nothing else.
+    tracking, in-order collection, report tallies) and nothing else.  The
+    rounds are *interleaved* — each round times both labels back to back —
+    so slow machine drift (thermal throttling, a background task winding
+    down) hits both labels alike instead of biasing whichever block ran
+    second into a nonsense negative overhead.
     """
-    timings = {}
-    for label, policy in (
+    labelled = (
         ("supervised", SupervisorPolicy()),
         ("unsupervised", SupervisorPolicy(enabled=False)),
-    ):
-        best = float("inf")
-        for _ in range(rounds):
+    )
+    timings = {label: float("inf") for label, _ in labelled}
+    for _ in range(rounds):
+        for label, policy in labelled:
             start = time.perf_counter()
             result = engine().join(
                 prepared, executor="process", workers=workers, supervision=policy
             )
             seconds = time.perf_counter() - start
             assert _triples(result.pairs) == reference_triples
-            best = min(best, seconds)
-        timings[label] = best
+            timings[label] = min(timings[label], seconds)
     overhead = timings["supervised"] - timings["unsupervised"]
     return {
         "workers": workers,
@@ -108,6 +121,55 @@ def _supervision_overhead(
         "overhead_seconds": overhead,
         "overhead_fraction": overhead / max(timings["unsupervised"], 1e-12),
     }
+
+
+def _filter_kernel_comparison(engine, prepared, *, rounds=3):
+    """Time the filter stage alone, python vs numpy kernel, on one corpus.
+
+    Signing is done once up front and the flat state is memoized on the
+    preparation, so each timed round is the probe loop itself.  The python
+    row is the reference: every other kernel's candidates and processed
+    count must match it exactly before its time is recorded.
+    """
+    runner = engine()
+    order = runner.build_order(prepared)
+    signed = runner.sign_collection(prepared, order)
+    kernels = ("python",) + (("numpy",) if numpy_available() else ())
+    rows = {}
+    reference = None
+    for kernel in kernels:
+        best = float("inf")
+        outcome = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            outcome = runner.filter_candidates(
+                signed,
+                signed,
+                exclude_self_pairs=True,
+                kernel=kernel,
+                prepared=(prepared, prepared),
+            )
+            best = min(best, time.perf_counter() - start)
+        answer = (outcome.candidates, outcome.processed_pairs)
+        if reference is None:
+            reference = answer
+        rows[kernel] = {
+            "seconds": best,
+            "candidates": len(outcome.candidates),
+            "processed_pairs": outcome.processed_pairs,
+            "candidates_per_second": len(outcome.candidates) / max(best, 1e-12),
+            "results_match": answer == reference,
+        }
+    comparison = {
+        "records": len(prepared),
+        "rounds": rounds,
+        "kernels": rows,
+    }
+    if "numpy" in rows:
+        comparison["numpy_speedup"] = rows["python"]["seconds"] / max(
+            rows["numpy"]["seconds"], 1e-12
+        )
+    return comparison
 
 
 def _recovery_cost(engine, prepared, reference_triples, *, workers=2):
@@ -152,6 +214,7 @@ def run_parallel_scaling(
         "process-warm",
         "process-worker-signed",
     ),
+    kernel_records=2000,
     out_path=None,
 ):
     """Time one self-join per executor/worker-count on a shared preparation.
@@ -258,6 +321,24 @@ def run_parallel_scaling(
     supervision = _supervision_overhead(engine, prepared, reference_triples)
     recovery = _recovery_cost(engine, prepared, reference_triples)
 
+    # Filter-kernel face-off: the bench corpus itself, then a much larger
+    # synthetic corpus (``kernel_records``) where the vectorized kernel's
+    # per-posting advantage dominates its per-probe dispatch overhead.
+    synth = generate_dataset(MED_PROFILE, count=kernel_records, seed=1207)
+    synth_config = MeasureConfig.from_codes(
+        "TJS", rules=synth.rules, taxonomy=synth.taxonomy, q=3
+    )
+
+    def synth_engine() -> PebbleJoin:
+        return PebbleJoin(synth_config, theta, tau=tau, method=SignatureMethod.AU_DP)
+
+    filter_kernel = {
+        "bench_corpus": _filter_kernel_comparison(engine, prepared),
+        "synthetic_corpus": _filter_kernel_comparison(
+            synth_engine, synth_engine().prepare(synth.records.head(kernel_records))
+        ),
+    }
+
     payload = {
         "dataset": dataset.profile.name,
         "records": len(collection),
@@ -274,6 +355,7 @@ def run_parallel_scaling(
         "payload": plan_payload,
         "supervision": supervision,
         "recovery": recovery,
+        "filter_kernel": filter_kernel,
         "runs": runs,
     }
     if out_path is not None:
@@ -312,6 +394,17 @@ def test_parallel_scaling(benchmark, med_dataset):
         f"worker-signed {sizes['worker_signed_bytes']:,}B"
     )
 
+    for corpus, comparison in payload["filter_kernel"].items():
+        rows = comparison["kernels"]
+        line = ", ".join(
+            f"{kernel} {row['seconds'] * 1000:.0f}ms "
+            f"({row['candidates_per_second']:,.0f} cand/s)"
+            for kernel, row in rows.items()
+        )
+        speedup = comparison.get("numpy_speedup")
+        suffix = f" → numpy {speedup:.2f}x" if speedup is not None else ""
+        print(f"  filter kernel [{corpus}, {comparison['records']} records]: {line}{suffix}")
+
     supervision = payload["supervision"]
     recovery = payload["recovery"]
     print(
@@ -340,6 +433,16 @@ def test_parallel_scaling(benchmark, med_dataset):
         supervision["overhead_fraction"] <= 0.02
         or supervision["overhead_seconds"] <= 0.02
     ), supervision
+    # Kernel equivalence is unconditional: a numpy row may only be recorded
+    # with python-identical candidates and processed counts.
+    for comparison in payload["filter_kernel"].values():
+        assert all(row["results_match"] for row in comparison["kernels"].values())
+    # On the large corpus the vectorized kernel must earn its default slot:
+    # ≥3x over the pure-Python loop (asserted only where numpy exists —
+    # kernel="auto" degrades to the python loop without it).
+    if numpy_available():
+        synth_comparison = payload["filter_kernel"]["synthetic_corpus"]
+        assert synth_comparison["numpy_speedup"] >= 3.0, synth_comparison
     # The slim transfer view must cut the worker payload substantially; 40%
     # is the floor the artifact layer ships with on the bench corpus.
     assert sizes["slim_reduction"] >= 0.40

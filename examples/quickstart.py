@@ -14,6 +14,7 @@ one similarity value / explanation               ``UnifiedSimilarity`` (``repro.
 one batch join, knobs picked for you             ``UnifiedJoin`` (``tau="auto"`` recommends τ)
 repeated joins over the same collections         ``UnifiedJoin.prepare`` / ``PebbleJoin.prepare``
 streaming results chunk by chunk                 ``join_batches(batch_size=...)``
+forcing/avoiding the vectorized filter           ``kernel="numpy"|"python"`` (default ``"auto"``)
 all cores on one big join                        ``executor="process"`` (+ ``sign_in_workers``)
 many process joins, no per-join pool spin-up     ``WarmJoinPool`` (``pool=`` on ``join``/batches)
 zero-copy worker payloads / non-fork platforms   ``payload_mode="shm"`` (``"auto"`` picks fork)

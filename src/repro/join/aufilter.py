@@ -61,8 +61,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 from ..core.measures import MeasureConfig
 from ..records import RecordCollection
+from .flat import FlatJoinState
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
+from .kernels import resolve_kernel
 from .prepared import PreparedCollection
 from .signatures import SignatureMethod, SignedRecord, sign_record
 from .supervision import ExecutionReport, SupervisorPolicy
@@ -534,6 +536,14 @@ class PebbleJoin:
         persist store-managed preparations back whenever the run enriched
         them (added signings), so direct engine users get the same
         warm-run behaviour as the facade.
+    kernel:
+        Filter-kernel selection for the probe loop, on every execution
+        path (serial, streaming batches, and pool workers):
+        ``"auto"`` (the vectorized numpy kernel when numpy is importable,
+        else the pure-Python loop), ``"numpy"``, or ``"python"``.  The
+        kernels are bit-identical in candidates, orientation, and
+        processed counts (see :mod:`repro.join.kernels`), so this is a
+        pure speed knob.
     """
 
     def __init__(
@@ -548,6 +558,7 @@ class PebbleJoin:
         approximation_t: float = 4.0,
         adaptive_verification: bool = False,
         store: Optional["PreparedStore"] = None,
+        kernel: str = "auto",
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must be in [0, 1]")
@@ -569,6 +580,8 @@ class PebbleJoin:
         )
         self.approximation_t = approximation_t
         self.store = store
+        resolve_kernel(kernel)  # validate eagerly: typos fail at construction
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -672,6 +685,36 @@ class PebbleJoin:
     # ------------------------------------------------------------------ #
     # filtering
     # ------------------------------------------------------------------ #
+    def _flat_filter_state(
+        self,
+        left_signed: Sequence[SignedRecord],
+        right_signed: Sequence[SignedRecord],
+        prepared: Optional[Tuple[PreparedCollection, PreparedCollection]] = None,
+    ) -> Tuple[FlatJoinState, Sequence[SignedRecord], bool]:
+        """Resolve the flat kernel state for a signed side pair.
+
+        Side selection matches :func:`_pick_index_side`; when the indexed
+        side's owning :class:`PreparedCollection` is known, the encoded
+        state comes from (and is memoized on) the collection, so repeated
+        joins over one preparation re-encode nothing.
+        """
+        index_signed, probe_records, probe_is_left = _pick_index_side(
+            left_signed, right_signed
+        )
+        ascending = _ids_ascending(index_signed)
+        host: Optional[PreparedCollection] = None
+        if prepared is not None:
+            host = prepared[0] if index_signed is left_signed else prepared[1]
+        if host is not None:
+            flat = host.flat_state(
+                index_signed, probe_records, postings_ascending=ascending
+            )
+        else:
+            flat = FlatJoinState.from_signed_sides(
+                index_signed, probe_records, postings_ascending=ascending
+            )
+        return flat, probe_records, probe_is_left
+
     def filter_candidates(
         self,
         left_signed: Sequence[SignedRecord],
@@ -680,6 +723,8 @@ class PebbleJoin:
         tau: Optional[int] = None,
         exclude_self_pairs: bool = False,
         collect_overlap_counts: bool = False,
+        kernel: Optional[str] = None,
+        prepared: Optional[Tuple[PreparedCollection, PreparedCollection]] = None,
     ) -> FilterOutcome:
         """Run the probe-based filtering stage (Lines 1–8 of Algorithm 6).
 
@@ -691,27 +736,53 @@ class PebbleJoin:
         are identical to :func:`dual_index_filter_candidates`; only the
         emission order and the (opt-in, saturated) ``overlap_counts``
         differ.
+
+        The probe runs through the flat filter kernel (``kernel`` overrides
+        the engine's :attr:`kernel` knob for this call); requesting
+        ``collect_overlap_counts`` takes the legacy dict probe instead,
+        because the flat kernels do not track saturated per-pair counters.
+        ``prepared`` optionally names the collections that own the signed
+        lists so the encoded flat state is memoized per content version.
         """
         requirement = self.tau if tau is None else tau
         if requirement < 1:
             raise ValueError("the overlap requirement must be a positive integer")
 
-        index, probe_records, probe_is_left, ascending = _choose_index_side(
-            left_signed, right_signed
+        if collect_overlap_counts:
+            index, probe_records, probe_is_left, ascending = _choose_index_side(
+                left_signed, right_signed
+            )
+            candidates, processed, overlap = _probe_candidates(
+                index.raw_postings,
+                probe_records,
+                requirement,
+                probe_is_left=probe_is_left,
+                exclude_self_pairs=exclude_self_pairs,
+                collect_counts=True,
+                postings_ascending=ascending,
+            )
+            return FilterOutcome(
+                candidates=candidates,
+                processed_pairs=processed,
+                overlap_counts=overlap or {},
+                probe_side="left" if probe_is_left else "right",
+            )
+
+        flat, probe_records, probe_is_left = self._flat_filter_state(
+            left_signed, right_signed, prepared
         )
-        candidates, processed, overlap = _probe_candidates(
-            index.raw_postings,
-            probe_records,
+        candidates, processed = flat.probe_span(
+            0,
+            len(probe_records),
             requirement,
             probe_is_left=probe_is_left,
             exclude_self_pairs=exclude_self_pairs,
-            collect_counts=collect_overlap_counts,
-            postings_ascending=ascending,
+            kernel=self.kernel if kernel is None else kernel,
         )
         return FilterOutcome(
             candidates=candidates,
             processed_pairs=processed,
-            overlap_counts=overlap or {},
+            overlap_counts={},
             probe_side="left" if probe_is_left else "right",
         )
 
@@ -904,7 +975,10 @@ class PebbleJoin:
 
         start = time.perf_counter()
         outcome = self.filter_candidates(
-            left_signed, right_signed, exclude_self_pairs=self_join
+            left_signed,
+            right_signed,
+            exclude_self_pairs=self_join,
+            prepared=(left_prep, right_prep),
         )
         statistics.filtering_seconds = time.perf_counter() - start
         statistics.processed_pairs = outcome.processed_pairs
@@ -1065,21 +1139,21 @@ class PebbleJoin:
         _, left_signed, right_signed = self._order_and_sign(
             left_prep, right_prep, precomputed_order, signing_tau
         )
-        index, probe_records, probe_is_left, ascending = _choose_index_side(
-            left_signed, right_signed
+        flat, probe_records, probe_is_left = self._flat_filter_state(
+            left_signed, right_signed, (left_prep, right_prep)
         )
 
         first = True
         with _verification_pool(verify_workers) as pool:
             for chunk_start in range(0, len(probe_records), batch_size):
-                chunk = probe_records[chunk_start : chunk_start + batch_size]
-                candidates, processed, _ = _probe_candidates(
-                    index.raw_postings,
-                    chunk,
+                chunk_stop = min(chunk_start + batch_size, len(probe_records))
+                candidates, processed = flat.probe_span(
+                    chunk_start,
+                    chunk_stop,
                     self.tau,
                     probe_is_left=probe_is_left,
                     exclude_self_pairs=self_join,
-                    postings_ascending=ascending,
+                    kernel=self.kernel,
                 )
                 snapshot = self._stats_snapshot()
                 pairs = self._verify_candidates(
@@ -1093,7 +1167,7 @@ class PebbleJoin:
                     pairs=pairs,
                     candidate_count=len(candidates),
                     processed_pairs=processed,
-                    probe_range=(chunk_start, chunk_start + len(chunk)),
+                    probe_range=(chunk_start, chunk_stop),
                     verification=self._stats_delta(snapshot),
                     suggestion_seconds=suggestion_seconds if first else 0.0,
                 )

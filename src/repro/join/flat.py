@@ -21,6 +21,9 @@ integer arrays over a :class:`~repro.core.vocab.Vocabulary`:
   :func:`~repro.join.aufilter.probe_single` /
   ``_probe_candidates`` in emitted candidates, orientation, processed
   counts, and self-join exclusion (including the ascending early break).
+  The loop itself now lives in :mod:`repro.join.kernels` (as the
+  pure-Python reference kernel next to its vectorized numpy sibling);
+  this name stays as the back-compat alias.
 * :class:`FlatJoinState` — the bundle a :class:`~repro.join.parallel.ShardPlan`
   ships: the shared vocabulary, prebuilt postings, and the probe-side CSR
   signatures.  Its arrays detach into raw buffers (:meth:`FlatJoinState.export`)
@@ -41,12 +44,10 @@ from typing import List, Optional, Sequence, Tuple
 from .. import shm_registry
 from ..core.vocab import Vocabulary
 from .artifacts import SignedLike, SignedRecordView
+from .kernels import _np  # kernels.py owns numpy availability (REPRO_NO_NUMPY)
+from .kernels import probe_span as _kernel_probe_span
+from .kernels import probe_span_python
 from .pebbles import PebbleKey
-
-try:  # pragma: no cover - exercised implicitly wherever numpy exists
-    import numpy as _np
-except ImportError:  # pragma: no cover - the pure-python path is tested directly
-    _np = None
 
 __all__ = [
     "FlatSignatures",
@@ -301,81 +302,10 @@ class FlatPostings:
         return max(data)
 
 
-def flat_probe_span(
-    postings: FlatPostings,
-    probe: FlatSignatures,
-    start: int,
-    stop: int,
-    requirement: int,
-    *,
-    probe_is_left: bool,
-    exclude_self_pairs: bool,
-    postings_ascending: bool,
-    counts_size: int,
-) -> Tuple[List[Tuple[int, int]], int]:
-    """Probe records ``[start, stop)`` through flat postings (the hot loop).
-
-    Re-implements :func:`~repro.join.aufilter.probe_single` plus the
-    orientation wrapper of ``_probe_candidates`` over the integer arrays:
-    per-occurrence counting with τ saturation, candidate emission the
-    moment a partner's counter reaches ``requirement``, the self-join
-    exclusion skips (with the ascending early break), and probe-major
-    candidate order — every emitted pair, every ``processed`` increment,
-    in the same order as the dict-based loop.
-
-    Overlap counters live in one zeroed buffer indexed by record id
-    (``counts_size`` must exceed the largest posted id) and only touched
-    entries are reset between probes, so the per-probe cost is bounded by
-    the work actually done, not the corpus size.
-    """
-    candidates: List[Tuple[int, int]] = []
-    processed = 0
-    counts = (
-        bytearray(counts_size)
-        if requirement < 256
-        else array(_INT, bytes(_INT_BYTES * counts_size))
-    )
-    touched: List[int] = []
-    key_ids = probe.key_ids
-    key_offsets = probe.key_offsets
-    record_ids = probe.record_ids
-    offsets = postings.offsets
-    data = postings.data
-    for position in range(start, stop):
-        probe_id = record_ids[position]
-        partners: List[int] = []
-        for i in range(key_offsets[position], key_offsets[position + 1]):
-            key_id = key_ids[i]
-            if key_id < 0:
-                continue  # probe-only key: no postings, like a dict miss
-            for q in range(offsets[key_id], offsets[key_id + 1]):
-                other = data[q]
-                if exclude_self_pairs:
-                    if probe_is_left:
-                        if other <= probe_id:
-                            continue
-                    elif other >= probe_id:
-                        if postings_ascending:
-                            break  # nothing left to pair with in this list
-                        continue
-                processed += 1
-                count = counts[other]
-                if count >= requirement:
-                    continue  # short-circuit: already a candidate
-                if count == 0:
-                    touched.append(other)
-                count += 1
-                counts[other] = count
-                if count == requirement:
-                    partners.append(other)
-        if probe_is_left:
-            candidates.extend((probe_id, other) for other in partners)
-        else:
-            candidates.extend((other, probe_id) for other in partners)
-        for other in touched:
-            counts[other] = 0
-        touched.clear()
-    return candidates, processed
+#: Back-compat alias: the hot loop now lives in :mod:`repro.join.kernels`
+#: as the pure-Python reference kernel (``probe_span_numpy`` is its
+#: bit-identical vectorized sibling; ``kernels.probe_span`` dispatches).
+flat_probe_span = probe_span_python
 
 
 class FlatJoinState:
@@ -484,9 +414,16 @@ class FlatJoinState:
         *,
         probe_is_left: bool,
         exclude_self_pairs: bool,
+        kernel: str = "auto",
     ) -> Tuple[List[Tuple[int, int]], int]:
-        """Run the flat hot loop over one probe shard (see module docs)."""
-        return flat_probe_span(
+        """Run the filter kernel over one probe shard (see module docs).
+
+        ``kernel`` selects the implementation (``"auto"``/``"numpy"``/
+        ``"python"``, see :func:`repro.join.kernels.resolve_kernel`); both
+        kernels are bit-identical in candidates, orientation, and
+        processed counts.
+        """
+        return _kernel_probe_span(
             self.postings,
             self.probe,
             start,
@@ -496,6 +433,7 @@ class FlatJoinState:
             exclude_self_pairs=exclude_self_pairs,
             postings_ascending=self.postings_ascending,
             counts_size=self.counts_size,
+            kernel=kernel,
         )
 
     # ------------------------------------------------------------------ #

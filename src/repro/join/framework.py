@@ -58,6 +58,7 @@ from ..records import RecordCollection
 from ..synonyms.rules import SynonymRuleSet
 from ..taxonomy.tree import Taxonomy
 from .aufilter import JoinBatch, JoinResult, PebbleJoin
+from .kernels import resolve_kernel
 from .prepared import PreparedCollection
 from .signatures import SignatureMethod
 
@@ -98,6 +99,11 @@ class UnifiedJoin:
         artifact skips preparation entirely), and after a join that added
         new signings the updated preparation — signatures, graph sides —
         is persisted back, so the *next* run's signing is a cache hit too.
+    kernel:
+        Filter-kernel selection forwarded to the engine (``"auto"`` —
+        the vectorized numpy kernel when numpy is importable, else the
+        pure-Python loop — ``"numpy"``, or ``"python"``); bit-identical
+        output either way (see :mod:`repro.join.kernels`).
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class UnifiedJoin:
         recommendation_seed: Optional[int] = None,
         adaptive_verification: bool = False,
         store: Optional["PreparedStore"] = None,
+        kernel: str = "auto",
     ) -> None:
         self.config = MeasureConfig.from_codes(measures, rules=rules, taxonomy=taxonomy, q=q)
         self.theta = theta
@@ -149,6 +156,8 @@ class UnifiedJoin:
             self.tau = int(tau)
         self.last_recommendation = None
         self.store = store
+        resolve_kernel(kernel)  # validate eagerly: typos fail at construction
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -172,6 +181,7 @@ class UnifiedJoin:
             method=self.method,
             approximation_t=self.approximation_t,
             adaptive_verification=self.adaptive_verification,
+            kernel=self.kernel,
         )
 
     def _as_prepared(self, collection, engine: PebbleJoin) -> PreparedCollection:

@@ -1,0 +1,331 @@
+"""Interchangeable filter kernels: the per-probe overlap count over flat arrays.
+
+The prefix-filter probe is the paper's hot loop — for every probe record,
+walk the posting span of each signature key, count per-partner overlaps
+with τ saturation, and emit a candidate the moment a partner's counter
+reaches the requirement.  This module holds the two implementations every
+filter path (serial join, pool workers, search queries) dispatches to:
+
+* :func:`probe_span_python` — the original pure-Python loop (moved from
+  ``flat.flat_probe_span``), the reference semantics and the fallback when
+  NumPy is unavailable.
+* :func:`probe_span_numpy` — the vectorized kernel: per probe it gathers
+  the posting spans of the probe's key ids into one index array, applies
+  the self-join exclusion as a mask (the ascending-postings early break
+  becomes a per-span ``searchsorted`` truncation), counts partners with
+  ``np.bincount(..., minlength=counts_size)``, and recovers the exact
+  emission order of the Python loop from a stable argsort over the
+  occurrence stream.
+
+Both kernels are **bit-identical**: same candidates, same orientation,
+same per-probe emission order, same ``processed`` count (the Python loop
+increments ``processed`` for every non-excluded posting *before* the
+saturation check, so ``processed`` is exactly the length of the gathered,
+exclusion-masked stream — never an approximation).  The randomized suite
+in ``tests/test_kernels.py`` defends this equivalence against the legacy
+dict probe as well.
+
+Kernel selection is a string knob plumbed through the join/query APIs:
+``"auto"`` (numpy when importable, else python), ``"numpy"`` (explicit —
+raises when numpy is missing), ``"python"``.  Setting ``REPRO_NO_NUMPY=1``
+in the environment masks numpy at import time so the fallback path can be
+exercised on machines that do have numpy (``scripts/check`` runs the
+equivalence suite once under this guard).
+
+This module deliberately imports nothing from ``flat.py`` — it operates
+duck-typed on the CSR attributes (``offsets``/``data`` on postings,
+``record_ids``/``key_offsets``/``key_ids`` on the probe side), so
+``flat.py`` can re-export from here without an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import List, Tuple
+
+if os.environ.get("REPRO_NO_NUMPY"):  # pragma: no cover - exercised via subprocess
+    _np = None
+else:
+    try:  # pragma: no cover - exercised implicitly wherever numpy exists
+        import numpy as _np
+    except ImportError:  # pragma: no cover - the fallback path is tested directly
+        _np = None
+
+__all__ = [
+    "KERNELS",
+    "numpy_available",
+    "resolve_kernel",
+    "probe_span",
+    "probe_span_python",
+    "probe_span_numpy",
+]
+
+#: Valid values for the ``kernel=`` knob on join/query APIs.
+KERNELS = ("auto", "numpy", "python")
+
+_INT = "i"
+_INT_BYTES = array(_INT).itemsize
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernel can run (numpy importable, not masked)."""
+    return _np is not None
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Resolve a ``kernel=`` knob value to a concrete implementation name.
+
+    ``"auto"`` silently falls back to ``"python"`` when numpy is missing
+    (the numpy-optional guarantee); an explicit ``"numpy"`` request on a
+    numpy-less interpreter is a configuration error and raises.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of {KERNELS}"
+        )
+    if kernel == "auto":
+        return "numpy" if _np is not None else "python"
+    if kernel == "numpy" and _np is None:
+        raise ValueError(
+            "kernel='numpy' requested but numpy is not importable "
+            "(or masked by REPRO_NO_NUMPY); use kernel='auto' to fall back"
+        )
+    return kernel
+
+
+def probe_span(
+    postings,
+    probe,
+    start: int,
+    stop: int,
+    requirement: int,
+    *,
+    probe_is_left: bool,
+    exclude_self_pairs: bool,
+    postings_ascending: bool,
+    counts_size: int,
+    kernel: str = "auto",
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Probe records ``[start, stop)`` through flat postings (dispatching).
+
+    The single entry point every filter path calls; ``kernel`` picks the
+    implementation (see :func:`resolve_kernel`), and the two
+    implementations are bit-identical in candidates, orientation, and
+    processed counts.
+    """
+    impl = (
+        probe_span_numpy
+        if resolve_kernel(kernel) == "numpy"
+        else probe_span_python
+    )
+    return impl(
+        postings,
+        probe,
+        start,
+        stop,
+        requirement,
+        probe_is_left=probe_is_left,
+        exclude_self_pairs=exclude_self_pairs,
+        postings_ascending=postings_ascending,
+        counts_size=counts_size,
+    )
+
+
+def probe_span_python(
+    postings,
+    probe,
+    start: int,
+    stop: int,
+    requirement: int,
+    *,
+    probe_is_left: bool,
+    exclude_self_pairs: bool,
+    postings_ascending: bool,
+    counts_size: int,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """The pure-Python reference loop (the original ``flat_probe_span``).
+
+    Re-implements :func:`~repro.join.aufilter.probe_single` plus the
+    orientation wrapper of ``_probe_candidates`` over the integer arrays:
+    per-occurrence counting with τ saturation, candidate emission the
+    moment a partner's counter reaches ``requirement``, the self-join
+    exclusion skips (with the ascending early break), and probe-major
+    candidate order — every emitted pair, every ``processed`` increment,
+    in the same order as the dict-based loop.
+
+    Overlap counters live in one zeroed buffer indexed by record id
+    (``counts_size`` must exceed the largest posted id) and only touched
+    entries are reset between probes, so the per-probe cost is bounded by
+    the work actually done, not the corpus size.
+    """
+    candidates: List[Tuple[int, int]] = []
+    processed = 0
+    counts = (
+        bytearray(counts_size)
+        if requirement < 256
+        else array(_INT, bytes(_INT_BYTES * counts_size))
+    )
+    touched: List[int] = []
+    key_ids = probe.key_ids
+    key_offsets = probe.key_offsets
+    record_ids = probe.record_ids
+    offsets = postings.offsets
+    data = postings.data
+    for position in range(start, stop):
+        probe_id = record_ids[position]
+        partners: List[int] = []
+        for i in range(key_offsets[position], key_offsets[position + 1]):
+            key_id = key_ids[i]
+            if key_id < 0:
+                continue  # probe-only key: no postings, like a dict miss
+            for q in range(offsets[key_id], offsets[key_id + 1]):
+                other = data[q]
+                if exclude_self_pairs:
+                    if probe_is_left:
+                        if other <= probe_id:
+                            continue
+                    elif other >= probe_id:
+                        if postings_ascending:
+                            break  # nothing left to pair with in this list
+                        continue
+                processed += 1
+                count = counts[other]
+                if count >= requirement:
+                    continue  # short-circuit: already a candidate
+                if count == 0:
+                    touched.append(other)
+                count += 1
+                counts[other] = count
+                if count == requirement:
+                    partners.append(other)
+        if probe_is_left:
+            candidates.extend((probe_id, other) for other in partners)
+        else:
+            candidates.extend((other, probe_id) for other in partners)
+        for other in touched:
+            counts[other] = 0
+        touched.clear()
+    return candidates, processed
+
+
+def _as_int32(buffer):
+    """Zero-copy int32 view over ``array('i')``/``memoryview('i')`` buffers."""
+    view = _np.asarray(buffer)
+    if view.dtype != _np.int32:  # pragma: no cover - 'i' is int32 on CPython/Linux
+        view = view.astype(_np.int32)
+    return view
+
+
+def probe_span_numpy(
+    postings,
+    probe,
+    start: int,
+    stop: int,
+    requirement: int,
+    *,
+    probe_is_left: bool,
+    exclude_self_pairs: bool,
+    postings_ascending: bool,
+    counts_size: int,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """The vectorized kernel — bit-identical to :func:`probe_span_python`.
+
+    Per probe: gather every posting span of the probe's (non-negative) key
+    ids into one occurrence stream, drop excluded partners as a mask, and
+    count with ``bincount``.  Equivalence notes, matching the Python loop
+    branch for branch:
+
+    * *processed* is the length of the masked stream — the Python loop
+      increments ``processed`` for every non-excluded posting before the
+      saturation check, so saturation never affects it.
+    * The ascending early ``break`` (probe on the right, self-join,
+      ascending postings) skips exactly the tail ``>= probe_id`` of each
+      span — and an ascending span's surviving prefix is exactly its
+      elements ``< probe_id``, so the same ``< probe_id`` mask that handles
+      unsorted postings removes the same elements in the same order.  The
+      break is a *speed* device of the sequential loop, not a semantic one.
+    * Emission order: the Python loop emits a partner at its
+      ``requirement``-th surviving occurrence.  The kernel recovers those
+      positions without sorting the stream: assigning ``pos[value] =
+      position`` over the *reversed* stream leaves, per value, its earliest
+      remaining position (fancy assignment applies writes in index order,
+      so the last write — the earliest stream position — wins); repeating
+      after dropping each value's current earliest occurrence walks that
+      marker to the ``requirement``-th occurrence in ``requirement`` O(n)
+      passes.  Sorting the (small) set of emission positions yields the
+      exact emission order.
+    """
+    if _np is None:  # pragma: no cover - callers dispatch via resolve_kernel
+        raise ValueError("probe_span_numpy requires numpy")
+    np = _np
+    candidates: List[Tuple[int, int]] = []
+    processed = 0
+    offsets_np = _as_int32(postings.offsets)
+    data_np = _as_int32(postings.data)
+    key_ids_np = _as_int32(probe.key_ids)
+    key_offsets = probe.key_offsets
+    record_ids = probe.record_ids
+    for position in range(start, stop):
+        probe_id = record_ids[position]
+        keys = key_ids_np[key_offsets[position] : key_offsets[position + 1]]
+        keys = keys[keys >= 0]  # probe-only keys: no postings, like a dict miss
+        if not keys.size:
+            continue
+        starts = offsets_np[keys]
+        ends = offsets_np[keys + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if not total:
+            continue
+        # Multi-span gather: absolute index = span start + offset within
+        # the concatenated output.
+        out_starts = np.cumsum(lengths) - lengths
+        gathered = data_np[
+            np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, lengths)
+        ]
+        if exclude_self_pairs:
+            # Covers the ascending early break too (see the docstring): an
+            # ascending span's survivors are exactly its ``< probe_id``
+            # prefix, so one mask serves sorted and unsorted postings.
+            if probe_is_left:
+                gathered = gathered[gathered > probe_id]
+            else:
+                gathered = gathered[gathered < probe_id]
+        stream = int(gathered.size)
+        processed += stream
+        if stream < requirement:
+            continue
+        counts = np.bincount(gathered, minlength=counts_size)
+        qualifying = np.flatnonzero(counts >= requirement)
+        if not qualifying.size:
+            continue
+        # Walk, per partner, an "earliest remaining occurrence" marker to
+        # the requirement-th occurrence.  Reversed fancy assignment makes
+        # the earliest position the surviving write; each round then drops
+        # every partner's current earliest occurrence from the stream.
+        # ``pos`` entries for partners outside the stream stay garbage and
+        # are never read: ``qualifying`` only names streamed partners.
+        pos = np.empty(counts_size, dtype=np.int32)
+        vals = gathered
+        cur = np.arange(stream, dtype=np.int32)
+        pos[vals[::-1]] = cur[::-1]
+        for _ in range(requirement - 1):
+            keep = cur > pos[vals]
+            vals = vals[keep]
+            cur = cur[keep]
+            pos[vals[::-1]] = cur[::-1]
+        # A partner with fewer than ``requirement`` occurrences fell out of
+        # the stream above and its marker went stale — but it cannot be in
+        # ``qualifying``, so only true requirement-th positions are read.
+        emit = pos[qualifying]
+        emit.sort()
+        if probe_is_left:
+            candidates.extend(
+                (probe_id, other) for other in gathered[emit].tolist()
+            )
+        else:
+            candidates.extend(
+                (other, probe_id) for other in gathered[emit].tolist()
+            )
+    return candidates, processed

@@ -176,6 +176,10 @@ class ShardPlan:
     signing_theta: float = 0.0
     signing_tau: int = 1
     signing_method: str = SignatureMethod.AU_DP
+    #: Filter-kernel selection the workers dispatch with (a plain string,
+    #: pickle-safe; ``"auto"`` resolves inside each worker, so a numpy-less
+    #: worker falls back to the pure-Python kernel — bit-identically).
+    kernel: str = "auto"
 
     @property
     def probe_side(self) -> str:
@@ -269,11 +273,24 @@ class _WorkerRuntime:
             self.sign_seconds = time.perf_counter() - began
             self.avg_signature_left = _average_signature_length(left_signed)
             self.avg_signature_right = _average_signature_length(right_signed)
-        else:
-            index_signed = plan.index_signed
-            probe_signed = plan.probe_signed
-            probe_is_left = plan.probe_is_left
-            ascending = plan.postings_ascending
+            # Worker-signed shards probe through the same flat kernel layer
+            # as every other path (encoded locally — nothing extra ships).
+            self.flat = FlatJoinState.from_signed_sides(
+                index_signed, probe_signed, postings_ascending=ascending
+            )
+            self.probe_signed = None
+            self.probe_is_left = probe_is_left
+            self.postings_ascending = ascending
+            self.probe_count = self.flat.probe_count
+            self.index = None
+            self.verifier = UnifiedVerifier(
+                plan.config, plan.threshold, **plan.verifier_kwargs
+            )
+            return
+        index_signed = plan.index_signed
+        probe_signed = plan.probe_signed
+        probe_is_left = plan.probe_is_left
+        ascending = plan.postings_ascending
         self.probe_signed = probe_signed
         self.probe_is_left = probe_is_left
         self.postings_ascending = ascending
@@ -453,6 +470,7 @@ def _run_shard_on(runtime: _WorkerRuntime, span: Tuple[int, int]) -> ShardResult
             plan.requirement,
             probe_is_left=runtime.probe_is_left,
             exclude_self_pairs=plan.exclude_self_pairs,
+            kernel=plan.kernel,
         )
     else:
         candidates, processed, _ = _probe_candidates(
@@ -609,6 +627,7 @@ def _build_plan(
         postings_ascending=postings_ascending,
         order=order,
         flat=flat_state,
+        kernel=engine.kernel,
     )
 
 
@@ -645,6 +664,7 @@ def _build_unsigned_plan(
         signing_theta=engine.theta,
         signing_tau=engine._signing_tau(signing_tau),
         signing_method=engine.method,
+        kernel=engine.kernel,
     )
 
 

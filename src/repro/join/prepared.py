@@ -38,6 +38,7 @@ from ..core.graph import GraphSide
 from ..core.measures import MeasureConfig
 from ..core.segments import Segment
 from ..records import Record, RecordCollection
+from .flat import FlatJoinState
 from .global_order import GlobalOrder
 from .partition_bound import min_partition_size
 from .pebbles import Pebble, generate_pebbles
@@ -51,6 +52,9 @@ __all__ = ["PreparedCollection", "PreparedRecord", "build_shared_order"]
 #: against an endless stream of rebuilt-but-equal orders must not pin one
 #: order per run (re-priming after a clear is one linear scan).
 _ALIAS_MEMO_LIMIT = 16
+
+#: Cap on memoized flat kernel states (each holds CSR copies of a signing).
+_FLAT_MEMO_LIMIT = 8
 
 
 class PreparedRecord:
@@ -129,6 +133,12 @@ class PreparedCollection:
         self._shared_orders: Dict[
             Tuple[int, str], Tuple["weakref.ref[PreparedCollection]", GlobalOrder]
         ] = {}
+        # Identity-keyed memo of encoded flat kernel states per signed-side
+        # pair (see flat_state()): strong references to the signed lists
+        # guard id reuse; cleared with every cache clear / content bump.
+        self._flat_states: Dict[
+            Tuple[int, int, bool], Tuple[object, object, FlatJoinState]
+        ] = {}
         # True only on pebble-free transfer copies (see transfer_copy()).
         self._pebble_free = False
 
@@ -185,6 +195,7 @@ class PreparedCollection:
         }
         clone._signature_aliases = {}
         clone._shared_orders = {}
+        clone._flat_states = {}
         clone._pebble_free = not keep_pebbles
         clone.content_version = self.content_version
         return clone
@@ -215,6 +226,7 @@ class PreparedCollection:
         state = dict(self.__dict__)
         state["_shared_orders"] = {}
         state["_signature_aliases"] = {}
+        state["_flat_states"] = {}
         state["_signatures"] = [
             # (stale-safe) keep the mutation count recorded at signing time:
             # an entry that was already stale must stay stale after the trip.
@@ -226,6 +238,8 @@ class PreparedCollection:
     def __setstate__(self, state: dict) -> None:
         signatures = state.pop("_signatures")
         self.__dict__.update(state)
+        # Artifacts pickled before the flat kernel memo lack the slot.
+        self.__dict__.setdefault("_flat_states", {})
         self._signatures = {
             # Fresh ids for the new process; reads re-validate by identity.
             # repro: ignore[id-keyed-container]
@@ -377,6 +391,7 @@ class PreparedCollection:
         self._signatures.clear()
         self._signature_aliases.clear()
         self._shared_orders.clear()
+        self._flat_states.clear()
 
     # ------------------------------------------------------------------ #
     # signatures
@@ -437,6 +452,40 @@ class PreparedCollection:
         ]
         self._signatures[key] = (order, signed)
         return signed
+
+    def flat_state(
+        self,
+        index_signed: Sequence[SignedRecord],
+        probe_signed: Sequence[SignedRecord],
+        *,
+        postings_ascending: bool,
+    ) -> FlatJoinState:
+        """The encoded filter-kernel state for a signed side pair, memoized.
+
+        ``index_signed`` must be a signing of *this* collection (it owns the
+        memo); ``probe_signed`` may be the same list (self-join) or the
+        partner side's signing.  Entries key on the signed lists' identity —
+        signed lists are themselves cached per (order, θ, τ, method), so
+        repeated joins over one preparation hit without re-encoding — and
+        every invalidation path (``extend_with`` content bumps,
+        :meth:`clear_caches`) drops the memo wholesale.
+        """
+        # Strong refs to both lists in the value guard against id reuse.
+        key = (id(index_signed), id(probe_signed), postings_ascending)  # repro: ignore[id-keyed-container]
+        entry = self._flat_states.get(key)
+        if (
+            entry is not None
+            and entry[0] is index_signed
+            and entry[1] is probe_signed
+        ):
+            return entry[2]
+        state = FlatJoinState.from_signed_sides(
+            index_signed, probe_signed, postings_ascending=postings_ascending
+        )
+        if len(self._flat_states) >= _FLAT_MEMO_LIMIT:
+            self._flat_states.clear()
+        self._flat_states[key] = (index_signed, probe_signed, state)
+        return state
 
     @property
     def cached_signature_count(self) -> int:

@@ -66,9 +66,9 @@ from ..core.measures import MeasureConfig
 from ..core.tokenizer import default_tokenizer
 from ..core.topk import bounded_top_k
 from ..core.vocab import Vocabulary
-from ..join.aufilter import probe_single
 from ..join.flat import FlatPostings, FlatSignatures, FlatJoinState
 from ..join.global_order import GlobalOrder
+from ..join.kernels import probe_span, resolve_kernel
 from ..join.inverted_index import InvertedIndex
 from ..join.pebbles import generate_pebbles
 from ..join.prepared import PreparedCollection, PreparedRecord
@@ -227,6 +227,12 @@ class SimilarityIndex:
         it on every candidate of every query — adaptivity sheds it after
         the first window.  Answers are identical either way; only the
         per-tier counters (and latency) change.
+    kernel:
+        Filter-kernel selection for every probe — single queries, top-k,
+        member queries, serial and process batch queries: ``"auto"`` (the
+        vectorized numpy kernel when numpy is importable, else the
+        pure-Python loop), ``"numpy"``, or ``"python"``.  Bit-identical
+        answers either way (see :mod:`repro.join.kernels`).
     """
 
     def __init__(
@@ -241,6 +247,7 @@ class SimilarityIndex:
         order_strategy: str = "frequency",
         drift_threshold: Optional[float] = 0.25,
         adaptive_verification: bool = False,
+        kernel: str = "auto",
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must be in [0, 1]")
@@ -275,6 +282,8 @@ class SimilarityIndex:
         self.order_strategy = order_strategy
         self.drift_threshold = drift_threshold
         self.adaptive_verification = adaptive_verification
+        resolve_kernel(kernel)  # validate eagerly: typos fail at construction
+        self.kernel = kernel
         self.verifier = UnifiedVerifier(
             config, theta, t=approximation_t, adaptive=adaptive_verification
         )
@@ -291,7 +300,12 @@ class SimilarityIndex:
         # remove, re-order, rebuild) so derived serving state — the memoised
         # process-pool plan views — can invalidate without re-deriving.
         self._epoch = 0
-        self._plan_cache: Optional[Tuple[int, FlatPostings, PreparedCollection]] = None
+        self._plan_cache: Optional[Tuple[int, PreparedCollection]] = None
+        # Per-epoch flat export of the maintained posting lists: the filter
+        # kernel every serial query probes through (the process-pool plan
+        # reuses the same export), rebuilt only when a mutation bumps the
+        # epoch.
+        self._flat_cache: Optional[Tuple[int, FlatPostings]] = None
         # The persistent integer vocabulary: append-only across the whole
         # add/remove lifetime, so every flat artifact derived at any epoch
         # keeps valid ids (removed keys keep theirs and simply go postless).
@@ -441,6 +455,53 @@ class SimilarityIndex:
     def _member_side(self, record_id: int) -> GraphSide:
         return self.prepared.graph_side(record_id)
 
+    def _flat_postings(self) -> FlatPostings:
+        """The maintained posting lists as flat arrays, memoised per epoch.
+
+        Every serial probe (and the process-pool plan) runs the filter
+        kernel over this export; the persistent vocabulary keeps ids stable
+        across epochs and any mutation bumps the epoch and invalidates.
+        """
+        cache = self._flat_cache
+        if cache is not None and cache[0] == self._epoch:
+            return cache[1]
+        postings = self._index.to_flat(self._vocab)
+        self._flat_cache = (self._epoch, postings)
+        return postings
+
+    def _probe_members(
+        self, signed_probes: Sequence[SignedRecord], tau_q: int
+    ) -> Tuple[List[Tuple[int, int]], int]:
+        """Stream signed probes through the member postings (kernel layer).
+
+        Probes encode non-growing against the persistent vocabulary
+        (probe-only keys become the no-postings sentinel, exactly a dict
+        miss), and candidates come back probe-major as ``(probe_id,
+        member_id)`` — bit-identical, in candidates and processed count, to
+        the legacy per-probe dict walk.
+        """
+        # Export the postings FIRST: ``to_flat`` registers the member keys
+        # into the persistent vocabulary, and the probe must encode against
+        # the populated vocabulary or every shared key reads as unknown.
+        postings = self._flat_postings()
+        probe_flat = FlatSignatures.from_signed(
+            signed_probes, self._vocab, grow=False
+        )
+        return probe_span(
+            postings,
+            probe_flat,
+            0,
+            len(probe_flat),
+            tau_q,
+            probe_is_left=True,
+            exclude_self_pairs=False,
+            postings_ascending=True,
+            # Member ids are dense in the underlying collection, so this
+            # bounds every posted id without scanning the data.
+            counts_size=len(self.prepared),
+            kernel=self.kernel,
+        )
+
     def _finish_stats(self, local: VerificationStats) -> None:
         self.verifier.stats.merge(local)
         self.verifier.verified_count += local.candidates
@@ -493,9 +554,8 @@ class SimilarityIndex:
         start = time.perf_counter()
         epoch = self._begin_read()
         state = _ProbeState(self, self._probe_record(probe))
-        partners, processed, _ = probe_single(
-            self._index.raw_postings, state.signed, tau_q
-        )
+        candidates, processed = self._probe_members([state.signed], tau_q)
+        partners = [member_id for _, member_id in candidates]
         local = VerificationStats()
         matches: List[QueryMatch] = []
         for member_id in partners:
@@ -536,9 +596,8 @@ class SimilarityIndex:
         signed = self._signed[record_id]
         probe_record = self.prepared[record_id]
         probe_side = self._member_side(record_id)
-        partners, processed, _ = probe_single(
-            self._index.raw_postings, signed, tau_q
-        )
+        candidates, processed = self._probe_members([signed], tau_q)
+        partners = [member_id for _, member_id in candidates]
         local = VerificationStats()
         matches: List[QueryMatch] = []
         for member_id in partners:
@@ -585,9 +644,8 @@ class SimilarityIndex:
         start = time.perf_counter()
         epoch = self._begin_read()
         state = _ProbeState(self, self._probe_record(probe))
-        partners, processed, _ = probe_single(
-            self._index.raw_postings, state.signed, tau_q
-        )
+        candidates, processed = self._probe_members([state.signed], tau_q)
+        partners = [member_id for _, member_id in candidates]
         config = self.config
         bounds = [
             usim_upper_bound(state.side, self._member_side(member_id), config)
@@ -680,15 +738,7 @@ class SimilarityIndex:
                 probe_prepared, signed_probes, tau_q, workers, supervision
             )
         else:
-            candidates: List[Tuple[int, int]] = []
-            processed = 0
-            for signed in signed_probes:
-                partners, touched, _ = probe_single(
-                    self._index.raw_postings, signed, tau_q
-                )
-                processed += touched
-                probe_id = signed.record.record_id
-                candidates.extend((probe_id, member) for member in partners)
+            candidates, processed = self._probe_members(signed_probes, tau_q)
             candidate_count = len(candidates)
             snapshot = self.verifier.stats.snapshot()
             pairs = self.verifier.verify_batch(
@@ -759,6 +809,7 @@ class SimilarityIndex:
                 # this bounds every posted id without scanning the data.
                 counts_size=len(self.prepared),
             ),
+            kernel=self.kernel,
         )
         pool = self._warm_join_pool(workers)
         total = len(signed_probes)
@@ -784,21 +835,21 @@ class SimilarityIndex:
     def _member_plan_state(self) -> Tuple[FlatPostings, PreparedCollection]:
         """The member side of a process-pool plan, memoised per epoch.
 
-        The flat export of the maintained posting lists (over the
-        persistent vocabulary — probe-only keys never widen it) and the
-        pebble-free transfer copy of the corpus only change when the
-        member side does (add/remove/re-order/rebuild, each bumping the
-        epoch), so a serving index answering many batch queries builds
-        them once, not per call.  Member signatures themselves never ship:
-        the postings array already encodes everything the filter stage
-        reads from them.
+        The flat postings export is shared with the serial query path (see
+        :meth:`_flat_postings`); the pebble-free transfer copy of the
+        corpus is built only for process batch queries — serial queries
+        never pay for it.  Both only change when the member side does
+        (add/remove/re-order/rebuild, each bumping the epoch), so a
+        serving index answering many batch queries builds them once, not
+        per call.  Member signatures themselves never ship: the postings
+        array already encodes everything the filter stage reads from them.
         """
+        postings = self._flat_postings()
         cache = self._plan_cache
         if cache is not None and cache[0] == self._epoch:
-            return cache[1], cache[2]
-        postings = self._index.to_flat(self._vocab)
+            return postings, cache[1]
         right_transfer = self.prepared.transfer_copy(keep_pebbles=False)
-        self._plan_cache = (self._epoch, postings, right_transfer)
+        self._plan_cache = (self._epoch, right_transfer)
         return postings, right_transfer
 
     def _warm_join_pool(self, workers: Optional[int]):
@@ -1042,6 +1093,7 @@ class SimilarityIndex:
         del state["verifier"]
         # Derived serving state: cheap to rebuild, pure bloat in a snapshot.
         state["_plan_cache"] = None
+        state["_flat_cache"] = None
         state["_warm_pool"] = None
         # Locks don't pickle; each process guards its own mutations.
         state.pop("_mutation_lock", None)
@@ -1079,6 +1131,9 @@ class SimilarityIndex:
             self._vocab = Vocabulary()
         if getattr(self, "_warm_pool", "absent") == "absent":
             self._warm_pool = None
+        # Snapshots from before the kernel knob / flat-postings memo.
+        self.__dict__.setdefault("kernel", "auto")
+        self.__dict__.setdefault("_flat_cache", None)
         self._mutation_lock = threading.Lock()
         if lengths is not None:
             self._restore_flat_signatures(lengths)

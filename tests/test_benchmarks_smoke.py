@@ -90,7 +90,11 @@ def test_verification_breakdown_harness_smoke(smoke_dataset, tmp_path):
 def test_parallel_scaling_harness_smoke(smoke_dataset, tmp_path):
     out_path = tmp_path / "BENCH_parallel.json"
     payload = bench_parallel_scaling.run_parallel_scaling(
-        smoke_dataset, side=40, worker_counts=(1, 2), out_path=out_path
+        smoke_dataset,
+        side=40,
+        worker_counts=(1, 2),
+        kernel_records=60,
+        out_path=out_path,
     )
     # At smoke scale only the equivalence contract is asserted; the ≥2x
     # speedup bar runs at full size in benchmarks/ (and needs real cores).
@@ -129,6 +133,14 @@ def test_parallel_scaling_harness_smoke(smoke_dataset, tmp_path):
     assert recorded["recovery"]["results_match"]
     assert recorded["recovery"]["respawns"] >= 1
     assert recorded["recovery"]["respawn_seconds"] >= 0.0
+    # The filter-kernel block: equivalence is unconditional at any scale
+    # (the ≥3x numpy speedup bar runs at full size in benchmarks/, where
+    # the corpus is big enough to amortize per-probe dispatch overhead).
+    for comparison in recorded["filter_kernel"].values():
+        assert comparison["kernels"]["python"]["candidates"] > 0
+        assert all(
+            row["results_match"] for row in comparison["kernels"].values()
+        )
 
 
 def test_store_reuse_harness_smoke(smoke_dataset, tmp_path):
@@ -175,6 +187,9 @@ def test_search_latency_harness_smoke(smoke_dataset, tmp_path):
     recorded = json.loads(out_path.read_text())
     assert recorded["query"]["samples"] == 8
     assert recorded["query_topk"]["k"] == bench_search_latency.TOPK
+    # Corpus-document probes guarantee a full heap, so the bound-based
+    # early stop must prune even at smoke scale.
+    assert recorded["query_topk"]["bound_skipped_total"] > 0
 
 
 def test_fig7_harness_smoke(smoke_dataset):

@@ -1,0 +1,378 @@
+"""Filter-kernel equivalence: numpy ≡ python ≡ legacy dict probe.
+
+The kernel layer of :mod:`repro.join.kernels` promises *bit-identity*: for
+any postings/probe pair, every kernel must emit the same candidate pairs,
+in the same order and orientation, with the same ``processed`` count, as
+the dict-based reference loop it replaced.  These suites sweep the full
+semantic surface — all measure configurations, self-join and R×S
+orientations, τ saturation, unknown probe keys, empty posting spans — and
+pin the serial/process boundary: shards running a *different* kernel than
+the parent must still reproduce the serial answer exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from array import array
+
+import pytest
+
+from repro.core.measures import MeasureConfig
+from repro.datasets import TINY_PROFILE, generate_dataset
+from repro.join import PebbleJoin, UnifiedJoin
+from repro.join.aufilter import _probe_candidates
+from repro.join.flat import UNKNOWN_KEY, FlatJoinState, FlatPostings
+from repro.join.inverted_index import InvertedIndex
+from repro.join.kernels import (
+    KERNELS,
+    numpy_available,
+    probe_span,
+    probe_span_python,
+    resolve_kernel,
+)
+
+MEASURE_CODES = ("J", "S", "T", "TJS")
+THETA = 0.5
+TAU = 2
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not importable in this environment"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(TINY_PROFILE, seed=53)
+
+
+def _config(dataset, codes: str) -> MeasureConfig:
+    return MeasureConfig.from_codes(
+        codes, rules=dataset.rules, taxonomy=dataset.taxonomy, q=3
+    )
+
+
+def _signed_sides(dataset, codes, *, self_join, theta=THETA, tau=TAU):
+    """Signed (index, probe) lists exactly as the engine would produce."""
+    engine = PebbleJoin(_config(dataset, codes), theta, tau=tau)
+    left = dataset.records.head(40)
+    if self_join:
+        order = engine.build_order(left)
+        signed = engine.sign_collection(left, order)
+        return signed, signed
+    # Overlapping ranges: shared keys on both sides plus probe-only keys.
+    right = dataset.records.subset(range(20, 60))
+    order = engine.build_order(left, right)
+    return (
+        engine.sign_collection(left, order),
+        engine.sign_collection(right, order),
+    )
+
+
+def _dict_reference(
+    index_signed,
+    probe_signed,
+    requirement,
+    *,
+    probe_is_left,
+    exclude_self_pairs,
+    postings_ascending,
+):
+    """The legacy dict walk (inverted index + per-probe counter loop)."""
+    index = InvertedIndex.build(index_signed)
+    candidates, processed, _ = _probe_candidates(
+        index.raw_postings,
+        probe_signed,
+        requirement,
+        probe_is_left=probe_is_left,
+        exclude_self_pairs=exclude_self_pairs,
+        postings_ascending=postings_ascending,
+    )
+    return candidates, processed
+
+
+def _kernel_answers(
+    index_signed,
+    probe_signed,
+    requirement,
+    *,
+    probe_is_left,
+    exclude_self_pairs,
+    postings_ascending,
+):
+    """Every available kernel's ``(candidates, processed)`` answer."""
+    state = FlatJoinState.from_signed_sides(
+        index_signed, probe_signed, postings_ascending=postings_ascending
+    )
+    kernels = ["python"] + (["numpy"] if numpy_available() else [])
+    return {
+        kernel: state.probe_span(
+            0,
+            state.probe_count,
+            requirement,
+            probe_is_left=probe_is_left,
+            exclude_self_pairs=exclude_self_pairs,
+            kernel=kernel,
+        )
+        for kernel in kernels
+    }
+
+
+class TestKernelEquivalence:
+    """Randomized sweeps: every kernel ≡ the legacy dict reference."""
+
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    def test_self_join_matches_dict_reference(self, dataset, codes):
+        index_signed, probe_signed = _signed_sides(dataset, codes, self_join=True)
+        rng = random.Random(hash(codes) & 0xFFFF)
+        for _ in range(4):
+            requirement = rng.choice((1, 2, 3))
+            for ascending in (True, False):
+                expected = _dict_reference(
+                    index_signed,
+                    probe_signed,
+                    requirement,
+                    probe_is_left=False,
+                    exclude_self_pairs=True,
+                    postings_ascending=ascending,
+                )
+                answers = _kernel_answers(
+                    index_signed,
+                    probe_signed,
+                    requirement,
+                    probe_is_left=False,
+                    exclude_self_pairs=True,
+                    postings_ascending=ascending,
+                )
+                for kernel, got in answers.items():
+                    assert got == expected, (codes, kernel, requirement, ascending)
+
+    @pytest.mark.parametrize("codes", MEASURE_CODES)
+    @pytest.mark.parametrize("probe_is_left", (True, False))
+    def test_two_collection_matches_dict_reference(
+        self, dataset, codes, probe_is_left
+    ):
+        index_signed, probe_signed = _signed_sides(dataset, codes, self_join=False)
+        for requirement in (1, 2, 4):
+            expected = _dict_reference(
+                index_signed,
+                probe_signed,
+                requirement,
+                probe_is_left=probe_is_left,
+                exclude_self_pairs=False,
+                postings_ascending=False,
+            )
+            answers = _kernel_answers(
+                index_signed,
+                probe_signed,
+                requirement,
+                probe_is_left=probe_is_left,
+                exclude_self_pairs=False,
+                postings_ascending=False,
+            )
+            for kernel, got in answers.items():
+                assert got == expected, (codes, kernel, requirement)
+
+    def test_unknown_probe_keys_act_as_dict_misses(self, dataset):
+        """Probe-only keys encode as UNKNOWN_KEY and contribute nothing."""
+        index_signed, probe_signed = _signed_sides(dataset, "TJS", self_join=False)
+        state = FlatJoinState.from_signed_sides(
+            index_signed, probe_signed, postings_ascending=False
+        )
+        # The disjoint tail of the probe range guarantees unseen keys.
+        assert UNKNOWN_KEY in set(state.probe.key_ids)
+        expected = _dict_reference(
+            index_signed,
+            probe_signed,
+            2,
+            probe_is_left=True,
+            exclude_self_pairs=False,
+            postings_ascending=False,
+        )
+        for kernel, got in _kernel_answers(
+            index_signed,
+            probe_signed,
+            2,
+            probe_is_left=True,
+            exclude_self_pairs=False,
+            postings_ascending=False,
+        ).items():
+            assert got == expected, kernel
+
+
+class _SyntheticProbe:
+    """Duck-typed probe side (kernels read only these four arrays)."""
+
+    def __init__(self, record_ids, key_offsets, key_ids):
+        self.record_ids = array("i", record_ids)
+        self.key_offsets = array("i", key_offsets)
+        self.key_ids = array("i", key_ids)
+
+    def __len__(self):
+        return len(self.record_ids)
+
+
+class TestSyntheticEdgeCases:
+    """Hand-built spans pinning saturation, empty postings, and emission."""
+
+    def _postings(self):
+        # key 0 -> [5, 5, 5, 7]; key 1 -> [] (empty span); key 2 -> [7, 9]
+        return FlatPostings(array("i", [0, 4, 4, 6]), array("i", [5, 5, 5, 7, 7, 9]))
+
+    def _run(self, kernel, requirement, key_ids, **flags):
+        probe = _SyntheticProbe([3], [0, len(key_ids)], key_ids)
+        return probe_span(
+            self._postings(),
+            probe,
+            0,
+            1,
+            requirement,
+            counts_size=10,
+            kernel=kernel,
+            **flags,
+        )
+
+    @pytest.mark.parametrize(
+        "kernel", ["python"] + (["numpy"] if numpy_available() else [])
+    )
+    def test_saturation_never_affects_processed(self, kernel):
+        # Partner 5 is touched three times but emitted once at count == 2;
+        # processed counts every touch, including post-saturation ones.
+        candidates, processed = self._run(
+            kernel,
+            2,
+            [0, 2],
+            probe_is_left=True,
+            exclude_self_pairs=False,
+            postings_ascending=True,
+        )
+        assert candidates == [(3, 5), (3, 7)]
+        assert processed == 6
+
+    @pytest.mark.parametrize(
+        "kernel", ["python"] + (["numpy"] if numpy_available() else [])
+    )
+    def test_empty_spans_and_unknown_keys_are_skipped(self, kernel):
+        candidates, processed = self._run(
+            kernel,
+            1,
+            [1, UNKNOWN_KEY, 1],
+            probe_is_left=True,
+            exclude_self_pairs=False,
+            postings_ascending=True,
+        )
+        assert candidates == []
+        assert processed == 0
+
+    @pytest.mark.parametrize(
+        "kernel", ["python"] + (["numpy"] if numpy_available() else [])
+    )
+    def test_ascending_break_equals_exclusion_mask(self, kernel):
+        # Probe 3 plays the right role: partners >= 3 are excluded.  With
+        # ascending postings every span truncates before any exclusion is
+        # touched, so processed counts nothing here.
+        candidates, processed = self._run(
+            kernel,
+            1,
+            [0, 2],
+            probe_is_left=False,
+            exclude_self_pairs=True,
+            postings_ascending=True,
+        )
+        assert candidates == []
+        assert processed == 0
+
+    def test_emission_order_is_first_reach_order(self):
+        # Stream order for keys [2, 0, 0] is 7 9 | 5 5 5 7 | 5 5 5 7:
+        # partner 5 reaches the requirement on its second touch, before
+        # partner 7's second touch arrives — so 5 is emitted first, then 7,
+        # by every kernel.
+        for kernel in ["python"] + (["numpy"] if numpy_available() else []):
+            candidates, processed = self._run(
+                kernel,
+                2,
+                [2, 0, 0],
+                probe_is_left=True,
+                exclude_self_pairs=False,
+                postings_ascending=True,
+            )
+            assert candidates == [(3, 5), (3, 7)]
+            assert processed == 10
+
+
+class TestKernelSelection:
+    def test_kernel_names_are_validated_eagerly(self, dataset):
+        assert set(KERNELS) == {"auto", "numpy", "python"}
+        assert resolve_kernel("python") == "python"
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel("vectorized")
+        config = _config(dataset, "J")
+        with pytest.raises(ValueError, match="kernel"):
+            PebbleJoin(config, THETA, tau=TAU, kernel="bogus")
+        with pytest.raises(ValueError, match="kernel"):
+            UnifiedJoin(
+                rules=dataset.rules,
+                taxonomy=dataset.taxonomy,
+                theta=THETA,
+                tau=TAU,
+                kernel="bogus",
+            )
+
+    @needs_numpy
+    def test_auto_resolves_to_numpy_when_available(self):
+        assert resolve_kernel("auto") == "numpy"
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_no_numpy_env_masks_the_kernel(self):
+        """REPRO_NO_NUMPY=1 must force the pure-python fallback."""
+        code = (
+            "from repro.join import kernels\n"
+            "assert kernels._np is None\n"
+            "assert not kernels.numpy_available()\n"
+            "assert kernels.resolve_kernel('auto') == 'python'\n"
+            "try:\n"
+            "    kernels.resolve_kernel('numpy')\n"
+            "except ValueError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('explicit numpy must fail without numpy')\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        src_dir = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src_dir), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+class TestCrossBoundaryIdentity:
+    def test_serial_and_process_mixed_kernels_agree(self, dataset):
+        """A numpy parent and python workers (and vice versa) agree exactly."""
+        kwargs = dict(
+            rules=dataset.rules,
+            taxonomy=dataset.taxonomy,
+            theta=THETA,
+            tau=TAU,
+        )
+        collection = dataset.records.head(30)
+        reference = UnifiedJoin(kernel="python", **kwargs).join(collection)
+        triples = [
+            (pair.left_id, pair.right_id, pair.similarity)
+            for pair in reference.pairs
+        ]
+        for kernel in ("auto", "python") + (("numpy",) if numpy_available() else ()):
+            pooled = UnifiedJoin(kernel=kernel, **kwargs).join(
+                collection, executor="process", workers=2
+            )
+            got = [
+                (pair.left_id, pair.right_id, pair.similarity)
+                for pair in pooled.pairs
+            ]
+            assert got == triples, kernel
+
+    def test_flat_probe_span_alias_is_the_python_kernel(self):
+        from repro.join.flat import flat_probe_span
+
+        assert flat_probe_span is probe_span_python
