@@ -45,6 +45,14 @@ with the no-fault overhead asserted to stay within noise.  The
 (:mod:`repro.faults`) and records what one full recovery actually costs —
 ``respawn_seconds``, retries, fallback shards — next to proof that the
 recovered join still matched the serial reference bit for bit.
+
+The ``telemetry_overhead`` block prices the default-on telemetry layer the
+same way the supervision block prices the supervisor: the same process
+join best-of-N with a live :class:`~repro.telemetry.Telemetry` bundle
+versus a disabled one, rounds interleaved, bit-identity asserted before
+either time counts.  The recorded no-fault overhead is asserted to stay
+within 2% (or scheduler noise) — the number ``docs/observability.md``
+quotes.
 """
 
 from __future__ import annotations
@@ -64,6 +72,7 @@ from repro.join.parallel import _export_plan_payload, build_shard_plan
 from repro.join.pool import WarmJoinPool
 from repro.join.signatures import SignatureMethod
 from repro.join.supervision import SupervisorPolicy
+from repro.telemetry import Telemetry
 
 THETA = 0.7
 TAU = 2
@@ -120,6 +129,44 @@ def _supervision_overhead(
         "unsupervised_seconds": timings["unsupervised"],
         "overhead_seconds": overhead,
         "overhead_fraction": overhead / max(timings["unsupervised"], 1e-12),
+    }
+
+
+def _telemetry_overhead(
+    engine, prepared, reference_triples, *, workers=2, rounds=3
+):
+    """Best-of-N process join, default-on telemetry vs a disabled bundle.
+
+    Each round times both labels back to back (the same interleaving
+    discipline as :func:`_supervision_overhead`, for the same reason), each
+    run gets a fresh bundle so traces never accumulate across rounds, and
+    both runs are verified bit-identical to serial before their time
+    counts.  The recorded delta is what span bookkeeping and counter
+    updates cost on the no-fault hot path — the price of leaving telemetry
+    on by default.
+    """
+    labelled = (
+        ("enabled", lambda: Telemetry()),
+        ("disabled", lambda: Telemetry(enabled=False)),
+    )
+    timings = {label: float("inf") for label, _ in labelled}
+    for _ in range(rounds):
+        for label, bundle in labelled:
+            start = time.perf_counter()
+            result = engine(telemetry=bundle()).join(
+                prepared, executor="process", workers=workers
+            )
+            seconds = time.perf_counter() - start
+            assert _triples(result.pairs) == reference_triples
+            timings[label] = min(timings[label], seconds)
+    overhead = timings["enabled"] - timings["disabled"]
+    return {
+        "workers": workers,
+        "rounds": rounds,
+        "enabled_seconds": timings["enabled"],
+        "disabled_seconds": timings["disabled"],
+        "overhead_seconds": overhead,
+        "overhead_fraction": overhead / max(timings["disabled"], 1e-12),
     }
 
 
@@ -228,8 +275,11 @@ def run_parallel_scaling(
     )
     collection = dataset.records.head(side)
 
-    def engine() -> PebbleJoin:
-        return PebbleJoin(config, theta, tau=tau, method=SignatureMethod.AU_DP)
+    def engine(telemetry=None) -> PebbleJoin:
+        return PebbleJoin(
+            config, theta, tau=tau, method=SignatureMethod.AU_DP,
+            telemetry=telemetry,
+        )
 
     prepared = engine().prepare(collection)
     # Warm the shared caches (pebbles, order, signing, msim) so every timed
@@ -320,6 +370,7 @@ def run_parallel_scaling(
 
     supervision = _supervision_overhead(engine, prepared, reference_triples)
     recovery = _recovery_cost(engine, prepared, reference_triples)
+    telemetry_overhead = _telemetry_overhead(engine, prepared, reference_triples)
 
     # Filter-kernel face-off: the bench corpus itself, then a much larger
     # synthetic corpus (``kernel_records``) where the vectorized kernel's
@@ -355,6 +406,7 @@ def run_parallel_scaling(
         "payload": plan_payload,
         "supervision": supervision,
         "recovery": recovery,
+        "telemetry_overhead": telemetry_overhead,
         "filter_kernel": filter_kernel,
         "runs": runs,
     }
@@ -420,6 +472,13 @@ def test_parallel_scaling(benchmark, med_dataset):
         f"{recovery['fallback_shards']} serial fallback shard(s) "
         f"({'ok' if recovery['results_match'] else 'MISMATCH'})"
     )
+    telemetry = payload["telemetry_overhead"]
+    print(
+        f"  telemetry overhead (no fault, x{telemetry['workers']}): "
+        f"{telemetry['enabled_seconds']:.3f}s enabled vs "
+        f"{telemetry['disabled_seconds']:.3f}s disabled "
+        f"({telemetry['overhead_fraction']:+.1%})"
+    )
 
     # Bit-identity is unconditional; it is the contract the driver ships with.
     assert all(run["results_match"] for run in payload["runs"])
@@ -433,6 +492,12 @@ def test_parallel_scaling(benchmark, med_dataset):
         supervision["overhead_fraction"] <= 0.02
         or supervision["overhead_seconds"] <= 0.02
     ), supervision
+    # Default-on telemetry holds to the same bar: within 2% of a disabled
+    # bundle, or within scheduler noise on corpora too small for a ratio.
+    assert (
+        telemetry["overhead_fraction"] <= 0.02
+        or telemetry["overhead_seconds"] <= 0.02
+    ), telemetry
     # Kernel equivalence is unconditional: a numpy row may only be recorded
     # with python-identical candidates and processed counts.
     for comparison in payload["filter_kernel"].values():

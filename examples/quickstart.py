@@ -20,7 +20,9 @@ many process joins, no per-join pool spin-up     ``WarmJoinPool`` (``pool=`` on 
 zero-copy worker payloads / non-fork platforms   ``payload_mode="shm"`` (``"auto"`` picks fork)
 joins that survive crashed or hung workers       ``SupervisorPolicy`` (``supervision=`` on joins)
 warm restarts / artifacts on disk                ``PreparedStore`` (``store=`` on either engine)
-store housekeeping from the shell                ``python -m repro.store <dir> [--evict]``
+store housekeeping from the shell                ``python -m repro.store <dir> [--evict|--stats]``
+per-stage timings, metrics, a merged run trace   ``Telemetry`` (``telemetry=`` on engines; see ``docs/observability.md``)
+rendering a saved or demo run report             ``python -m repro.telemetry <report>|--demo``
 answering single records *right now*             ``SimilarityIndex`` (``repro.search``)
 a corpus that keeps changing while serving       ``SimilarityIndex.add`` / ``.remove``
 restart a service without re-preparing           ``SimilarityIndex.snapshot`` / ``.load``
@@ -149,15 +151,26 @@ def main() -> None:
     # serially in the parent, so the join completes with the same pairs.
     # A SupervisorPolicy tunes the deadlines/retry budget, and every result
     # carries an ExecutionReport telling a clean run from a degraded one.
+    # Passing telemetry= gives the run its own trace + metrics bundle; the
+    # recovery summary below reads from that report (docs/observability.md
+    # walks the full span tree and instrument catalog).
     from repro import SupervisorPolicy
+    from repro.telemetry import Telemetry
 
-    supervised = join.join(
-        prepared_a, prepared_b, executor="process", workers=2,
+    telemetry = Telemetry()
+    supervised_join = UnifiedJoin(rules=rules, taxonomy=taxonomy, theta=0.7,
+                                  tau=2, method="au-dp", telemetry=telemetry)
+    supervised = supervised_join.join(
+        pois_a, pois_b, executor="process", workers=2,
         supervision=SupervisorPolicy(shard_timeout=30.0),
     )
     report = supervised.statistics.execution
-    print(f"Supervised join -> {len(supervised)} pairs (faulted: {report.faulted}, "
-          f"retries: {report.retries}, respawns: {report.respawns})")
+    counters = telemetry.report()["metrics"]["counters"]
+    print(f"Supervised join -> {len(supervised)} pairs (faulted: {report.faulted}); "
+          f"telemetry report counted "
+          f"{counters.get('supervisor.retries', 0)} retries, "
+          f"{counters.get('supervisor.respawns', 0)} respawns over "
+          f"{counters.get('supervisor.shards', 0)} shards")
 
     # --- persistent prepared collections -----------------------------------
     # A PreparedStore persists prepared state on disk, keyed by a content

@@ -166,19 +166,45 @@ def main() -> None:
         # respawns the pool, re-dispatches, and the answers don't change.
         from repro import SupervisorPolicy
         from repro.faults import FAULTS, FaultRule
+        from repro.telemetry import Telemetry, set_default
 
-        with FAULTS.injected(FaultRule("worker_kill", shard=0)):
-            service.close()  # fresh pool so its workers see the armed fault
-            survived = service.query_batch(
-                probes, executor="process", workers=2,
-                supervision=SupervisorPolicy(backoff_base=0.0),
-            )
+        # Route the chaos query's trace and metrics into a dedicated
+        # bundle so the recovery summary below reads from one clean run.
+        telemetry = Telemetry()
+        previous = set_default(telemetry)
+        try:
+            with FAULTS.injected(FaultRule("worker_kill", shard=0)):
+                service.close()  # fresh pool so workers see the armed fault
+                survived = service.query_batch(
+                    probes, executor="process", workers=2,
+                    supervision=SupervisorPolicy(backoff_base=0.0),
+                )
+        finally:
+            set_default(previous)
         assert survived.pairs == serial_batch.pairs
         report = survived.execution
+        counters = telemetry.report()["metrics"]["counters"]
+        # The telemetry counters and the result's ExecutionReport describe
+        # the same run — the registry is just the always-on view of it.
+        assert counters.get("supervisor.retries", 0) == report.retries
         print(f"after killing a worker mid-query: {len(survived)} pairs, "
-              f"still bit-identical (respawns: {report.respawns}, "
-              f"retries: {report.retries}, "
-              f"serial-fallback shards: {report.fallback_shards})")
+              f"still bit-identical; recovery summary from the telemetry "
+              f"report:")
+        for key in (
+            "supervisor.retries",
+            "supervisor.respawns",
+            "supervisor.worker_failures",
+            "supervisor.fallback_shards",
+        ):
+            print(f"    {key}: {counters.get(key, 0)}")
+        failed_attempts = sum(
+            1
+            for span in telemetry.tracer.iter_spans()
+            if span.name == "shard-attempt-failed"
+        )
+        print(f"    failed shard attempts in the merged trace: "
+              f"{failed_attempts} (render the full tree with "
+              f"python -m repro.telemetry --demo)")
         service.close()  # stop the warm workers; the index stays queryable
         show(service, "after close, still serving", service.query(probe))
     print("\n(store directory cleaned up — a real service would keep it, "

@@ -16,7 +16,11 @@ from .exceptions import (
     UnpicklableRaiseChecker,
 )
 from .pickle_boundary import PickleBoundaryChecker
-from .resources import AtomicStoreWriteChecker, ShmLifecycleChecker
+from .resources import (
+    AtomicStoreWriteChecker,
+    ShmLifecycleChecker,
+    UnclosedSpanChecker,
+)
 from .supervision import UnsupervisedSubmitChecker
 
 __all__ = [
@@ -26,6 +30,7 @@ __all__ = [
     "PickleBoundaryChecker",
     "ShmLifecycleChecker",
     "SwallowedExceptionChecker",
+    "UnclosedSpanChecker",
     "UnpicklableRaiseChecker",
     "UnseededRandomChecker",
     "UnsortedIterationChecker",
@@ -43,6 +48,7 @@ def default_checkers() -> List[Checker]:
         IdKeyedContainerChecker(),
         ShmLifecycleChecker(),
         AtomicStoreWriteChecker(),
+        UnclosedSpanChecker(),
         UnsupervisedSubmitChecker(),
         BareExceptChecker(),
         SwallowedExceptionChecker(),

@@ -1,4 +1,4 @@
-"""Resource-lifecycle checkers: shm segments and store writes.
+"""Resource-lifecycle checkers: shm segments, store writes, and spans.
 
 ``shm-lifecycle``
     A ``SharedMemory(create=True)`` segment outlives its creator in
@@ -17,17 +17,30 @@
     through the temp-file + ``os.replace`` idiom — a write-mode ``open``,
     ``write_text``, or ``write_bytes`` in a function that never calls
     ``replace``/``rename`` is flagged.
+
+``unclosed-span``
+    A telemetry span left open on an exception path corrupts the active
+    span stack: every later span in the thread attaches under the dead
+    one, and its wall clock absorbs unrelated work.  A ``.span(...)``
+    call must be a ``with`` context manager; the sanctioned manual forms
+    are returning the span to the caller (delegation — the caller owns
+    the lifecycle) or calling ``end()`` from a ``try``/``finally`` or
+    exception handler in the same function.  Anything else is flagged.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..engine import Checker, Finding
 from ..model import ModuleInfo, Project
 
-__all__ = ["AtomicStoreWriteChecker", "ShmLifecycleChecker"]
+__all__ = [
+    "AtomicStoreWriteChecker",
+    "ShmLifecycleChecker",
+    "UnclosedSpanChecker",
+]
 
 
 def _enclosing_functions(
@@ -221,4 +234,79 @@ def _has_replace_call(scope: ast.AST) -> bool:
             and node.func.attr in {"replace", "rename"}
         ):
             return True
+    return False
+
+
+class UnclosedSpanChecker(Checker):
+    rule = "unclosed-span"
+    version = 1
+    description = (
+        "a span(...) call must be a with-statement context manager, be "
+        "returned to the caller, or have end() try-protected"
+    )
+    hint = (
+        "use `with tracer.span(...)`, or return the span to a caller that "
+        "owns its lifecycle, or call end() from try/finally"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        sanctioned = _sanctioned_span_calls(module.tree)
+        for function, node in _enclosing_functions(module.tree):
+            if not _is_span_call(node) or id(node) in sanctioned:
+                continue
+            scope = function if function is not None else module.tree
+            if _has_protected_end(scope):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                "span(...) is neither a with-statement context manager nor "
+                "end()-protected — an exception leaves it open on the "
+                "active span stack",
+                col=node.col_offset,
+            )
+
+
+def _is_span_call(node: Optional[ast.AST]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "span"
+    )
+
+
+def _sanctioned_span_calls(tree: ast.AST) -> Set[int]:
+    """Node ids of span calls whose lifecycle is owned somewhere sound:
+    ``with``-item context expressions, and calls returned directly to the
+    caller (delegating wrappers like ``Telemetry.span``)."""
+    sanctioned: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _is_span_call(item.context_expr):
+                    sanctioned.add(id(item.context_expr))
+        elif isinstance(node, ast.Return) and _is_span_call(node.value):
+            sanctioned.add(id(node.value))
+    return sanctioned
+
+
+def _has_protected_end(scope: ast.AST) -> bool:
+    """True when some try in ``scope`` calls ``end()`` from its finally
+    block or an exception handler — the manual-close discipline."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        protected: List[ast.AST] = list(node.finalbody)
+        for handler in node.handlers:
+            protected.extend(handler.body)
+        for block in protected:
+            for sub in ast.walk(block):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "end"
+                ):
+                    return True
     return False

@@ -65,6 +65,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
+from .telemetry.spans import stamp_event
+
 __all__ = ["ENV_VAR", "FAULTS", "FaultInjector", "FaultRule", "flip_bytes"]
 
 #: The environment variable carrying the armed fault spec.  Environment is
@@ -229,6 +231,17 @@ class FaultInjector:
                 continue
             if attempt >= rule.max_attempt:
                 continue
+            # Stamped on whatever span is open (the worker's shard span),
+            # so chaos traces show exactly which attempt carried the fault.
+            # A killed worker's stamp dies with it — the parent synthesizes
+            # its failed attempt instead; a delayed worker's stamp rides
+            # back on the shard result.
+            stamp_event(
+                "fault-injected",
+                kind=rule.kind,
+                shard=shard_start,
+                attempt=attempt,
+            )
             if rule.kind == "worker_kill":
                 os._exit(KILL_EXIT_CODE)
             time.sleep(rule.seconds)
@@ -242,6 +255,7 @@ class FaultInjector:
         would after a crashed parent's cleanup ran early.
         """
         for rule in self._take_parent_rules("shm_drop"):
+            stamp_event("fault-injected", kind="shm_drop", segment=payload.shm.name)
             try:
                 payload.shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already dropped
@@ -250,6 +264,7 @@ class FaultInjector:
     def on_store_save(self, path: Union[str, os.PathLike]) -> None:
         """Parent-side store hook: may corrupt a just-written artifact."""
         for rule in self._take_parent_rules("store_corrupt"):
+            stamp_event("fault-injected", kind="store_corrupt", path=str(path))
             try:
                 flip_bytes(path, seed=rule.seed, flips=rule.flips)
             except OSError:  # pragma: no cover - artifact raced away

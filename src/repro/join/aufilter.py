@@ -61,6 +61,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 from ..core.measures import MeasureConfig
 from ..records import RecordCollection
+from ..telemetry import Telemetry, resolve_telemetry
+from ..telemetry.spans import NULL_SPAN
 from .flat import FlatJoinState
 from .global_order import GlobalOrder
 from .inverted_index import InvertedIndex
@@ -83,6 +85,14 @@ __all__ = [
 
 #: Either a raw record collection or a prepared one; engines accept both.
 Joinable = Union[RecordCollection, PreparedCollection]
+
+
+def _stage_seconds(span, began: float) -> float:
+    """Span-sourced stage timing, falling back to the hand timer only when
+    telemetry is disabled (the null span carries no clock)."""
+    if span is NULL_SPAN:
+        return time.perf_counter() - began
+    return span.wall_seconds
 
 
 @dataclass
@@ -544,6 +554,13 @@ class PebbleJoin:
         kernels are bit-identical in candidates, orientation, and
         processed counts (see :mod:`repro.join.kernels`), so this is a
         pure speed knob.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` bundle collecting stage
+        spans and metrics for every join (defaults to the process-wide
+        bundle from :func:`repro.telemetry.get_default`; see
+        ``docs/observability.md``).  Stage timings on
+        :class:`JoinStatistics` are populated from the spans, so the
+        statistics block and the trace always agree.
     """
 
     def __init__(
@@ -559,6 +576,7 @@ class PebbleJoin:
         adaptive_verification: bool = False,
         store: Optional["PreparedStore"] = None,
         kernel: str = "auto",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must be in [0, 1]")
@@ -582,6 +600,7 @@ class PebbleJoin:
         self.store = store
         resolve_kernel(kernel)  # validate eagerly: typos fail at construction
         self.kernel = kernel
+        self.telemetry = resolve_telemetry(telemetry)
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -932,74 +951,117 @@ class PebbleJoin:
             pool=pool,
             supervision=supervision,
         )
-        start = time.perf_counter()
-        left_prep, right_prep, self_join = self._resolve_sides(left, right)
-        entries = self._store_entries(left_prep, right_prep)
-        if resolved_executor == "process":
-            from .parallel import process_join
-
-            prepare_seconds = time.perf_counter() - start
-            result = process_join(
-                self,
-                left_prep,
-                None if self_join else right_prep,
-                workers=pool_workers,
-                precomputed_order=precomputed_order,
-                signing_tau=signing_tau,
-                sign_in_workers=sign_in_workers,
-                payload_mode=payload_mode,
-                pool=pool,
-                supervision=supervision,
-            )
-            # Raw sides were resolved (possibly store-loaded) out here, so
-            # their preparation time is folded back into the signing stage.
-            result.statistics.signing_seconds += prepare_seconds
-            self._persist_store_entries(entries)
-            return result
-        verify_workers = pool_workers
-
-        statistics = JoinStatistics(
-            tau=self.tau,
-            theta=self.theta,
+        telemetry = self.telemetry
+        metrics = telemetry.metrics
+        metrics.counter("join.calls").add()
+        metrics.counter("join.kernel_dispatch." + resolve_kernel(self.kernel)).add()
+        with telemetry.span(
+            "join",
             method=self.method,
-            left_records=len(left_prep),
-            right_records=len(right_prep),
-        )
+            theta=self.theta,
+            tau=self.tau,
+            executor=resolved_executor,
+        ) as join_span:
+            start = time.perf_counter()
+            with telemetry.span("prepare") as prepare_span:
+                left_prep, right_prep, self_join = self._resolve_sides(left, right)
+                entries = self._store_entries(left_prep, right_prep)
+            prepare_seconds = _stage_seconds(prepare_span, start)
+            if resolved_executor == "process":
+                from .parallel import process_join
 
-        _, left_signed, right_signed = self._order_and_sign(
-            left_prep, right_prep, precomputed_order, signing_tau
-        )
-        statistics.signing_seconds = time.perf_counter() - start
-        statistics.avg_signature_length_left = _average_signature_length(left_signed)
-        statistics.avg_signature_length_right = _average_signature_length(right_signed)
+                result = process_join(
+                    self,
+                    left_prep,
+                    None if self_join else right_prep,
+                    workers=pool_workers,
+                    precomputed_order=precomputed_order,
+                    signing_tau=signing_tau,
+                    sign_in_workers=sign_in_workers,
+                    payload_mode=payload_mode,
+                    pool=pool,
+                    supervision=supervision,
+                )
+                # Raw sides were resolved (possibly store-loaded) out here, so
+                # their preparation time is folded back into the signing stage.
+                result.statistics.signing_seconds += prepare_seconds
+                self._persist_store_entries(entries)
+                join_span.annotate(pairs=len(result.pairs))
+                metrics.counter("join.pairs").add(len(result.pairs))
+                return result
+            verify_workers = pool_workers
 
-        start = time.perf_counter()
-        outcome = self.filter_candidates(
-            left_signed,
-            right_signed,
-            exclude_self_pairs=self_join,
-            prepared=(left_prep, right_prep),
-        )
-        statistics.filtering_seconds = time.perf_counter() - start
-        statistics.processed_pairs = outcome.processed_pairs
-        statistics.candidate_count = outcome.candidate_count
-
-        start = time.perf_counter()
-        snapshot = self._stats_snapshot()
-        with _verification_pool(verify_workers) as pool:
-            pairs = self._verify_candidates(
-                outcome.candidates,
-                left_prep,
-                right_prep,
-                pool=pool,
-                probe_side=outcome.probe_side,
+            statistics = JoinStatistics(
+                tau=self.tau,
+                theta=self.theta,
+                method=self.method,
+                left_records=len(left_prep),
+                right_records=len(right_prep),
             )
-        statistics.verification_seconds = time.perf_counter() - start
-        statistics.verification = self._stats_delta(snapshot)
-        statistics.result_count = len(pairs)
 
-        self._persist_store_entries(entries)
-        return JoinResult(pairs=pairs, statistics=statistics)
+            with telemetry.span("sign") as sign_span:
+                sign_start = time.perf_counter()
+                _, left_signed, right_signed = self._order_and_sign(
+                    left_prep, right_prep, precomputed_order, signing_tau
+                )
+            # Stage timings are span-sourced, so the statistics block and the
+            # trace report one measurement (hand timers only fill in when
+            # telemetry is off and the spans carry no clock).
+            statistics.signing_seconds = prepare_seconds + _stage_seconds(
+                sign_span, sign_start
+            )
+            statistics.avg_signature_length_left = _average_signature_length(left_signed)
+            statistics.avg_signature_length_right = _average_signature_length(right_signed)
+            metrics.histogram("join.sign_seconds").observe(statistics.signing_seconds)
+
+            with telemetry.span("filter", kernel=self.kernel) as filter_span:
+                filter_start = time.perf_counter()
+                outcome = self.filter_candidates(
+                    left_signed,
+                    right_signed,
+                    exclude_self_pairs=self_join,
+                    prepared=(left_prep, right_prep),
+                )
+            statistics.filtering_seconds = _stage_seconds(filter_span, filter_start)
+            statistics.processed_pairs = outcome.processed_pairs
+            statistics.candidate_count = outcome.candidate_count
+            filter_span.annotate(
+                candidates=outcome.candidate_count,
+                processed_pairs=outcome.processed_pairs,
+            )
+            metrics.histogram("join.filter_seconds").observe(
+                statistics.filtering_seconds
+            )
+
+            with telemetry.span("verify") as verify_span:
+                verify_start = time.perf_counter()
+                snapshot = self._stats_snapshot()
+                with _verification_pool(verify_workers) as pool:
+                    pairs = self._verify_candidates(
+                        outcome.candidates,
+                        left_prep,
+                        right_prep,
+                        pool=pool,
+                        probe_side=outcome.probe_side,
+                    )
+            statistics.verification_seconds = _stage_seconds(verify_span, verify_start)
+            statistics.verification = self._stats_delta(snapshot)
+            statistics.result_count = len(pairs)
+            if statistics.verification is not None:
+                verify_span.annotate(
+                    **{
+                        name: getattr(statistics.verification, name)
+                        for name in statistics.verification._COUNTERS
+                    }
+                )
+            metrics.histogram("join.verify_seconds").observe(
+                statistics.verification_seconds
+            )
+            join_span.annotate(pairs=len(pairs))
+            metrics.counter("join.pairs").add(len(pairs))
+
+            self._persist_store_entries(entries)
+            return JoinResult(pairs=pairs, statistics=statistics)
 
     def _stats_snapshot(self) -> Optional[VerificationStats]:
         stats = getattr(self.verifier, "stats", None)

@@ -56,6 +56,7 @@ from ..core.grams import DEFAULT_Q
 from ..core.measures import MeasureConfig
 from ..records import RecordCollection
 from ..synonyms.rules import SynonymRuleSet
+from ..telemetry import Telemetry, resolve_telemetry
 from ..taxonomy.tree import Taxonomy
 from .aufilter import JoinBatch, JoinResult, PebbleJoin
 from .kernels import resolve_kernel
@@ -104,6 +105,10 @@ class UnifiedJoin:
         the vectorized numpy kernel when numpy is importable, else the
         pure-Python loop — ``"numpy"``, or ``"python"``); bit-identical
         output either way (see :mod:`repro.join.kernels`).
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` bundle forwarded to every
+        engine this facade constructs (defaults to the process-wide
+        bundle; see ``docs/observability.md``).
     """
 
     def __init__(
@@ -123,6 +128,7 @@ class UnifiedJoin:
         adaptive_verification: bool = False,
         store: Optional["PreparedStore"] = None,
         kernel: str = "auto",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = MeasureConfig.from_codes(measures, rules=rules, taxonomy=taxonomy, q=q)
         self.theta = theta
@@ -158,6 +164,7 @@ class UnifiedJoin:
         self.store = store
         resolve_kernel(kernel)  # validate eagerly: typos fail at construction
         self.kernel = kernel
+        self.telemetry = resolve_telemetry(telemetry)
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -182,6 +189,7 @@ class UnifiedJoin:
             approximation_t=self.approximation_t,
             adaptive_verification=self.adaptive_verification,
             kernel=self.kernel,
+            telemetry=self.telemetry,
         )
 
     def _as_prepared(self, collection, engine: PebbleJoin) -> PreparedCollection:

@@ -90,6 +90,7 @@ from math import ceil
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..faults import FAULTS
+from ..telemetry.spans import Tracer, reset_stack
 from .artifacts import KeyInterner, SignedLike, slim_signed_views
 from .aufilter import (
     JoinBatch,
@@ -211,6 +212,11 @@ class ShardResult:
     ``sign_seconds`` is non-zero on at most one shard per worker process:
     the process's initializer-time signing cost, reported with its first
     completed shard (0.0 everywhere in parent-signed mode).
+
+    ``spans`` carries the worker-side trace for this shard as plain
+    payload dicts (see :mod:`repro.telemetry.spans`): the worker runs its
+    own tracer and the parent grafts the finished tree into its trace with
+    ``Tracer.adopt``, so one report covers both sides of the pool.
     """
 
     start: int
@@ -222,6 +228,7 @@ class ShardResult:
     filter_seconds: float
     verify_seconds: float
     sign_seconds: float = 0.0
+    spans: Tuple = ()
 
 
 class _WorkerRuntime:
@@ -424,7 +431,7 @@ def _require_runtime() -> _WorkerRuntime:
     return runtime
 
 
-def _plan_info() -> Tuple[int, bool, float, float, float]:
+def _plan_info() -> Tuple[int, bool, float, float, float, Tuple]:
     """Report probe-side shape and signature statistics from one worker.
 
     Worker-signed runs need this single round-trip before sharding: only
@@ -434,14 +441,26 @@ def _plan_info() -> Tuple[int, bool, float, float, float]:
     This worker's initializer signing cost is consumed and reported here
     (so it enters the wall-clock split even when no shard follows, e.g. an
     empty probe side); other workers report theirs with their first shard.
+    The trailing element is the worker-side trace for the signing, shipped
+    as payload dicts for parent-side adoption.
     """
+    reset_stack()  # forked workers inherit the parent's open spans
     runtime = _require_runtime()
+    sign_seconds = runtime.consume_sign_seconds()
+    tracer = Tracer()
+    # A carrier for the initializer-measured signing cost, not a live
+    # timing scope — it ends immediately on the next line.
+    # repro: ignore[unclosed-span]
+    sign_span = tracer.span("worker-sign", pid=os.getpid()).start()
+    sign_span.end()
+    sign_span.wall_seconds = sign_seconds
     return (
         runtime.probe_count,
         bool(runtime.probe_is_left),
         runtime.avg_signature_left,
         runtime.avg_signature_right,
-        runtime.consume_sign_seconds(),
+        sign_seconds,
+        tuple(tracer.export()),
     )
 
 
@@ -451,47 +470,69 @@ def _run_shard(span: Tuple[int, int], attempt: int = 0) -> ShardResult:
     ``attempt`` is the supervisor's dispatch count for this shard — it does
     not change the computation (shards are deterministic), it only feeds
     the fault-injection hook so chaos tests can fault first attempts and
-    prove the retry recovers.
+    prove the retry recovers.  The whole shard runs inside a worker-local
+    tracer whose finished tree rides back on ``ShardResult.spans``; the
+    fault hook fires inside the open shard span, so injected faults stamp
+    the span that carried them (a killed worker never returns, and the
+    parent synthesizes its failed attempt instead).
     """
-    FAULTS.on_shard(span[0], attempt)
-    return _run_shard_on(_require_runtime(), span)
+    reset_stack()  # forked workers inherit the parent's open spans
+    tracer = Tracer()
+    with tracer.span(
+        "shard", shard=span[0], stop=span[1], attempt=attempt, pid=os.getpid()
+    ):
+        FAULTS.on_shard(span[0], attempt)
+        result = _run_shard_on(_require_runtime(), span, tracer=tracer)
+    return replace(result, spans=tuple(tracer.export()))
 
 
-def _run_shard_on(runtime: _WorkerRuntime, span: Tuple[int, int]) -> ShardResult:
-    """Filter and verify one probe shard against a materialized runtime."""
+def _run_shard_on(
+    runtime: _WorkerRuntime,
+    span: Tuple[int, int],
+    tracer: Optional[Tracer] = None,
+) -> ShardResult:
+    """Filter and verify one probe shard against a materialized runtime.
+
+    Stage timings are span-sourced: ``filter_seconds`` / ``verify_seconds``
+    are the wall clocks of the two stage spans, so the counters on the
+    shard result and the trace report one measurement.  Callers without a
+    tracer get a private one (its spans are simply never exported).
+    """
+    if tracer is None:
+        tracer = Tracer()
     plan = runtime.plan
     start, stop = span
 
-    began = time.perf_counter()
-    if runtime.flat is not None:
-        candidates, processed = runtime.flat.probe_span(
-            start,
-            stop,
-            plan.requirement,
-            probe_is_left=runtime.probe_is_left,
-            exclude_self_pairs=plan.exclude_self_pairs,
-            kernel=plan.kernel,
-        )
-    else:
-        candidates, processed, _ = _probe_candidates(
-            runtime.index.raw_postings,
-            runtime.probe_signed[start:stop],
-            plan.requirement,
-            probe_is_left=runtime.probe_is_left,
-            exclude_self_pairs=plan.exclude_self_pairs,
-            postings_ascending=runtime.postings_ascending,
-        )
-    filter_seconds = time.perf_counter() - began
+    with tracer.span("filter", kernel=plan.kernel) as filter_span:
+        if runtime.flat is not None:
+            candidates, processed = runtime.flat.probe_span(
+                start,
+                stop,
+                plan.requirement,
+                probe_is_left=runtime.probe_is_left,
+                exclude_self_pairs=plan.exclude_self_pairs,
+                kernel=plan.kernel,
+            )
+        else:
+            candidates, processed, _ = _probe_candidates(
+                runtime.index.raw_postings,
+                runtime.probe_signed[start:stop],
+                plan.requirement,
+                probe_is_left=runtime.probe_is_left,
+                exclude_self_pairs=plan.exclude_self_pairs,
+                postings_ascending=runtime.postings_ascending,
+            )
+    filter_span.annotate(candidates=len(candidates), processed_pairs=processed)
 
-    began = time.perf_counter()
-    snapshot = runtime.verifier.stats.snapshot()
-    pairs = runtime.verifier.verify_batch(
-        candidates,
-        plan.left_prep,
-        plan.right_prep,
-        probe_side="left" if runtime.probe_is_left else "right",
-    )
-    verify_seconds = time.perf_counter() - began
+    with tracer.span("verify") as verify_span:
+        snapshot = runtime.verifier.stats.snapshot()
+        pairs = runtime.verifier.verify_batch(
+            candidates,
+            plan.left_prep,
+            plan.right_prep,
+            probe_side="left" if runtime.probe_is_left else "right",
+        )
+    verify_span.annotate(pairs=len(pairs))
 
     return ShardResult(
         start=start,
@@ -500,8 +541,8 @@ def _run_shard_on(runtime: _WorkerRuntime, span: Tuple[int, int]) -> ShardResult
         candidate_count=len(candidates),
         processed_pairs=processed,
         verification=runtime.verifier.stats.diff(snapshot),
-        filter_seconds=filter_seconds,
-        verify_seconds=verify_seconds,
+        filter_seconds=filter_span.wall_seconds,
+        verify_seconds=verify_span.wall_seconds,
         sign_seconds=runtime.consume_sign_seconds(),
     )
 
@@ -832,11 +873,15 @@ class _ParentFallback:
     in-parent here, which also powers the :func:`_plan_info` fallback.
     """
 
-    __slots__ = ("_plan", "_runtime")
+    __slots__ = ("_plan", "_runtime", "_tracer")
 
-    def __init__(self, plan: ShardPlan) -> None:
+    def __init__(self, plan: ShardPlan, tracer: Optional[Tracer] = None) -> None:
         self._plan = plan
         self._runtime: Optional[_WorkerRuntime] = None
+        # Fallback shards always time through real spans (ShardResult's
+        # stage seconds are span-sourced), so a disabled parent tracer gets
+        # a private throwaway: timings survive, nothing enters the trace.
+        self._tracer = tracer if tracer is not None and tracer.enabled else Tracer()
 
     @property
     def runtime(self) -> _WorkerRuntime:
@@ -845,16 +890,27 @@ class _ParentFallback:
         return self._runtime
 
     def __call__(self, span: Tuple[int, int]) -> ShardResult:
-        return _run_shard_on(self.runtime, span)
+        with self._tracer.span(
+            "shard-serial-fallback", shard=span[0], stop=span[1]
+        ):
+            return _run_shard_on(self.runtime, span, tracer=self._tracer)
 
-    def plan_info(self) -> Tuple[int, bool, float, float, float]:
+    def plan_info(self) -> Tuple[int, bool, float, float, float, Tuple]:
         runtime = self.runtime
+        sign_seconds = runtime.consume_sign_seconds()
+        # repro: ignore[unclosed-span] — carrier span, ends on the next line
+        sign_span = self._tracer.span("worker-sign", fallback=True).start()
+        sign_span.end()
+        sign_span.wall_seconds = sign_seconds
+        # The span landed directly in the parent trace (or the throwaway
+        # tracer); nothing to ship, so the payload slot stays empty.
         return (
             runtime.probe_count,
             bool(runtime.probe_is_left),
             runtime.avg_signature_left,
             runtime.avg_signature_right,
-            runtime.consume_sign_seconds(),
+            sign_seconds,
+            (),
         )
 
 
@@ -915,6 +971,61 @@ def _split_pooled_wall(
         statistics.verification_seconds = wall
 
 
+def _adopt_failed_attempts(telemetry, report, spans, base: int) -> None:
+    """Synthesize error spans for shard attempts that died in a worker.
+
+    A killed or timed-out worker never ships its tracer back, so the parent
+    reconstructs one error-flagged ``shard-attempt-failed`` span per failed
+    attempt from the supervisor's per-shard dispatch counts (``attempts``
+    entries ``base`` onward belong to this run).  In the merged tree the
+    failures sit as siblings next to the attempt that finally succeeded.
+    """
+    if not telemetry.enabled:
+        return
+    for index, (start, stop) in enumerate(spans):
+        position = base + index
+        if position >= len(report.attempts):
+            break
+        for attempt in range(report.attempts[position] - 1):
+            # repro: ignore[unclosed-span] — synthesized after the fact
+            failed = telemetry.tracer.span(
+                "shard-attempt-failed", shard=start, stop=stop, attempt=attempt
+            ).start()
+            failed.error = True
+            failed.end()
+
+
+def _record_worker_events(metrics, payloads) -> None:
+    """Count worker-stamped span events into the parent metrics registry.
+
+    Workers have no registry handle; they stamp events on their local spans
+    (warm-pool runtime cache hits, injected faults) and the parent turns the
+    events it recognizes into counters while adopting the payloads.
+    """
+    for payload in payloads or ():
+        for event in payload.get("events") or ():
+            name = event.get("name")
+            if name == "runtime-cache":
+                hit = bool((event.get("attrs") or {}).get("hit"))
+                metrics.counter(
+                    "pool.cache_hits" if hit else "pool.cache_misses"
+                ).add()
+            elif name == "fault-injected":
+                metrics.counter("faults.injected").add()
+        _record_worker_events(metrics, payload.get("children"))
+
+
+def _record_execution_metrics(metrics, report) -> None:
+    """Fold a supervisor's execution report into the metrics registry."""
+    metrics.counter("supervisor.shards").add(report.shards)
+    metrics.counter("supervisor.retries").add(report.retries)
+    metrics.counter("supervisor.respawns").add(report.respawns)
+    metrics.counter("supervisor.timeouts").add(report.timeouts)
+    metrics.counter("supervisor.worker_failures").add(report.worker_failures)
+    metrics.counter("supervisor.transport_failures").add(report.transport_failures)
+    metrics.counter("supervisor.fallback_shards").add(report.fallback_shards)
+
+
 def process_join(
     engine: PebbleJoin,
     left: Joinable,
@@ -962,37 +1073,41 @@ def process_join(
             "warm pools ship parent-signed plans; sign_in_workers=True needs "
             "a per-call pool (its workers sign in their initializers)"
         )
+    telemetry = engine.telemetry
+    metrics = telemetry.metrics
     start = time.perf_counter()
-    left_prep, right_prep, self_join = engine._resolve_sides(left, right)
-    statistics = JoinStatistics(
-        tau=engine.tau,
-        theta=engine.theta,
-        method=engine.method,
-        left_records=len(left_prep),
-        right_records=len(right_prep),
-    )
-    if sign_in_workers:
-        order = engine._resolve_order(left_prep, right_prep, precomputed_order)
-        plan = _build_unsigned_plan(
-            engine, left_prep, right_prep, self_join, order, signing_tau
+    with telemetry.span("sign", in_workers=sign_in_workers):
+        left_prep, right_prep, self_join = engine._resolve_sides(left, right)
+        statistics = JoinStatistics(
+            tau=engine.tau,
+            theta=engine.theta,
+            method=engine.method,
+            left_records=len(left_prep),
+            right_records=len(right_prep),
         )
-        # Parent-side signing cost is preparation + order only; the workers'
-        # signing seconds are folded into the pooled-stage split below.
-        statistics.signing_seconds = time.perf_counter() - start
-    else:
-        _, left_signed, right_signed = engine._order_and_sign(
-            left_prep, right_prep, precomputed_order, signing_tau
-        )
-        statistics.signing_seconds = time.perf_counter() - start
-        statistics.avg_signature_length_left = _average_signature_length(left_signed)
-        statistics.avg_signature_length_right = _average_signature_length(right_signed)
-        plan = _build_plan(
-            engine, left_prep, right_prep, left_signed, right_signed, self_join
-        )
+        if sign_in_workers:
+            order = engine._resolve_order(left_prep, right_prep, precomputed_order)
+            plan = _build_unsigned_plan(
+                engine, left_prep, right_prep, self_join, order, signing_tau
+            )
+            # Parent-side signing cost is preparation + order only; the
+            # workers' signing seconds are folded into the pooled-stage
+            # split below.
+            statistics.signing_seconds = time.perf_counter() - start
+        else:
+            _, left_signed, right_signed = engine._order_and_sign(
+                left_prep, right_prep, precomputed_order, signing_tau
+            )
+            statistics.signing_seconds = time.perf_counter() - start
+            statistics.avg_signature_length_left = _average_signature_length(left_signed)
+            statistics.avg_signature_length_right = _average_signature_length(right_signed)
+            plan = _build_plan(
+                engine, left_prep, right_prep, left_signed, right_signed, self_join
+            )
 
     pairs: List[VerifiedPair] = []
     merged = VerificationStats()
-    fallback = _ParentFallback(plan)
+    fallback = _ParentFallback(plan, telemetry.tracer)
 
     def shard_size_for(total: int) -> int:
         return max(1, ceil(total / max(workers * shards_per_worker, 1)))
@@ -1001,6 +1116,8 @@ def process_join(
         worker_sign = worker_filter = worker_verify = 0.0
         for shard in shards:
             _merge_shard(engine, statistics, merged, pairs, shard)
+            telemetry.tracer.adopt(shard.spans)
+            _record_worker_events(metrics, shard.spans)
             worker_sign += shard.sign_seconds
             worker_filter += shard.filter_seconds
             worker_verify += shard.verify_seconds
@@ -1015,19 +1132,28 @@ def process_join(
         worker_cap = max(1, min(workers, max(len(left_prep), len(right_prep))))
         manager = _ColdSessionManager(plan, worker_cap, payload_mode)
         supervisor = ShardSupervisor(manager, supervision, fallback)
+        base = len(supervisor.report.attempts)
         try:
-            total, _, avg_left, avg_right, info_sign = supervisor.call(
-                lambda session: session.submit_call(_plan_info),
-                fallback.plan_info,
-            )
-            statistics.avg_signature_length_left = avg_left
-            statistics.avg_signature_length_right = avg_right
-            sign, fil, ver = drain(
-                supervisor.run(_shard_spans(total, shard_size_for(total)))
-            )
+            with telemetry.span(
+                "pooled-stage", workers=worker_cap, sign_in_workers=True
+            ):
+                info = supervisor.call(
+                    lambda session: session.submit_call(_plan_info),
+                    fallback.plan_info,
+                )
+                total, _, avg_left, avg_right, info_sign = info[:5]
+                telemetry.tracer.adopt(info[5] if len(info) > 5 else ())
+                statistics.avg_signature_length_left = avg_left
+                statistics.avg_signature_length_right = avg_right
+                shard_list = _shard_spans(total, shard_size_for(total))
+                sign, fil, ver = drain(supervisor.run(shard_list))
+                _adopt_failed_attempts(
+                    telemetry, supervisor.report, shard_list, base
+                )
         finally:
             manager.close()
         statistics.execution = supervisor.report
+        _record_execution_metrics(metrics, supervisor.report)
         _split_pooled_wall(
             statistics, time.perf_counter() - stage_start, sign + info_sign, fil, ver
         )
@@ -1040,11 +1166,19 @@ def process_join(
                 plan, min(workers, len(spans)), payload_mode, pool
             )
             supervisor = ShardSupervisor(manager, supervision, fallback)
+            base = len(supervisor.report.attempts)
             try:
-                busy = drain(supervisor.run(spans))
+                with telemetry.span(
+                    "pooled-stage", workers=min(workers, len(spans))
+                ):
+                    busy = drain(supervisor.run(spans))
+                    _adopt_failed_attempts(
+                        telemetry, supervisor.report, spans, base
+                    )
             finally:
                 manager.close()
             statistics.execution = supervisor.report
+            _record_execution_metrics(metrics, supervisor.report)
             _split_pooled_wall(
                 statistics, time.perf_counter() - stage_start, *busy
             )
@@ -1131,7 +1265,7 @@ def _process_batches_iter(
     pool=None,
     supervision: Optional[SupervisorPolicy] = None,
 ) -> Iterator[JoinBatch]:
-    fallback = _ParentFallback(plan)
+    fallback = _ParentFallback(plan, engine.telemetry.tracer)
     if plan.sign_in_workers:
         # Span count is bounded by the larger collection (the probe side is
         # one of the two) before the workers report its exact length: cap
@@ -1150,10 +1284,12 @@ def _process_batches_iter(
     supervisor = ShardSupervisor(manager, supervision, fallback)
     try:
         if plan.sign_in_workers:
-            total = supervisor.call(
+            info = supervisor.call(
                 lambda session: session.submit_call(_plan_info),
                 fallback.plan_info,
-            )[0]
+            )
+            total = info[0]
+            engine.telemetry.tracer.adopt(info[5] if len(info) > 5 else ())
             spans = _shard_spans(total, batch_size)
         yield from _stream_spans(
             engine, supervisor, spans, workers, suggestion_seconds
@@ -1175,10 +1311,18 @@ def _stream_spans(
     # all completed shard results in parent memory (the unbounded
     # materialization join_batches exists to avoid).
     window = min(workers + 1, len(spans))
+    telemetry = engine.telemetry
+    # No span is held open across yields: a consumer may run arbitrary
+    # (instrumented) code between batches, and an open span here would
+    # capture it as a child via the thread-local stack.  Worker trees are
+    # adopted to the tracer's current attachment point as they arrive.
+    base = len(supervisor.report.attempts)
     first = True
     for shard in supervisor.run(spans, window=window):
         engine.verifier.stats.merge(shard.verification)
         engine.verifier.verified_count += shard.candidate_count
+        telemetry.tracer.adopt(shard.spans)
+        _record_worker_events(telemetry.metrics, shard.spans)
         yield JoinBatch(
             pairs=shard.pairs,
             candidate_count=shard.candidate_count,
@@ -1189,3 +1333,5 @@ def _stream_spans(
             execution=supervisor.report,
         )
         first = False
+    _adopt_failed_attempts(telemetry, supervisor.report, spans, base)
+    _record_execution_metrics(telemetry.metrics, supervisor.report)

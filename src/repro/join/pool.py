@@ -31,11 +31,14 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
+from dataclasses import replace
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Optional
 
 from ..faults import FAULTS
+from ..telemetry import get_default
+from ..telemetry.spans import Tracer, reset_stack, stamp_event
 from .parallel import (
     ShardPlan,
     _attach_plan,
@@ -63,6 +66,9 @@ def _pool_runtime(name: str) -> _WorkerRuntime:
     """The cached runtime for segment ``name``, attaching on first use."""
     runtime = _POOL_RUNTIMES.get(name)
     if runtime is None:
+        # Stamped on the worker's open shard span; the parent counts the
+        # events into its registry while adopting the shard's trace.
+        stamp_event("runtime-cache", hit=False, segment=name)
         plan, shm = _attach_plan(name)
         runtime = _WorkerRuntime(plan, shm=shm)
         _POOL_RUNTIMES[name] = runtime
@@ -70,6 +76,7 @@ def _pool_runtime(name: str) -> _WorkerRuntime:
             _, stale = _POOL_RUNTIMES.popitem(last=False)
             stale.release()
     else:
+        stamp_event("runtime-cache", hit=True, segment=name)
         _POOL_RUNTIMES.move_to_end(name)
     return runtime
 
@@ -86,8 +93,19 @@ def _pool_run_shard(task):
     """
     name, span = task[0], task[1]
     attempt = task[2] if len(task) > 2 else 0
-    FAULTS.on_shard(span[0], attempt)
-    return _run_shard_on(_pool_runtime(name), span)
+    reset_stack()  # forked workers inherit the parent's open spans
+    tracer = Tracer()
+    with tracer.span(
+        "shard",
+        shard=span[0],
+        stop=span[1],
+        attempt=attempt,
+        pid=os.getpid(),
+        pool="warm",
+    ):
+        FAULTS.on_shard(span[0], attempt)
+        result = _run_shard_on(_pool_runtime(name), span, tracer=tracer)
+    return replace(result, spans=tuple(tracer.export()))
 
 
 def _warm_session(executor: ProcessPoolExecutor, name: str) -> ExecutorSession:
@@ -184,6 +202,7 @@ class WarmJoinPool:
             # handing out a pool that raises on first submit.
             self._discard_executor(wait=False)
             self.respawns += 1
+            get_default().metrics.counter("pool.respawns").add()
             executor = None
         if executor is None:
             executor = self._executor = ProcessPoolExecutor(max_workers=self.workers)
@@ -201,6 +220,7 @@ class WarmJoinPool:
             raise RuntimeError("WarmJoinPool is closed")
         self._discard_executor(wait=False)
         self.respawns += 1
+        get_default().metrics.counter("pool.respawns").add()
         return self._ensure_executor()
 
     @property

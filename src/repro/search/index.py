@@ -81,6 +81,7 @@ from ..join.signatures import (
 from ..join.supervision import ExecutionReport, SupervisorPolicy
 from ..join.verification import UnifiedVerifier, VerificationStats, VerifiedPair
 from ..records import Record, RecordCollection
+from ..telemetry import Telemetry, resolve_telemetry
 
 __all__ = [
     "ConcurrentMutationError",
@@ -233,6 +234,11 @@ class SimilarityIndex:
         vectorized numpy kernel when numpy is importable, else the
         pure-Python loop), ``"numpy"``, or ``"python"``.  Bit-identical
         answers either way (see :mod:`repro.join.kernels`).
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` bundle queries report to —
+        latency histograms, candidate/verified counters, the staleness
+        gauge, epoch rejections, and batch-query trace spans (defaults to
+        the process-wide bundle; see ``docs/observability.md``).
     """
 
     def __init__(
@@ -248,6 +254,7 @@ class SimilarityIndex:
         drift_threshold: Optional[float] = 0.25,
         adaptive_verification: bool = False,
         kernel: str = "auto",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ValueError("theta must be in [0, 1]")
@@ -284,6 +291,9 @@ class SimilarityIndex:
         self.adaptive_verification = adaptive_verification
         resolve_kernel(kernel)  # validate eagerly: typos fail at construction
         self.kernel = kernel
+        # Stored raw and resolved lazily: a pickled index must not drag a
+        # telemetry bundle (and its collected spans) across processes.
+        self._telemetry = telemetry
         self.verifier = UnifiedVerifier(
             config, theta, t=approximation_t, adaptive=adaptive_verification
         )
@@ -382,6 +392,11 @@ class SimilarityIndex:
         return self._mutations_since_order / max(self._order_live_basis, 1)
 
     @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry bundle queries report to (module default if unset)."""
+        return resolve_telemetry(self._telemetry)
+
+    @property
     def stats(self) -> VerificationStats:
         """Cumulative cascade counters across every query served."""
         return self.verifier.stats
@@ -409,11 +424,26 @@ class SimilarityIndex:
         finally:
             self._mutation_lock.release()
 
+    def _record_query_metrics(self, result) -> None:
+        """Fold one answered query into the metrics registry.
+
+        ``search.verified`` counts candidates that entered the verification
+        cascade (the stats block's ``candidates``); the staleness gauge
+        tracks drift so a long-serving index shows when re-ordering is due.
+        """
+        metrics = self.telemetry.metrics
+        metrics.counter("search.queries").add()
+        metrics.counter("search.candidates").add(result.candidate_count)
+        metrics.counter("search.verified").add(result.verification.candidates)
+        metrics.histogram("search.query_seconds").observe(result.seconds)
+        metrics.gauge("search.staleness").set(self.staleness)
+
     def _begin_read(self) -> int:
         return self._epoch
 
     def _end_read(self, epoch: int) -> None:
         if self._epoch != epoch:
+            self.telemetry.metrics.counter("search.epoch_rejections").add()
             raise ConcurrentMutationError(
                 "the index was mutated while a query was in flight; the "
                 "query's answer would span two corpus states"
@@ -566,13 +596,15 @@ class SimilarityIndex:
                 matches.append(QueryMatch(member_id, similarity))
         self._end_read(epoch)
         self._finish_stats(local)
-        return QueryResult(
+        result = QueryResult(
             matches=matches,
             candidate_count=len(partners),
             processed_pairs=processed,
             verification=local,
             seconds=time.perf_counter() - start,
         )
+        self._record_query_metrics(result)
+        return result
 
     def query_member(
         self,
@@ -614,13 +646,15 @@ class SimilarityIndex:
                 matches.append(QueryMatch(member_id, similarity))
         self._end_read(epoch)
         self._finish_stats(local)
-        return QueryResult(
+        result = QueryResult(
             matches=matches,
             candidate_count=sum(1 for member in partners if member != record_id),
             processed_pairs=processed,
             verification=local,
             seconds=time.perf_counter() - start,
         )
+        self._record_query_metrics(result)
+        return result
 
     def query_topk(
         self,
@@ -666,7 +700,7 @@ class SimilarityIndex:
         )
         self._end_read(epoch)
         self._finish_stats(local)
-        return QueryResult(
+        result = QueryResult(
             matches=[QueryMatch(member_id, similarity) for member_id, similarity in top],
             candidate_count=len(partners),
             processed_pairs=processed,
@@ -674,6 +708,8 @@ class SimilarityIndex:
             seconds=time.perf_counter() - start,
             bound_skipped=len(partners) - evaluated,
         )
+        self._record_query_metrics(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # batched querying
@@ -712,43 +748,48 @@ class SimilarityIndex:
                 "supervision policies apply to executor='process' only"
             )
         theta_q, tau_q = self._resolve_query(theta, tau)
+        telemetry = self.telemetry
         start = time.perf_counter()
-        epoch = self._begin_read()
-        records = [self._probe_record(probe) for probe in probes]
-        probe_collection = RecordCollection(
-            [
-                Record(record_id=position, text=record.text, tokens=record.tokens)
-                for position, record in enumerate(records)
+        with telemetry.span("query-batch", executor=executor) as batch_span:
+            epoch = self._begin_read()
+            records = [self._probe_record(probe) for probe in probes]
+            probe_collection = RecordCollection(
+                [
+                    Record(record_id=position, text=record.text, tokens=record.tokens)
+                    for position, record in enumerate(records)
+                ]
+            )
+            probe_prepared = PreparedCollection.prepare(probe_collection, self.config)
+            signed_probes = [
+                self._sign_member(prepared)
+                for prepared in probe_prepared.prepared_records
             ]
-        )
-        probe_prepared = PreparedCollection.prepare(probe_collection, self.config)
-        signed_probes = [
-            self._sign_member(prepared)
-            for prepared in probe_prepared.prepared_records
-        ]
-        execution: Optional[ExecutionReport] = None
-        if executor == "process" and signed_probes:
-            (
-                pairs,
-                candidate_count,
-                processed,
-                local,
-                execution,
-            ) = self._query_batch_process(
-                probe_prepared, signed_probes, tau_q, workers, supervision
+            execution: Optional[ExecutionReport] = None
+            if executor == "process" and signed_probes:
+                (
+                    pairs,
+                    candidate_count,
+                    processed,
+                    local,
+                    execution,
+                ) = self._query_batch_process(
+                    probe_prepared, signed_probes, tau_q, workers, supervision
+                )
+            else:
+                candidates, processed = self._probe_members(signed_probes, tau_q)
+                candidate_count = len(candidates)
+                snapshot = self.verifier.stats.snapshot()
+                pairs = self.verifier.verify_batch(
+                    candidates, probe_prepared, self.prepared, probe_side="left"
+                )
+                local = self.verifier.stats.diff(snapshot)
+            if theta_q > self.theta:
+                pairs = [pair for pair in pairs if pair.similarity >= theta_q]
+            self._end_read(epoch)
+            batch_span.annotate(
+                probes=len(records), pairs=len(pairs), candidates=candidate_count
             )
-        else:
-            candidates, processed = self._probe_members(signed_probes, tau_q)
-            candidate_count = len(candidates)
-            snapshot = self.verifier.stats.snapshot()
-            pairs = self.verifier.verify_batch(
-                candidates, probe_prepared, self.prepared, probe_side="left"
-            )
-            local = self.verifier.stats.diff(snapshot)
-        if theta_q > self.theta:
-            pairs = [pair for pair in pairs if pair.similarity >= theta_q]
-        self._end_read(epoch)
-        return BatchQueryResult(
+        result = BatchQueryResult(
             pairs=pairs,
             probe_count=len(records),
             candidate_count=candidate_count,
@@ -757,6 +798,13 @@ class SimilarityIndex:
             seconds=time.perf_counter() - start,
             execution=execution,
         )
+        metrics = telemetry.metrics
+        metrics.counter("search.batch_queries").add()
+        metrics.counter("search.candidates").add(result.candidate_count)
+        metrics.counter("search.verified").add(result.verification.candidates)
+        metrics.histogram("search.batch_seconds").observe(result.seconds)
+        metrics.gauge("search.staleness").set(self.staleness)
+        return result
 
     def _query_batch_process(
         self,
@@ -778,6 +826,9 @@ class SimilarityIndex:
             SHARDS_PER_WORKER,
             ShardPlan,
             _ParentFallback,
+            _adopt_failed_attempts,
+            _record_execution_metrics,
+            _record_worker_events,
             _shard_spans,
             _verifier_kwargs,
         )
@@ -816,19 +867,28 @@ class SimilarityIndex:
         spans = _shard_spans(
             total, max(1, ceil(total / max(pool.workers * SHARDS_PER_WORKER, 1)))
         )
+        telemetry = self.telemetry
         pairs: List[VerifiedPair] = []
         merged = VerificationStats()
         candidate_count = processed = 0
         manager = pool.session_manager(plan)
-        supervisor = ShardSupervisor(manager, supervision, _ParentFallback(plan))
+        supervisor = ShardSupervisor(
+            manager, supervision, _ParentFallback(plan, telemetry.tracer)
+        )
+        base = len(supervisor.report.attempts)
         try:
-            for shard in supervisor.run(spans):
-                pairs.extend(shard.pairs)
-                merged.merge(shard.verification)
-                candidate_count += shard.candidate_count
-                processed += shard.processed_pairs
+            with telemetry.span("pooled-stage", workers=pool.workers):
+                for shard in supervisor.run(spans):
+                    pairs.extend(shard.pairs)
+                    merged.merge(shard.verification)
+                    candidate_count += shard.candidate_count
+                    processed += shard.processed_pairs
+                    telemetry.tracer.adopt(shard.spans)
+                    _record_worker_events(telemetry.metrics, shard.spans)
+                _adopt_failed_attempts(telemetry, supervisor.report, spans, base)
         finally:
             manager.close()
+        _record_execution_metrics(telemetry.metrics, supervisor.report)
         self._finish_stats(merged)
         return pairs, candidate_count, processed, merged, supervisor.report
 
@@ -1097,6 +1157,10 @@ class SimilarityIndex:
         state["_warm_pool"] = None
         # Locks don't pickle; each process guards its own mutations.
         state.pop("_mutation_lock", None)
+        # Telemetry bundles are per-process: a snapshot must not drag a
+        # tracer's collected spans along.  The restored index falls back to
+        # its process's default bundle.
+        state["_telemetry"] = None
         # A fresh process re-interns its own vocabulary (ids are artifact-
         # local, and every flat artifact is dropped with the plan cache).
         state["_vocab"] = None
@@ -1134,6 +1198,7 @@ class SimilarityIndex:
         # Snapshots from before the kernel knob / flat-postings memo.
         self.__dict__.setdefault("kernel", "auto")
         self.__dict__.setdefault("_flat_cache", None)
+        self.__dict__.setdefault("_telemetry", None)
         self._mutation_lock = threading.Lock()
         if lengths is not None:
             self._restore_flat_signatures(lengths)

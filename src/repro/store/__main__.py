@@ -5,6 +5,7 @@ fingerprint) and optionally enforce a size budget with LRU eviction::
 
     python -m repro.store artifacts/
     python -m repro.store artifacts/ --json
+    python -m repro.store artifacts/ --stats
     python -m repro.store artifacts/ --evict --budget 256M
 
 Budgets accept plain bytes or a K/M/G suffix (powers of 1024).  Listing is
@@ -19,6 +20,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..telemetry import Telemetry
 from .prepared_store import PreparedStore, StoredArtifact
 
 _SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3}
@@ -97,6 +99,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="size budget in bytes (K/M/G suffixes allowed); required with --evict",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the store's metrics snapshot alongside the listing",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     args = parser.parse_args(argv)
@@ -110,29 +117,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not Path(args.root).is_dir():
         parser.error(f"store directory does not exist: {args.root}")
 
-    store = PreparedStore(args.root)
+    # A dedicated bundle so --stats reflects this invocation's operations
+    # (evictions, quarantine discoveries) without cross-talk from the
+    # process-wide default registry.
+    telemetry = Telemetry()
+    store = PreparedStore(args.root, telemetry=telemetry)
     evicted: List[StoredArtifact] = []
     if args.evict:
         evicted = store.evict(budget=args.budget)
     artifacts = store.artifacts()
     total = sum(artifact.size_bytes for artifact in artifacts)
+    stats = None
+    if args.stats:
+        counters = telemetry.metrics.snapshot()["counters"]
+        stats = {
+            "hits": counters.get("store.hits", 0),
+            "misses": counters.get("store.misses", 0),
+            "writes": counters.get("store.writes", 0),
+            "bytes_written": counters.get("store.bytes_written", 0),
+            "evictions": counters.get("store.evictions", 0),
+            "bytes_evicted": counters.get("store.bytes_evicted", 0),
+            "quarantines": counters.get("store.quarantines", 0),
+            "quarantined_artifacts": len(store.quarantine_artifacts()),
+            "total_bytes": total,
+        }
 
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "root": str(store.root),
-                    "total_bytes": total,
-                    "budget_bytes": args.budget,
-                    "artifacts": [_artifact_row(a) for a in artifacts],
-                    "evicted": [_artifact_row(a) for a in evicted],
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "root": str(store.root),
+            "total_bytes": total,
+            "budget_bytes": args.budget,
+            "artifacts": [_artifact_row(a) for a in artifacts],
+            "evicted": [_artifact_row(a) for a in evicted],
+        }
+        if stats is not None:
+            payload["stats"] = stats
+        print(json.dumps(payload, indent=2))
         return 0
 
     _print_listing(artifacts, total)
+    if stats is not None:
+        print("stats:")
+        for key, value in stats.items():
+            label = key.replace("_", " ")
+            if key.startswith("bytes_") or key == "total_bytes":
+                print(f"  {label}: {_format_bytes(value)}")
+            else:
+                print(f"  {label}: {value}")
     if args.evict:
         if evicted:
             freed = sum(artifact.size_bytes for artifact in evicted)

@@ -68,6 +68,7 @@ from ..core.measures import MeasureConfig
 from ..faults import FAULTS
 from ..join.prepared import PreparedCollection
 from ..records import RecordCollection
+from ..telemetry import Telemetry, resolve_telemetry
 
 __all__ = [
     "FORMAT_VERSION",
@@ -198,6 +199,7 @@ class PreparedStore:
         format_version: int = FORMAT_VERSION,
         index_format_version: int = INDEX_FORMAT_VERSION,
         size_budget_bytes: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if size_budget_bytes is not None and size_budget_bytes < 0:
             raise ValueError("size_budget_bytes must be non-negative (or None)")
@@ -206,6 +208,9 @@ class PreparedStore:
         self.format_version = format_version
         self.index_format_version = index_format_version
         self.size_budget_bytes = size_budget_bytes
+        # Stored raw, resolved lazily: the default bundle may be swapped
+        # after this store is built, and a pickled store must not drag one.
+        self._telemetry = telemetry
         self.last_outcome: Optional[StoreOutcome] = None
         # Collections this store instance handed out (loaded or built),
         # mapped to (content fingerprint, content_version at that time), so
@@ -225,6 +230,11 @@ class PreparedStore:
         #: performed — in-memory telemetry for callers and tests; the
         #: durable record is the ``.reason`` sidecar on disk.
         self.quarantined: List[Tuple[Path, str]] = []
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry bundle store activity reports to."""
+        return resolve_telemetry(self._telemetry)
 
     @property
     def quarantine_root(self) -> Path:
@@ -248,6 +258,7 @@ class PreparedStore:
         except OSError:
             return
         self.quarantined.append((destination, reason))
+        self.telemetry.metrics.counter("store.quarantines").add()
         try:
             destination.with_name(destination.name + ".reason").write_text(
                 f"{reason}\nquarantined: {time.strftime('%Y-%m-%dT%H:%M:%S')}\n"
@@ -356,6 +367,9 @@ class PreparedStore:
         except BaseException:
             temp.unlink(missing_ok=True)
             raise
+        metrics = self.telemetry.metrics
+        metrics.counter("store.writes").add()
+        metrics.counter("store.bytes_written").add(len(header) + len(payload))
         FAULTS.on_store_save(path)
         if self.size_budget_bytes is not None:
             self.evict()
@@ -476,21 +490,29 @@ class PreparedStore:
                 "PreparedStore.prepare takes a raw RecordCollection; pass "
                 "an already-prepared collection to save() instead"
             )
+        telemetry = self.telemetry
         start = time.perf_counter()
-        fingerprint = collection_fingerprint(collection, config)
-        prepared = self._load_at(fingerprint, collection, config)
-        hit = prepared is not None
-        if prepared is None:
-            prepared = PreparedCollection.prepare(collection, config)
-            path = self._save_at(fingerprint, prepared)
-            self._managed[prepared] = (fingerprint, prepared.content_version)
-        else:
-            path = self.path_for(fingerprint)
+        with telemetry.span("store-prepare") as prepare_span:
+            fingerprint = collection_fingerprint(collection, config)
+            prepared = self._load_at(fingerprint, collection, config)
+            hit = prepared is not None
+            if prepared is None:
+                prepared = PreparedCollection.prepare(collection, config)
+                path = self._save_at(fingerprint, prepared)
+                self._managed[prepared] = (fingerprint, prepared.content_version)
+            else:
+                path = self.path_for(fingerprint)
+            prepare_span.annotate(hit=hit, fingerprint=fingerprint)
         self.last_outcome = StoreOutcome(
             hit=hit,
             fingerprint=fingerprint,
             path=path,
             seconds=time.perf_counter() - start,
+        )
+        metrics = telemetry.metrics
+        metrics.counter("store.hits" if hit else "store.misses").add()
+        metrics.histogram("store.prepare_seconds").observe(
+            self.last_outcome.seconds
         )
         return prepared
 
@@ -612,4 +634,10 @@ class PreparedStore:
                 continue
             total -= artifact.size_bytes
             evicted.append(artifact)
+        if evicted:
+            metrics = self.telemetry.metrics
+            metrics.counter("store.evictions").add(len(evicted))
+            metrics.counter("store.bytes_evicted").add(
+                sum(artifact.size_bytes for artifact in evicted)
+            )
         return evicted

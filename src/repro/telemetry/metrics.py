@@ -1,0 +1,222 @@
+"""Process-local metrics: named counters, gauges, and bucketed histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments created on
+first use (``registry.counter("store.hits").add()``); re-requesting a
+name returns the same instrument, and requesting it as a different kind
+raises.  Everything is plain Python — no locks (instruments are
+process-local and the GIL makes ``+=`` on ints safe enough for telemetry),
+no dependencies, and a deterministic :meth:`MetricsRegistry.snapshot`
+(names sorted) so reports diff cleanly across runs.
+
+Histograms are **fixed-bucket**: an observation lands in the first bucket
+whose upper bound is ≥ the value, so percentiles come from bucket counts
+without storing samples.  :meth:`Histogram.percentile` is nearest-rank
+over the buckets and reports the containing bucket's upper bound (the
+overflow bucket reports the observed maximum) — feed values that sit on
+bucket bounds and the percentiles are exact, which is what the unit tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil, inf
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default latency bounds in seconds: half-millisecond to ten seconds,
+#: roughly geometric — wide enough for a cold join, fine enough for a
+#: warm query.  Values above the last bound land in the overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer-or-float total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for levels")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (last write wins)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution: percentiles without stored samples."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        cleaned = tuple(sorted(float(bound) for bound in bounds))
+        if not cleaned:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = cleaned
+        # One count per bound, plus the trailing overflow bucket.
+        self.counts = [0] * (len(cleaned) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        # First bound >= value; an observation exactly on a bound belongs
+        # to that bound's bucket (upper-inclusive), which is what makes
+        # percentiles exact for on-bound inputs.
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile as the containing bucket's upper bound.
+
+        ``fraction`` is in (0, 1].  Empty histograms report 0.0; ranks
+        falling in the overflow bucket report the observed maximum (the
+        only honest upper bound available).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, ceil(fraction * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                break
+        return self.maximum if self.maximum is not None else inf
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A flat, get-or-create namespace of named instruments."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _instrument(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory(name)
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as a "
+                f"{instrument.kind}, not a {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._instrument(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._instrument(name, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        chosen = DEFAULT_BUCKETS if bounds is None else bounds
+        return self._instrument(
+            name, lambda n: Histogram(n, bounds=chosen), "histogram"
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything, as plain sorted data (the report's ``metrics`` half)."""
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.kind == "counter":
+                counters[name] = instrument.value
+            elif instrument.kind == "gauge":
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = {
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.minimum,
+                    "max": instrument.maximum,
+                    "mean": instrument.mean,
+                    "p50": instrument.percentile(0.50),
+                    "p90": instrument.percentile(0.90),
+                    "p99": instrument.percentile(0.99),
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot into this one (sums counters,
+        last-write gauges, bucket-wise histogram addition on matching
+        bounds — mismatched bounds raise rather than silently skew)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, bounds=data["bounds"])
+            if list(histogram.bounds) != [float(b) for b in data["bounds"]]:
+                raise ValueError(
+                    f"histogram {name!r} bounds differ; cannot merge"
+                )
+            counts: List[int] = data["counts"]
+            for index, bucket_count in enumerate(counts):
+                histogram.counts[index] += bucket_count
+            histogram.count += data["count"]
+            histogram.total += data["sum"]
+            for extreme, pick in (("min", min), ("max", max)):
+                incoming = data.get(extreme)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, "minimum" if extreme == "min" else "maximum")
+                merged = incoming if current is None else pick(current, incoming)
+                setattr(histogram, "minimum" if extreme == "min" else "maximum", merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

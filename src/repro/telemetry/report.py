@@ -1,0 +1,186 @@
+"""Run reports: render a trace tree + metrics snapshot as text or JSON.
+
+A *report* is one plain dict::
+
+    {"version": 1, "trace": [<span payload>, ...], "metrics": {...}}
+
+built by :func:`build_report` from a :class:`~repro.telemetry.Telemetry`
+bundle.  ``version`` is the serialized schema version
+(:data:`~repro.telemetry.spans.PAYLOAD_VERSION`) so offline tooling can
+refuse shapes it does not understand instead of misreading them.
+
+Three output forms:
+
+* :func:`render_text` — the human view: an indented span tree with wall /
+  CPU milliseconds, error markers, attributes, and events, followed by the
+  metrics listing (counters, gauges, histogram percentiles).
+* :func:`render_json` — the same report as stable, indented JSON.
+* :func:`write_trace_jsonl` / :func:`read_report` — JSONL trace files
+  (one root span per line) for offline diffing; ``read_report`` loads
+  both ``.json`` reports and ``.jsonl`` traces back into report dicts.
+
+``python -m repro.telemetry`` wraps all of this on the command line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .spans import PAYLOAD_VERSION
+
+__all__ = [
+    "build_report",
+    "read_report",
+    "render_json",
+    "render_text",
+    "write_trace_jsonl",
+]
+
+
+def build_report(telemetry) -> Dict[str, Any]:
+    """The versioned report dict for a telemetry bundle's current state."""
+    return {
+        "version": PAYLOAD_VERSION,
+        "trace": telemetry.tracer.export(),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# text rendering
+# ---------------------------------------------------------------------- #
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_attrs(attrs: Optional[Dict[str, Any]]) -> str:
+    if not attrs:
+        return ""
+    parts = " ".join(
+        f"{key}={_format_value(attrs[key])}" for key in sorted(attrs)
+    )
+    return f"  [{parts}]"
+
+
+def _render_span(lines: List[str], payload: Dict[str, Any], depth: int) -> None:
+    indent = "  " * depth
+    wall = payload.get("wall_seconds", 0.0) * 1000
+    cpu = payload.get("cpu_seconds", 0.0) * 1000
+    marker = " !ERROR" if payload.get("error") else ""
+    lines.append(
+        f"{indent}- {payload.get('name', '?')} "
+        f"{wall:.2f}ms (cpu {cpu:.2f}ms){marker}"
+        f"{_format_attrs(payload.get('attrs'))}"
+    )
+    for event in payload.get("events") or ():
+        lines.append(
+            f"{indent}  * {event.get('name', '?')}"
+            f"{_format_attrs(event.get('attrs'))}"
+        )
+    for child in payload.get("children") or ():
+        _render_span(lines, child, depth + 1)
+
+
+def _render_metrics(lines: List[str], metrics: Dict[str, Any]) -> None:
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if not counters and not gauges and not histograms:
+        lines.append("metrics: (none)")
+        return
+    lines.append("metrics:")
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name} = {_format_value(counters[name])}")
+    if gauges:
+        lines.append("  gauges:")
+        for name in sorted(gauges):
+            lines.append(f"    {name} = {_format_value(gauges[name])}")
+    if histograms:
+        lines.append("  histograms:")
+        for name in sorted(histograms):
+            data = histograms[name]
+            lines.append(
+                f"    {name}: count={data['count']} "
+                f"mean={_format_value(data['mean'])} "
+                f"p50={_format_value(data['p50'])} "
+                f"p90={_format_value(data['p90'])} "
+                f"p99={_format_value(data['p99'])} "
+                f"min={_format_value(data['min'] or 0.0)} "
+                f"max={_format_value(data['max'] or 0.0)}"
+            )
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    """The human-readable form of a report (trace tree + metrics)."""
+    lines: List[str] = [f"telemetry report (v{report.get('version', '?')})"]
+    trace = report.get("trace") or []
+    if trace:
+        lines.append("trace:")
+        for root in trace:
+            _render_span(lines, root, 1)
+    else:
+        lines.append("trace: (empty)")
+    _render_metrics(lines, report.get("metrics") or {})
+    return "\n".join(lines)
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    """The report as stable, indented JSON (trailing newline included)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# trace files
+# ---------------------------------------------------------------------- #
+def write_trace_jsonl(
+    path: Union[str, Path], report: Dict[str, Any]
+) -> Path:
+    """Export a report's trace as JSONL: one root span tree per line.
+
+    The first line is a header object carrying the schema version and the
+    metrics snapshot, so a trace file round-trips through
+    :func:`read_report` without losing either.
+    """
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "version": report.get("version", PAYLOAD_VERSION),
+                "metrics": report.get("metrics") or {},
+            },
+            sort_keys=True,
+        )
+    ]
+    for root in report.get("trace") or ():
+        lines.append(json.dumps(root, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report back from a ``.json`` report or ``.jsonl`` trace file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+        header: Dict[str, Any] = {}
+        if rows and "name" not in rows[0]:
+            header = rows.pop(0)
+        return {
+            "version": header.get("version", PAYLOAD_VERSION),
+            "trace": rows,
+            "metrics": header.get("metrics") or {},
+        }
+    report = json.loads(text)
+    if not isinstance(report, dict) or "trace" not in report:
+        raise ValueError(
+            f"{path} is not a telemetry report (expected a dict with a "
+            "'trace' key; use .jsonl for raw trace lines)"
+        )
+    return report

@@ -20,3 +20,16 @@ def create_without_cleanup(size):
     shm.buf[0] = 1
     shm_registry.register(shm.name)
     return shm
+
+
+def span_never_closed(tracer, records):
+    span = tracer.span("filter")  # expect[unclosed-span]
+    span.start()
+    return [record for record in records if record.keep]
+
+
+def span_end_not_protected(tracer, records):
+    span = tracer.span("verify").start()  # expect[unclosed-span]
+    pairs = [record.pair for record in records]
+    span.end()  # never reached if the comprehension raises
+    return pairs

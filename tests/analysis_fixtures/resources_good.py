@@ -20,3 +20,22 @@ def create_registered(size):
 def attach_only(name):
     # Attaching (create absent/False) imposes no registration duty.
     return shared_memory.SharedMemory(name=name)
+
+
+def span_as_context_manager(tracer, records):
+    with tracer.span("filter") as span:
+        span.annotate(count=len(records))
+        return [record for record in records if record.keep]
+
+
+def span_with_protected_end(tracer, records):
+    span = tracer.span("verify").start()
+    try:
+        return [record.pair for record in records]
+    finally:
+        span.end()
+
+
+def span_delegation(tracer, name):
+    # Returning the span hands lifecycle ownership to the caller.
+    return tracer.span(name, delegated=True)

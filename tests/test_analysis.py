@@ -46,6 +46,7 @@ ALL_RULES = {
     "bare-except",
     "swallowed-exception",
     "unpicklable-raise",
+    "unclosed-span",
 }
 
 
